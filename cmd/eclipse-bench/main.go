@@ -1,0 +1,246 @@
+// Command eclipse-bench regenerates every table and figure from the
+// evaluation section (§III) of "EclipseMR: Distributed and Parallel Task
+// Processing with Consistent Hashing" (CLUSTER 2017) on the calibrated
+// discrete-event model, printing the same rows and series the paper
+// plots. Runs are deterministic.
+//
+// Usage:
+//
+//	eclipse-bench            # all figures
+//	eclipse-bench -fig 7     # one figure (5, 6a, 6b, 7, 8, 9, 10)
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+
+	"eclipsemr/internal/simcluster"
+)
+
+// csvDir, when set by -csv, receives one CSV file per figure alongside
+// the printed tables.
+var csvDir string
+
+// writeCSV stores one figure's series; a missing -csv flag makes it a
+// no-op.
+func writeCSV(name string, header []string, rows [][]string) error {
+	if csvDir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(filepath.Join(csvDir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csv.NewWriter(f)
+	if err := w.Write(header); err != nil {
+		return err
+	}
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}
+
+func f2s(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: all, 5, 6a, 6b, 7, 8, 9, 10")
+	flag.StringVar(&csvDir, "csv", "", "also write one CSV file per figure into this directory")
+	flag.Parse()
+
+	runners := []struct {
+		name string
+		fn   func() error
+	}{
+		{"5", fig5}, {"6a", fig6a}, {"6b", fig6b}, {"7", fig7},
+		{"8", fig8}, {"9", fig9}, {"10", fig10},
+	}
+	ran := false
+	for _, r := range runners {
+		if *fig != "all" && *fig != r.name {
+			continue
+		}
+		ran = true
+		if err := r.fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "eclipse-bench: figure %s: %v\n", r.name, err)
+			os.Exit(1)
+		}
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "eclipse-bench: unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+func header(title string) {
+	fmt.Printf("\n%s\n", title)
+	for range title {
+		fmt.Print("-")
+	}
+	fmt.Println()
+}
+
+func fig5() error {
+	a, b, err := simcluster.Fig5(nil)
+	if err != nil {
+		return err
+	}
+	header("Figure 5(a) — AVG IO throughput (bytes / map-task exec time), MB/s")
+	fmt.Printf("%8s %14s %14s\n", "# nodes", "DHT FS", "HDFS")
+	for _, r := range a {
+		fmt.Printf("%8d %14.0f %14.0f\n", r.Nodes, r.DHTMBps, r.HDFSMBps)
+	}
+	header("Figure 5(b) — AVG IO throughput (bytes / job exec time), MB/s")
+	fmt.Printf("%8s %14s %14s\n", "# nodes", "DHT FS", "HDFS")
+	for _, r := range b {
+		fmt.Printf("%8d %14.0f %14.0f\n", r.Nodes, r.DHTMBps, r.HDFSMBps)
+	}
+	var rowsA, rowsB [][]string
+	for i := range a {
+		rowsA = append(rowsA, []string{strconv.Itoa(a[i].Nodes), f2s(a[i].DHTMBps), f2s(a[i].HDFSMBps)})
+		rowsB = append(rowsB, []string{strconv.Itoa(b[i].Nodes), f2s(b[i].DHTMBps), f2s(b[i].HDFSMBps)})
+	}
+	if err := writeCSV("fig5a", []string{"nodes", "dht_mbps", "hdfs_mbps"}, rowsA); err != nil {
+		return err
+	}
+	return writeCSV("fig5b", []string{"nodes", "dht_mbps", "hdfs_mbps"}, rowsB)
+}
+
+func fig6a() error {
+	rows, err := simcluster.Fig6a()
+	if err != nil {
+		return err
+	}
+	header("Figure 6(a) — non-iterative job execution time (s), LAF vs Delay")
+	fmt.Printf("%-16s %10s %10s\n", "application", "LAF", "Delay")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("%-16s %10.0f %10.0f\n", r.App, r.LAFSec, r.DelaySec)
+		csvRows = append(csvRows, []string{r.App, f2s(r.LAFSec), f2s(r.DelaySec)})
+	}
+	return writeCSV("fig6a", []string{"app", "laf_s", "delay_s"}, csvRows)
+}
+
+func fig6b() error {
+	rows, err := simcluster.Fig6b()
+	if err != nil {
+		return err
+	}
+	header("Figure 6(b) — iterative job execution time (s), 5 iterations")
+	fmt.Printf("%-10s %8s %12s %8s %12s\n", "app", "LAF", "LAF+oCache", "Delay", "Delay+oCache")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("%-10s %8.0f %12.0f %8.0f %12.0f\n",
+			r.App, r.LAFSec, r.LAFOCacheSec, r.DelaySec, r.DelayOCacheSec)
+		csvRows = append(csvRows, []string{r.App, f2s(r.LAFSec), f2s(r.LAFOCacheSec), f2s(r.DelaySec), f2s(r.DelayOCacheSec)})
+	}
+	return writeCSV("fig6b", []string{"app", "laf_s", "laf_ocache_s", "delay_s", "delay_ocache_s"}, csvRows)
+}
+
+func fig7() error {
+	rows, err := simcluster.Fig7(nil)
+	if err != nil {
+		return err
+	}
+	header("Figure 7 — skewed grep workload: (a) exec time, (b) cache hit ratio")
+	fmt.Printf("%-12s %10s %10s %10s %10s\n", "policy", "cache GB", "time (s)", "hit %", "load σ")
+	var csvRows [][]string
+	for _, r := range rows {
+		fmt.Printf("%-12s %10.1f %10.0f %10.1f %10.1f\n",
+			r.Policy, r.CacheGB, r.ExecSec, 100*r.HitRatio, r.LoadStdDev)
+		csvRows = append(csvRows, []string{r.Policy, f2s(r.CacheGB), f2s(r.ExecSec), f2s(100 * r.HitRatio), f2s(r.LoadStdDev)})
+	}
+	return writeCSV("fig7", []string{"policy", "cache_gb", "exec_s", "hit_pct", "load_stddev"}, csvRows)
+}
+
+func fig8() error {
+	rows, err := simcluster.Fig8(nil)
+	if err != nil {
+		return err
+	}
+	header("Figure 8 — 7 concurrent jobs, execution time (s) per cache size")
+	fmt.Printf("%-14s %8s %10s %10s %10s\n", "application", "policy", "1 GB", "4 GB", "8 GB")
+	type key struct {
+		app, pol string
+	}
+	times := map[key]map[int]float64{}
+	var order []key
+	for _, r := range rows {
+		k := key{r.App, r.Policy}
+		if times[k] == nil {
+			times[k] = map[int]float64{}
+			order = append(order, k)
+		}
+		times[k][r.CacheGB] = r.ExecSec
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].app != order[j].app {
+			return order[i].app < order[j].app
+		}
+		return order[i].pol < order[j].pol
+	})
+	var csvRows [][]string
+	for _, k := range order {
+		fmt.Printf("%-14s %8s %10.0f %10.0f %10.0f\n",
+			k.app, k.pol, times[k][1], times[k][4], times[k][8])
+		csvRows = append(csvRows, []string{k.app, k.pol, f2s(times[k][1]), f2s(times[k][4]), f2s(times[k][8])})
+	}
+	return writeCSV("fig8", []string{"app", "policy", "cache1gb_s", "cache4gb_s", "cache8gb_s"}, csvRows)
+}
+
+func fig9() error {
+	rows, err := simcluster.Fig9()
+	if err != nil {
+		return err
+	}
+	header("Figure 9 — execution time vs Hadoop and Spark (s, and normalized)")
+	fmt.Printf("%-16s %10s %10s %10s   %s\n", "application", "EclipseMR", "Spark", "Hadoop", "normalized (slowest = 1.0)")
+	var csvRows [][]string
+	for _, r := range rows {
+		slowest := r.EclipseSec
+		if r.SparkSec > slowest {
+			slowest = r.SparkSec
+		}
+		if r.HadoopSec > slowest {
+			slowest = r.HadoopSec
+		}
+		hadoop := fmt.Sprintf("%10.0f", r.HadoopSec)
+		hn := fmt.Sprintf("%.2f", r.HadoopSec/slowest)
+		if r.SkipHadoop {
+			hadoop, hn = "   omitted", "-" // an order of magnitude slower, as in the paper
+		}
+		fmt.Printf("%-16s %10.0f %10.0f %s   E=%.2f S=%.2f H=%s\n",
+			r.App, r.EclipseSec, r.SparkSec, hadoop,
+			r.EclipseSec/slowest, r.SparkSec/slowest, hn)
+		csvRows = append(csvRows, []string{r.App, f2s(r.EclipseSec), f2s(r.SparkSec), f2s(r.HadoopSec)})
+	}
+	return writeCSV("fig9", []string{"app", "eclipse_s", "spark_s", "hadoop_s"}, csvRows)
+}
+
+func fig10() error {
+	figs, err := simcluster.Fig10()
+	if err != nil {
+		return err
+	}
+	var csvRows [][]string
+	for _, app := range []string{"kmeans", "logreg", "pagerank"} {
+		rows := figs[app]
+		header(fmt.Sprintf("Figure 10 — per-iteration time (s): %s", app))
+		fmt.Printf("%10s %12s %12s\n", "iteration", "EclipseMR", "Spark")
+		for _, r := range rows {
+			fmt.Printf("%10d %12.0f %12.0f\n", r.Iteration, r.EclipseSec, r.SparkSec)
+			csvRows = append(csvRows, []string{app, strconv.Itoa(r.Iteration), f2s(r.EclipseSec), f2s(r.SparkSec)})
+		}
+	}
+	return writeCSV("fig10", []string{"app", "iteration", "eclipse_s", "spark_s"}, csvRows)
+}

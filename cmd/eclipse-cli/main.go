@@ -1,0 +1,198 @@
+// Command eclipse-cli is the client for a TCP EclipseMR cluster started
+// with eclipse-node: it uploads files into the DHT file system, reads
+// them back, and submits MapReduce jobs to the job scheduler.
+//
+// Usage:
+//
+//	eclipse-cli -hosts hosts.txt upload corpus.txt dht:corpus.txt
+//	eclipse-cli -hosts hosts.txt run -app wordcount -inputs dht:corpus.txt
+//	eclipse-cli -hosts hosts.txt run -app grep -inputs logs.txt -param pattern=ERROR
+//	eclipse-cli -hosts hosts.txt cat dht:corpus.txt
+//	eclipse-cli -hosts hosts.txt apps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	_ "eclipsemr/internal/apps" // same registry as the nodes, for `apps`
+	"eclipsemr/internal/cluster"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/mapreduce"
+	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/nodecmd"
+	"eclipsemr/internal/transport"
+)
+
+func main() {
+	var (
+		hostsPath = flag.String("hosts", "", "path to the cluster hosts file")
+		user      = flag.String("user", "cli", "user name for permissions")
+	)
+	flag.Parse()
+	if *hostsPath == "" || flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: eclipse-cli -hosts FILE {upload|cat|ls|run|apps|stats} ...")
+		os.Exit(2)
+	}
+	hosts, err := nodecmd.ReadHosts(*hostsPath)
+	if err != nil {
+		log.Fatalf("eclipse-cli: %v", err)
+	}
+	net := transport.NewTCP(hosts, 10*time.Minute)
+	defer net.Close()
+
+	anyNode := func() hashing.NodeID {
+		for id := range hosts {
+			return id
+		}
+		return ""
+	}
+
+	switch cmd := flag.Arg(0); cmd {
+	case "upload":
+		if flag.NArg() != 3 {
+			log.Fatal("usage: upload <local-file> <dht-name>")
+		}
+		data, err := os.ReadFile(flag.Arg(1))
+		if err != nil {
+			log.Fatalf("eclipse-cli: %v", err)
+		}
+		var resp nodecmd.UploadResp
+		req := nodecmd.UploadReq{
+			Name: flag.Arg(2), Owner: *user, Public: true, Data: data, Records: true,
+		}
+		if err := nodecmd.Call(net, anyNode(), nodecmd.MethodUpload, req, &resp); err != nil {
+			log.Fatalf("eclipse-cli: upload: %v", err)
+		}
+		fmt.Printf("stored %s: %d bytes in %d blocks\n", flag.Arg(2), resp.Size, resp.Blocks)
+
+	case "cat":
+		if flag.NArg() != 2 {
+			log.Fatal("usage: cat <dht-name>")
+		}
+		var resp nodecmd.ReadResp
+		req := nodecmd.ReadReq{Name: flag.Arg(1), User: *user}
+		if err := nodecmd.Call(net, anyNode(), nodecmd.MethodRead, req, &resp); err != nil {
+			log.Fatalf("eclipse-cli: cat: %v", err)
+		}
+		os.Stdout.Write(resp.Data)
+
+	case "run":
+		runCmd := flag.NewFlagSet("run", flag.ExitOnError)
+		app := runCmd.String("app", "", "registered application name")
+		inputs := runCmd.String("inputs", "", "comma-separated DHT input files")
+		id := runCmd.String("id", "", "job ID (default derived from app and time)")
+		reuse := runCmd.String("reuse", "", "reuse tag for shared intermediates")
+		var params paramList
+		runCmd.Var(&params, "param", "application parameter key=value (repeatable)")
+		if err := runCmd.Parse(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		if *app == "" || *inputs == "" {
+			log.Fatal("usage: run -app NAME -inputs f1,f2 [-param k=v]...")
+		}
+		if *id == "" {
+			*id = fmt.Sprintf("%s-%d", *app, time.Now().UnixNano())
+		}
+		mgr, err := nodecmd.FindManager(net, hosts)
+		if err != nil {
+			log.Fatalf("eclipse-cli: %v", err)
+		}
+		spec := mapreduce.JobSpec{
+			ID:       *id,
+			App:      *app,
+			Inputs:   strings.Split(*inputs, ","),
+			User:     *user,
+			Params:   params.p,
+			ReuseTag: *reuse,
+		}
+		started := time.Now()
+		var runResp nodecmd.RunResp
+		if err := nodecmd.Call(net, mgr, nodecmd.MethodRun, nodecmd.RunReq{Spec: spec}, &runResp); err != nil {
+			log.Fatalf("eclipse-cli: run: %v", err)
+		}
+		res := runResp.Result
+		fmt.Fprintf(os.Stderr, "job %s: %d map + %d reduce tasks in %v (cache hits %d/%d)\n",
+			res.Job, res.MapTasks, res.ReduceTasks, time.Since(started).Round(time.Millisecond),
+			res.CacheHits, res.CacheHits+res.CacheMisses)
+		var collected nodecmd.CollectResp
+		if err := nodecmd.Call(net, mgr, nodecmd.MethodCollect,
+			nodecmd.CollectReq{Result: res, User: *user}, &collected); err != nil {
+			log.Fatalf("eclipse-cli: collect: %v", err)
+		}
+		for _, kv := range collected.Pairs {
+			fmt.Printf("%s\t%s\n", kv.Key, kv.Value)
+		}
+
+	case "ls":
+		seen := map[string]bool{}
+		for id := range hosts {
+			var resp nodecmd.ListResp
+			if err := nodecmd.Call(net, id, nodecmd.MethodList, nodecmd.ListReq{User: *user}, &resp); err != nil {
+				continue // partial listings are fine: metadata is replicated
+			}
+			for _, n := range resp.Names {
+				seen[n] = true
+			}
+		}
+		names := make([]string, 0, len(seen))
+		for n := range seen {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Println(n)
+		}
+
+	case "apps":
+		for _, name := range mapreduce.RegisteredApps() {
+			fmt.Println(name)
+		}
+
+	case "stats":
+		total := map[string]int64{}
+		for id := range hosts {
+			var resp cluster.StatsResp
+			if err := nodecmd.Call(net, id, cluster.MethodStats, struct{}{}, &resp); err != nil {
+				fmt.Fprintf(os.Stderr, "node %s: %v\n", id, err)
+				continue
+			}
+			metrics.Merge(total, resp.Metrics)
+		}
+		names := make([]string, 0, len(total))
+		for n := range total {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Printf("%-28s %d\n", n, total[n])
+		}
+
+	default:
+		log.Fatalf("eclipse-cli: unknown command %q", cmd)
+	}
+}
+
+// paramList collects repeated -param key=value flags.
+type paramList struct {
+	p mapreduce.Params
+}
+
+func (l *paramList) String() string { return fmt.Sprint(l.p) }
+
+func (l *paramList) Set(v string) error {
+	parts := strings.SplitN(v, "=", 2)
+	if len(parts) != 2 {
+		return fmt.Errorf("want key=value, got %q", v)
+	}
+	if l.p == nil {
+		l.p = mapreduce.Params{}
+	}
+	l.p[parts[0]] = []byte(parts[1])
+	return nil
+}

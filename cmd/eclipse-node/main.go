@@ -1,0 +1,139 @@
+// Command eclipse-node runs one EclipseMR worker server over TCP. Every
+// node serves the DHT file system, the distributed in-memory cache and
+// MapReduce tasks; the node started with -bootstrap additionally assumes
+// the resource-manager and job-scheduler roles once every peer in the
+// hosts file is reachable (later failures are handled by heartbeats and
+// election).
+//
+// The hosts file lists one node per line: "<node-id> <host:port>".
+//
+// Example 3-node cluster on one machine:
+//
+//	cat > hosts.txt <<EOF
+//	worker-00 127.0.0.1:7001
+//	worker-01 127.0.0.1:7002
+//	worker-02 127.0.0.1:7003
+//	EOF
+//	eclipse-node -id worker-00 -hosts hosts.txt &
+//	eclipse-node -id worker-01 -hosts hosts.txt &
+//	eclipse-node -id worker-02 -hosts hosts.txt -bootstrap
+//
+// Then use eclipse-cli to upload files and submit jobs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	_ "eclipsemr/internal/apps" // register the standard applications
+	"eclipsemr/internal/cluster"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/mapreduce"
+	"eclipsemr/internal/nodecmd"
+	"eclipsemr/internal/scheduler"
+	"eclipsemr/internal/transport"
+)
+
+func main() {
+	var (
+		id        = flag.String("id", "", "this node's ID (must appear in the hosts file)")
+		hostsPath = flag.String("hosts", "", "path to the hosts file (\"id host:port\" lines)")
+		bootstrap = flag.Bool("bootstrap", false, "assume the resource-manager role once all peers are up")
+		slots     = flag.Int("slots", 8, "map task slots (reduce slots match)")
+		replicas  = flag.Int("replicas", 3, "file system replication factor")
+		cacheMB   = flag.Int64("cache-mb", 256, "in-memory cache per node (MiB)")
+		blockKB   = flag.Int("block-kb", 4096, "file system block size (KiB)")
+		dataDir   = flag.String("data", "", "persist file system blocks under DIR/<id> (empty = in memory)")
+	)
+	flag.Parse()
+	if *id == "" || *hostsPath == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	hosts, err := nodecmd.ReadHosts(*hostsPath)
+	if err != nil {
+		log.Fatalf("eclipse-node: %v", err)
+	}
+	if _, ok := hosts[hashing.NodeID(*id)]; !ok {
+		log.Fatalf("eclipse-node: id %q not in hosts file", *id)
+	}
+	net := transport.NewTCP(hosts, 30*time.Second)
+	defer net.Close()
+
+	cfg := cluster.Config{
+		Replicas:    *replicas,
+		MapSlots:    *slots,
+		ReduceSlots: *slots,
+		CacheBytes:  *cacheMB << 20,
+		BlockSize:   *blockKB << 10,
+		DataDir:     *dataDir,
+	}
+	node, err := cluster.NewNode(hashing.NodeID(*id), net, cfg)
+	if err != nil {
+		log.Fatalf("eclipse-node: %v", err)
+	}
+
+	var (
+		mu     sync.Mutex
+		driver *mapreduce.Driver
+	)
+	ensureDriver := func() (*mapreduce.Driver, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !node.IsManager() {
+			return nil, fmt.Errorf("node %s is not the job scheduler (ask the manager)", *id)
+		}
+		if driver != nil {
+			return driver, nil
+		}
+		sched, err := scheduler.NewLAF(scheduler.DefaultLAFConfig(), node.Ring())
+		if err != nil {
+			return nil, err
+		}
+		for _, peer := range node.Ring().Members() {
+			sched.AddNode(peer, cfg.MapSlots)
+		}
+		mgr := node.Manager()
+		if mgr != nil {
+			mgr.OnChange(func(joined, failed []hashing.NodeID) {
+				for _, j := range joined {
+					sched.AddNode(j, cfg.MapSlots)
+				}
+				for _, f := range failed {
+					sched.RemoveNode(f)
+				}
+			})
+		}
+		driver, err = mapreduce.NewDriver(node.ID, net, node.FS(), sched, node.Ring, cfg.ReduceSlots)
+		return driver, err
+	}
+	node.SetExtraHandler(nodecmd.ClientHandler(node, ensureDriver))
+
+	if err := node.Start(); err != nil {
+		log.Fatalf("eclipse-node: %v", err)
+	}
+	log.Printf("eclipse-node %s listening on %s (%d peers)", *id, hosts[hashing.NodeID(*id)], len(hosts))
+
+	if *bootstrap {
+		go func() {
+			ring, err := nodecmd.WaitForPeers(net, hosts, hashing.NodeID(*id), 2*time.Minute)
+			if err != nil {
+				log.Fatalf("eclipse-node: bootstrap: %v", err)
+			}
+			node.BecomeManagerWith(ring, 1)
+			log.Printf("eclipse-node %s became resource manager (%d members)", *id, ring.Len())
+		}()
+	}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("eclipse-node %s shutting down", *id)
+	node.Close()
+}

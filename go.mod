@@ -1,0 +1,3 @@
+module eclipsemr
+
+go 1.22

@@ -1,0 +1,208 @@
+// Package apps implements the MapReduce applications the paper evaluates
+// (§III): word count, grep, inverted index, sort, and the iterative
+// k-means, page rank and logistic regression, plus the per-iteration
+// drivers the iterative applications need. Applications register
+// themselves under the names used throughout the benchmarks.
+package apps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"eclipsemr/internal/mapreduce"
+)
+
+// Application names as registered with the mapreduce package.
+const (
+	WordCount     = "wordcount"
+	Grep          = "grep"
+	InvertedIndex = "invertedindex"
+	Sort          = "sort"
+	KMeans        = "kmeans"
+	PageRank      = "pagerank"
+	LogReg        = "logreg"
+)
+
+// Runner abstracts the job-submission surface (cluster.Cluster satisfies
+// it) so iterative drivers do not depend on the cluster package.
+type Runner interface {
+	Run(spec mapreduce.JobSpec) (mapreduce.Result, error)
+	Collect(res mapreduce.Result, user string) ([]mapreduce.KV, error)
+}
+
+func init() {
+	mapreduce.Register(WordCount, mapreduce.App{
+		Map:     wordCountMap,
+		Reduce:  sumReduce,
+		Combine: sumReduce,
+	})
+	mapreduce.Register(Grep, mapreduce.App{
+		Map:     grepMap,
+		Reduce:  sumReduce,
+		Combine: sumReduce,
+	})
+	mapreduce.Register(InvertedIndex, mapreduce.App{
+		Map:    invertedIndexMap,
+		Reduce: invertedIndexReduce,
+	})
+	mapreduce.Register(Sort, mapreduce.App{
+		Map:    sortMap,
+		Reduce: sortReduce,
+	})
+	mapreduce.Register(KMeans, mapreduce.App{
+		Map:     kmeansMap,
+		Reduce:  kmeansReduce,
+		Combine: kmeansReduce,
+	})
+	mapreduce.Register(PageRank, mapreduce.App{
+		Map:    pageRankMap,
+		Reduce: pageRankReduce,
+	})
+	mapreduce.Register(LogReg, mapreduce.App{
+		Map:     logRegMap,
+		Reduce:  logRegReduce,
+		Combine: logRegReduce,
+	})
+}
+
+// wordCountMap emits (word, 1) for every whitespace-separated token.
+func wordCountMap(_ mapreduce.Params, input []byte, emit mapreduce.Emit) error {
+	for _, w := range strings.Fields(string(input)) {
+		if err := emit(w, one); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+var one = []byte("1")
+
+// sumReduce adds integer-encoded values, the shared reducer/combiner of
+// word count and grep.
+func sumReduce(_ mapreduce.Params, key string, values [][]byte, emit mapreduce.Emit) error {
+	total := int64(0)
+	for _, v := range values {
+		n, err := strconv.ParseInt(string(v), 10, 64)
+		if err != nil {
+			return fmt.Errorf("apps: bad count %q for key %q: %w", v, key, err)
+		}
+		total += n
+	}
+	return emit(key, []byte(strconv.FormatInt(total, 10)))
+}
+
+// grepMap emits matching lines; the pattern comes from the "pattern"
+// parameter.
+func grepMap(params mapreduce.Params, input []byte, emit mapreduce.Emit) error {
+	pattern := params.Get("pattern")
+	if pattern == "" {
+		return fmt.Errorf("apps: grep requires a %q parameter", "pattern")
+	}
+	for _, line := range strings.Split(string(input), "\n") {
+		if strings.Contains(line, pattern) {
+			if err := emit(line, one); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// invertedIndexMap parses "docID\ttext" lines and emits (word, docID).
+func invertedIndexMap(_ mapreduce.Params, input []byte, emit mapreduce.Emit) error {
+	for _, line := range strings.Split(string(input), "\n") {
+		if line == "" {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("apps: inverted index: malformed document line %.40q", line)
+		}
+		doc := parts[0]
+		for _, w := range strings.Fields(parts[1]) {
+			if err := emit(w, []byte(doc)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// invertedIndexReduce emits the sorted, deduplicated posting list.
+func invertedIndexReduce(_ mapreduce.Params, key string, values [][]byte, emit mapreduce.Emit) error {
+	seen := make(map[string]bool, len(values))
+	docs := make([]string, 0, len(values))
+	for _, v := range values {
+		d := string(v)
+		if !seen[d] {
+			seen[d] = true
+			docs = append(docs, d)
+		}
+	}
+	sort.Strings(docs)
+	return emit(key, []byte(strings.Join(docs, ",")))
+}
+
+// sortMap emits each record as a key (TeraSort-style identity map); the
+// shuffle and reducer-side grouping do the sorting work, which is what
+// the paper's sort benchmark stresses.
+func sortMap(_ mapreduce.Params, input []byte, emit mapreduce.Emit) error {
+	for _, line := range strings.Split(string(input), "\n") {
+		if line == "" {
+			continue
+		}
+		if err := emit(line, one); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortReduce emits each distinct record with its multiplicity; within a
+// partition the output is key-sorted.
+func sortReduce(_ mapreduce.Params, key string, values [][]byte, emit mapreduce.Emit) error {
+	return emit(key, []byte(strconv.Itoa(len(values))))
+}
+
+// splitLines iterates non-empty lines.
+func splitLines(input []byte, fn func(line string) error) error {
+	for _, line := range strings.Split(string(input), "\n") {
+		if line == "" {
+			continue
+		}
+		if err := fn(line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// parsePoint parses a comma-separated float vector.
+func parsePoint(line string, dim int) ([]float64, error) {
+	parts := strings.Split(line, ",")
+	if len(parts) != dim {
+		return nil, fmt.Errorf("apps: point %.40q has %d dims, want %d", line, len(parts), dim)
+	}
+	p := make([]float64, dim)
+	for j, s := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return nil, fmt.Errorf("apps: bad coordinate %q: %w", s, err)
+		}
+		p[j] = v
+	}
+	return p, nil
+}
+
+func sqDist(a, b []float64) float64 {
+	d := 0.0
+	for j := range a {
+		d += (a[j] - b[j]) * (a[j] - b[j])
+	}
+	return d
+}
+
+func sigmoid(x float64) float64 { return 1 / (1 + math.Exp(-x)) }

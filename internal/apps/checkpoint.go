@@ -1,0 +1,156 @@
+package apps
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"eclipsemr/internal/dhtfs"
+)
+
+// Iterative checkpointing (§II-B/C): EclipseMR persists iteration outputs
+// in the DHT file system "so that long running jobs can survive faults
+// and restart from the point of failure". The resumable drivers store a
+// small checkpoint file after every iteration — the iteration counter and
+// the driver state (centroids / ranks / weights) — and a restarted run
+// with the same run ID fast-forwards past completed iterations.
+
+// CheckpointStore is the file surface checkpoints need; cluster.Cluster
+// satisfies it.
+type CheckpointStore interface {
+	Upload(name, owner string, perm dhtfs.Perm, data []byte) (dhtfs.Metadata, error)
+	ReadFile(name, user string) ([]byte, error)
+	DeleteFile(name, user string) error
+}
+
+// checkpoint is the persisted driver state.
+type checkpoint struct {
+	Iteration int
+	State     []byte
+}
+
+func checkpointFile(app, runID string) string {
+	return "_ckpt/" + app + "/" + runID
+}
+
+// saveCheckpoint persists the state reached after `iteration` iterations.
+func saveCheckpoint(cs CheckpointStore, app, runID, user string, iteration int, state []byte) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(checkpoint{Iteration: iteration, State: state}); err != nil {
+		return fmt.Errorf("apps: encode checkpoint: %w", err)
+	}
+	if _, err := cs.Upload(checkpointFile(app, runID), user, dhtfs.PermPrivate, buf.Bytes()); err != nil {
+		return fmt.Errorf("apps: store checkpoint: %w", err)
+	}
+	return nil
+}
+
+// loadCheckpoint fetches a prior run's state; ok=false means no
+// checkpoint exists.
+func loadCheckpoint(cs CheckpointStore, app, runID, user string) (checkpoint, bool, error) {
+	data, err := cs.ReadFile(checkpointFile(app, runID), user)
+	if err != nil {
+		if dhtfs.IsNotFound(err) {
+			return checkpoint{}, false, nil
+		}
+		return checkpoint{}, false, err
+	}
+	var ck checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&ck); err != nil {
+		return checkpoint{}, false, fmt.Errorf("apps: corrupt checkpoint %s/%s: %w", app, runID, err)
+	}
+	return ck, true, nil
+}
+
+// DropCheckpoint removes a run's checkpoint so a future call with the
+// same run ID starts from scratch. Checkpoints are deliberately kept
+// after a run completes: the caller decides when a run ID's history is
+// no longer needed.
+func DropCheckpoint(cs CheckpointStore, app, runID, user string) {
+	_ = cs.DeleteFile(checkpointFile(app, runID), user) // best effort
+}
+
+// RunKMeansResumable is RunKMeans with crash recovery: driver state is
+// checkpointed to the DHT file system after every iteration under runID,
+// and a restarted call with the same runID resumes where the previous
+// attempt stopped. The returned result covers only the iterations this
+// call executed.
+func RunKMeansResumable(r Runner, cs CheckpointStore, input, user, runID string,
+	initial [][]float64, iters int, cacheOutputs bool) (KMeansResult, error) {
+	if len(initial) == 0 {
+		return KMeansResult{}, fmt.Errorf("apps: kmeans needs initial centroids")
+	}
+	k, dim := len(initial), len(initial[0])
+	start := 0
+	centroids := initial
+	if ck, ok, err := loadCheckpoint(cs, KMeans, runID, user); err != nil {
+		return KMeansResult{}, err
+	} else if ok && ck.Iteration > 0 {
+		restored, err := decodeMat(ck.State, k, dim)
+		if err != nil {
+			return KMeansResult{}, err
+		}
+		start = ck.Iteration
+		if start > iters {
+			start = iters // already past the requested depth: nothing to run
+		}
+		centroids = restored
+	}
+	var out KMeansResult
+	out.Centroids = centroids
+	for it := start; it < iters; it++ {
+		step, err := RunKMeans(r, input, user, out.Centroids, 1, cacheOutputs)
+		if err != nil {
+			return out, err
+		}
+		// Re-key the single-iteration job under the resumable run's index
+		// is unnecessary: job IDs embed the input and centroid state flows
+		// through the checkpoint.
+		out.Centroids = step.Centroids
+		out.Shifts = append(out.Shifts, step.Shifts...)
+		out.IterationTimes = append(out.IterationTimes, step.IterationTimes...)
+		out.Results = append(out.Results, step.Results...)
+		if err := saveCheckpoint(cs, KMeans, runID, user, it+1, encodeMat(out.Centroids)); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// RunLogRegResumable is RunLogReg with crash recovery via checkpoints
+// under runID.
+func RunLogRegResumable(r Runner, cs CheckpointStore, input, user, runID string,
+	dim, iters int, lr float64, cacheOutputs bool) (LogRegResult, error) {
+	start := 0
+	weights := make([]float64, dim)
+	if ck, ok, err := loadCheckpoint(cs, LogReg, runID, user); err != nil {
+		return LogRegResult{}, err
+	} else if ok && ck.Iteration > 0 {
+		restored, err := decodeVec(ck.State)
+		if err != nil {
+			return LogRegResult{}, err
+		}
+		if len(restored) != dim {
+			return LogRegResult{}, fmt.Errorf("apps: checkpoint has %d weights, want %d", len(restored), dim)
+		}
+		start = ck.Iteration
+		if start > iters {
+			start = iters
+		}
+		weights = restored
+	}
+	out := LogRegResult{Weights: weights}
+	for it := start; it < iters; it++ {
+		step, err := runLogRegFrom(r, input, user, out.Weights, it, lr, cacheOutputs)
+		if err != nil {
+			return out, err
+		}
+		out.Weights = step.Weights
+		out.IterationTimes = append(out.IterationTimes, step.IterationTimes...)
+		out.Results = append(out.Results, step.Results...)
+		if err := saveCheckpoint(cs, LogReg, runID, user, it+1, encodeVec(out.Weights)); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,113 @@
+package apps
+
+import (
+	"math"
+	"testing"
+
+	"eclipsemr/internal/workloads"
+)
+
+func TestKMeansResumableMatchesStraightRun(t *testing.T) {
+	c := newCluster(t, 3)
+	data, _ := workloads.Points(21, 400, 2, 3)
+	uploadLines(t, c, "ck.csv", data)
+	initial := [][]float64{{0, 0}, {3, 3}, {-3, -3}}
+
+	// Reference: five straight iterations.
+	ref, err := RunKMeans(c, "ck.csv", "u", initial, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resumable run interrupted after two iterations, then continued.
+	first, err := RunKMeansResumable(c, c, "ck.csv", "u", "run-1", initial, 2, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Shifts) != 2 {
+		t.Fatalf("first leg iterations = %d", len(first.Shifts))
+	}
+	second, err := RunKMeansResumable(c, c, "ck.csv", "u", "run-1", initial, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The second leg only executes the remaining three iterations.
+	if len(second.Shifts) != 3 {
+		t.Fatalf("second leg iterations = %d", len(second.Shifts))
+	}
+	// Floating-point reduction order varies across runs (spills arrive in
+	// scheduling order), so compare converged cluster structure rather
+	// than exact values: every reference centroid must have a resumed
+	// centroid nearby.
+	for i := range ref.Centroids {
+		best := math.Inf(1)
+		for j := range second.Centroids {
+			if d := sqDist(ref.Centroids[i], second.Centroids[j]); d < best {
+				best = d
+			}
+		}
+		if best > 0.5 {
+			t.Fatalf("no resumed centroid near reference %v (d²=%g): %v",
+				ref.Centroids[i], best, second.Centroids)
+		}
+	}
+	// The checkpoint persists past completion: a call for fewer iterations
+	// than already done just returns the restored state.
+	noop, err := RunKMeansResumable(c, c, "ck.csv", "u", "run-1", initial, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(noop.Shifts) != 0 {
+		t.Fatalf("satisfied run executed %d iterations", len(noop.Shifts))
+	}
+	// Dropping the checkpoint makes the run ID fresh again.
+	DropCheckpoint(c, KMeans, "run-1", "u")
+	again, err := RunKMeansResumable(c, c, "ck.csv", "u", "run-1", initial, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Shifts) != 1 {
+		t.Fatalf("post-drop run executed %d iterations", len(again.Shifts))
+	}
+}
+
+func TestLogRegResumableMatchesStraightRun(t *testing.T) {
+	c := newCluster(t, 3)
+	data, _ := workloads.LabeledPoints(22, 300, 3)
+	uploadLines(t, c, "cklr.csv", data)
+
+	ref, err := RunLogReg(c, "cklr.csv", "u", 3, 4, 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunLogRegResumable(c, c, "cklr.csv", "u", "lr-1", 3, 2, 0.5, false); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := RunLogRegResumable(c, c, "cklr.csv", "u", "lr-1", 3, 4, 0.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resumed.IterationTimes) != 2 {
+		t.Fatalf("resumed leg executed %d iterations", len(resumed.IterationTimes))
+	}
+	for j := range ref.Weights {
+		if math.Abs(ref.Weights[j]-resumed.Weights[j]) > 1e-6 {
+			t.Fatalf("weights diverged: %v vs %v", ref.Weights, resumed.Weights)
+		}
+	}
+}
+
+func TestResumableValidation(t *testing.T) {
+	c := newCluster(t, 2)
+	if _, err := RunKMeansResumable(c, c, "x", "u", "id", nil, 3, false); err == nil {
+		t.Fatal("empty centroids accepted")
+	}
+	// A checkpoint past the requested iteration count is ignored (the run
+	// starts fresh rather than failing).
+	data, _ := workloads.Points(23, 100, 2, 2)
+	uploadLines(t, c, "ckv.csv", data)
+	initial := [][]float64{{1, 1}, {-1, -1}}
+	if _, err := RunKMeansResumable(c, c, "ckv.csv", "u", "deep", initial, 4, false); err != nil {
+		t.Fatal(err)
+	}
+}

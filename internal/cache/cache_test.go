@@ -1,0 +1,327 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"eclipsemr/internal/hashing"
+)
+
+func TestPutGetBasic(t *testing.T) {
+	c := NewLRU(1024)
+	if !c.Put(Entry{Key: "a", Size: 10, Value: "va"}) {
+		t.Fatal("Put rejected")
+	}
+	e, ok := c.Get("a")
+	if !ok || e.Value != "va" || e.Size != 10 {
+		t.Fatalf("Get = %+v, %v", e, ok)
+	}
+	if _, ok := c.Get("missing"); ok {
+		t.Fatal("Get(missing) hit")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Insertions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPutReplaceAdjustsBytes(t *testing.T) {
+	c := NewLRU(100)
+	c.Put(Entry{Key: "a", Size: 40})
+	c.Put(Entry{Key: "a", Size: 10})
+	if c.Bytes() != 10 || c.Len() != 1 {
+		t.Fatalf("bytes=%d len=%d after replace", c.Bytes(), c.Len())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := NewLRU(30)
+	c.Put(Entry{Key: "a", Size: 10})
+	c.Put(Entry{Key: "b", Size: 10})
+	c.Put(Entry{Key: "c", Size: 10})
+	// Touch "a" so "b" becomes the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Put(Entry{Key: "d", Size: 10})
+	if _, ok := c.Peek("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	for _, k := range []string{"a", "c", "d"} {
+		if _, ok := c.Peek(k); !ok {
+			t.Fatalf("%s should survive", k)
+		}
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d", c.Stats().Evictions)
+	}
+}
+
+func TestOversizedEntryRejected(t *testing.T) {
+	c := NewLRU(10)
+	if c.Put(Entry{Key: "big", Size: 11}) {
+		t.Fatal("oversized entry accepted")
+	}
+	if c.Put(Entry{Key: "neg", Size: -1}) {
+		t.Fatal("negative size accepted")
+	}
+	if c.Len() != 0 {
+		t.Fatal("rejected entries stored")
+	}
+}
+
+func TestZeroCapacityCachesNothing(t *testing.T) {
+	c := NewLRU(0)
+	stored := c.Put(Entry{Key: "a", Size: 1})
+	if stored {
+		t.Fatal("zero-capacity cache stored an entry")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("zero-capacity cache hit")
+	}
+	// Zero-size entries are permitted even at zero capacity.
+	if !c.Put(Entry{Key: "empty", Size: 0}) {
+		t.Fatal("zero-size entry rejected")
+	}
+}
+
+func TestResizeEvicts(t *testing.T) {
+	c := NewLRU(100)
+	for i := 0; i < 10; i++ {
+		c.Put(Entry{Key: fmt.Sprint(i), Size: 10})
+	}
+	c.Resize(35)
+	if c.Bytes() > 35 {
+		t.Fatalf("bytes=%d after shrink", c.Bytes())
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len=%d after shrink, want 3", c.Len())
+	}
+	if c.Capacity() != 35 {
+		t.Fatalf("capacity=%d", c.Capacity())
+	}
+	// Survivors must be the most recently used (7, 8, 9).
+	for _, k := range []string{"7", "8", "9"} {
+		if _, ok := c.Peek(k); !ok {
+			t.Fatalf("MRU entry %s evicted by Resize", k)
+		}
+	}
+}
+
+func TestTTLExpiry(t *testing.T) {
+	c := NewLRU(100)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	c.Put(Entry{Key: "t", Size: 1, Expires: now.Add(10 * time.Second)})
+	if _, ok := c.Get("t"); !ok {
+		t.Fatal("entry expired early")
+	}
+	now = now.Add(11 * time.Second)
+	if _, ok := c.Get("t"); ok {
+		t.Fatal("expired entry still served")
+	}
+	st := c.Stats()
+	if st.Expirations != 1 {
+		t.Fatalf("expirations = %d", st.Expirations)
+	}
+	if _, ok := c.Peek("t"); ok {
+		t.Fatal("Peek served expired entry")
+	}
+}
+
+func TestSweepExpired(t *testing.T) {
+	c := NewLRU(100)
+	now := time.Unix(0, 0)
+	c.SetClock(func() time.Time { return now })
+	c.Put(Entry{Key: "a", Size: 1, Expires: now.Add(time.Second)})
+	c.Put(Entry{Key: "b", Size: 1, Expires: now.Add(time.Hour)})
+	c.Put(Entry{Key: "c", Size: 1}) // no TTL
+	now = now.Add(time.Minute)
+	if n := c.SweepExpired(); n != 1 {
+		t.Fatalf("SweepExpired = %d", n)
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d after sweep", c.Len())
+	}
+}
+
+func TestPeekDoesNotPromoteOrCount(t *testing.T) {
+	c := NewLRU(20)
+	c.Put(Entry{Key: "a", Size: 10})
+	c.Put(Entry{Key: "b", Size: 10})
+	c.Peek("a") // must NOT promote a
+	c.Put(Entry{Key: "c", Size: 10})
+	if _, ok := c.Peek("a"); ok {
+		t.Fatal("Peek promoted entry")
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek counted stats: %+v", st)
+	}
+}
+
+func TestRemoveAndClear(t *testing.T) {
+	c := NewLRU(100)
+	c.Put(Entry{Key: "a", Size: 5})
+	if !c.Remove("a") || c.Remove("a") {
+		t.Fatal("Remove semantics wrong")
+	}
+	if c.Bytes() != 0 {
+		t.Fatalf("bytes=%d after remove", c.Bytes())
+	}
+	c.Put(Entry{Key: "b", Size: 5})
+	c.Clear()
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatal("Clear left entries")
+	}
+}
+
+func TestEntriesInRange(t *testing.T) {
+	c := NewLRU(1000)
+	for i := 0; i < 10; i++ {
+		k := hashing.Key(i * 100)
+		c.Put(Entry{Key: fmt.Sprint(i), HashKey: k, Size: 1})
+	}
+	got := c.EntriesInRange(250, 550)
+	if len(got) != 3 { // 300, 400, 500
+		t.Fatalf("EntriesInRange = %d entries", len(got))
+	}
+	// Wrapped range.
+	got = c.EntriesInRange(850, 150)
+	if len(got) != 3 { // 900, 0, 100
+		t.Fatalf("wrapped EntriesInRange = %d entries", len(got))
+	}
+}
+
+func TestHitRatio(t *testing.T) {
+	var s Stats
+	if s.HitRatio() != 0 {
+		t.Fatal("empty HitRatio != 0")
+	}
+	s = Stats{Hits: 3, Misses: 1}
+	if s.HitRatio() != 0.75 {
+		t.Fatalf("HitRatio = %g", s.HitRatio())
+	}
+}
+
+// Property: bytes accounting always equals the sum of live entry sizes and
+// never exceeds capacity.
+func TestBytesInvariant(t *testing.T) {
+	type op struct {
+		Key  uint8
+		Size uint16
+		Del  bool
+	}
+	f := func(ops []op) bool {
+		c := NewLRU(4096)
+		for _, o := range ops {
+			k := fmt.Sprint(o.Key % 32)
+			if o.Del {
+				c.Remove(k)
+			} else {
+				c.Put(Entry{Key: k, Size: int64(o.Size % 1024)})
+			}
+			if c.Bytes() > 4096 || c.Bytes() < 0 {
+				return false
+			}
+		}
+		var total int64
+		for _, e := range c.EntriesInRange(0, 0) { // full ring = all entries
+			total += e.Size
+		}
+		return total == c.Bytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := NewLRU(1 << 16)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(seed int64) {
+			defer func() { done <- struct{}{} }()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				k := fmt.Sprint(rng.Intn(100))
+				switch rng.Intn(3) {
+				case 0:
+					c.Put(Entry{Key: k, Size: int64(rng.Intn(256))})
+				case 1:
+					c.Get(k)
+				case 2:
+					c.Remove(k)
+				}
+			}
+		}(int64(g))
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if c.Bytes() > 1<<16 {
+		t.Fatalf("capacity exceeded under concurrency: %d", c.Bytes())
+	}
+}
+
+func TestNodeCacheBlocks(t *testing.T) {
+	nc := New(1024, 1024)
+	k := hashing.KeyOfString("block-0")
+	if !nc.PutBlock(k, []byte("hello")) {
+		t.Fatal("PutBlock failed")
+	}
+	data, ok := nc.GetBlock(k)
+	if !ok || string(data) != "hello" {
+		t.Fatalf("GetBlock = %q, %v", data, ok)
+	}
+	if _, ok := nc.GetBlock(hashing.KeyOfString("other")); ok {
+		t.Fatal("GetBlock hit on missing block")
+	}
+}
+
+func TestNodeCacheTagged(t *testing.T) {
+	nc := New(1024, 1024)
+	now := time.Unix(0, 0)
+	nc.SetClock(func() time.Time { return now })
+	hk := hashing.KeyOfString("wc:iter1")
+	if !nc.PutTagged("wordcount", "iter1", hk, []byte("result"), time.Minute) {
+		t.Fatal("PutTagged failed")
+	}
+	data, ok := nc.GetTagged("wordcount", "iter1")
+	if !ok || string(data) != "result" {
+		t.Fatalf("GetTagged = %q, %v", data, ok)
+	}
+	// Tags from other applications do not collide.
+	if _, ok := nc.GetTagged("grep", "iter1"); ok {
+		t.Fatal("cross-application tag hit")
+	}
+	now = now.Add(2 * time.Minute)
+	if _, ok := nc.GetTagged("wordcount", "iter1"); ok {
+		t.Fatal("TTL not honored for tagged entry")
+	}
+}
+
+func TestNodeCacheCombinedStats(t *testing.T) {
+	nc := New(1024, 1024)
+	k := hashing.KeyOfString("b")
+	nc.PutBlock(k, []byte("x"))
+	nc.GetBlock(k)                 // iCache hit
+	nc.GetTagged("app", "missing") // oCache miss
+	st := nc.CombinedStats()
+	if st.Hits != 1 || st.Misses != 1 || st.Insertions != 1 {
+		t.Fatalf("combined stats = %+v", st)
+	}
+	if st.HitRatio() != 0.5 {
+		t.Fatalf("combined hit ratio = %g", st.HitRatio())
+	}
+}
+
+func TestNewSharedSplitsCapacity(t *testing.T) {
+	nc := NewShared(1001)
+	if nc.ICache.Capacity()+nc.OCache.Capacity() != 1001 {
+		t.Fatal("NewShared lost capacity to rounding")
+	}
+}

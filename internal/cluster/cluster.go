@@ -1,0 +1,439 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"eclipsemr/internal/cache"
+	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/mapreduce"
+	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/scheduler"
+	"eclipsemr/internal/transport"
+)
+
+// Policy selects the job-scheduling algorithm.
+type Policy string
+
+// Scheduling policies.
+const (
+	PolicyLAF   Policy = "laf"
+	PolicyDelay Policy = "delay"
+	PolicyFair  Policy = "fair"
+)
+
+// Options configures a Cluster.
+type Options struct {
+	Config
+	// Policy selects the scheduling algorithm; default LAF.
+	Policy Policy
+	// LAF parameterizes the LAF policy (alpha, KDE bins/bandwidth/window).
+	LAF scheduler.LAFConfig
+	// DelayWait is the delay-scheduling wait; default 5 s as in Spark.
+	DelayWait time.Duration
+	// Network overrides the transport; default an in-process network.
+	Network transport.Network
+}
+
+// Cluster is a running EclipseMR deployment plus the job-scheduler role:
+// the entry point for uploads and job submission. With the default
+// in-process network it hosts every node in one process, which is how the
+// examples, tests and benchmarks run; the same Node code serves TCP
+// deployments via cmd/eclipse-node.
+type Cluster struct {
+	opts   Options
+	net    transport.Network
+	nodes  map[hashing.NodeID]*Node
+	order  []hashing.NodeID
+	sched  scheduler.Scheduler
+	driver *mapreduce.Driver
+	// driverOn is the node the current driver is bound to.
+	driverOn hashing.NodeID
+	// schedNodes tracks which workers hold slots in the scheduler.
+	schedNodes map[hashing.NodeID]bool
+}
+
+// New boots a cluster of n in-process nodes named worker-00..worker-(n-1).
+func New(n int, opts Options) (*Cluster, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("cluster: need at least one node, got %d", n)
+	}
+	names := make([]hashing.NodeID, n)
+	for i := range names {
+		names[i] = hashing.NodeID(fmt.Sprintf("worker-%02d", i))
+	}
+	return NewWithNodes(names, opts)
+}
+
+// NewWithNodes boots a cluster with explicit node IDs.
+func NewWithNodes(ids []hashing.NodeID, opts Options) (*Cluster, error) {
+	if len(ids) == 0 {
+		return nil, fmt.Errorf("cluster: no node IDs")
+	}
+	opts.Config = opts.Config.withDefaults()
+	if opts.Policy == "" {
+		opts.Policy = PolicyLAF
+	}
+	if opts.LAF.KDE.Bins == 0 {
+		opts.LAF = scheduler.DefaultLAFConfig()
+	}
+	if opts.DelayWait == 0 {
+		opts.DelayWait = 5 * time.Second
+	}
+	net := opts.Network
+	if net == nil {
+		net = transport.NewLocal()
+	}
+	c := &Cluster{
+		opts:       opts,
+		net:        net,
+		nodes:      make(map[hashing.NodeID]*Node),
+		schedNodes: make(map[hashing.NodeID]bool),
+	}
+	ring := hashing.NewRing()
+	for _, id := range ids {
+		if err := ring.AddNode(id); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	for _, id := range ids {
+		node, err := NewNode(id, net, opts.Config)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		if err := node.Start(); err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.nodes[id] = node
+		c.order = append(c.order, id)
+	}
+	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+
+	// Bootstrap the resource manager on the highest-ID node — the same
+	// node a bully election would pick, so a restarted cluster converges
+	// to the same coordinator.
+	mgrID := c.order[len(c.order)-1]
+	mgrNode := c.nodes[mgrID]
+	mgr := newManager(mgrNode, ring, 1)
+	mgrNode.mu.Lock()
+	mgrNode.mgr = mgr
+	mgrNode.manager = mgrID
+	mgrNode.mu.Unlock()
+	mgr.broadcastView()
+
+	var sched scheduler.Scheduler
+	var err error
+	switch opts.Policy {
+	case PolicyLAF:
+		sched, err = scheduler.NewLAF(opts.LAF, ring)
+	case PolicyDelay:
+		sched, err = scheduler.NewDelay(scheduler.DelayConfig{Wait: opts.DelayWait}, ring)
+	case PolicyFair:
+		sched, err = scheduler.NewFair(ring)
+	default:
+		err = fmt.Errorf("cluster: unknown policy %q", opts.Policy)
+	}
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	c.sched = sched
+	for _, id := range ids {
+		sched.AddNode(id, opts.MapSlots)
+		c.schedNodes[id] = true
+	}
+	c.attachScheduler(mgr)
+	if err := c.rebindDriver(); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// attachScheduler keeps the scheduler's worker set in sync with the
+// manager's membership.
+func (c *Cluster) attachScheduler(mgr *Manager) {
+	mgr.OnChange(func(joined, failed []hashing.NodeID) {
+		for _, id := range joined {
+			if !c.schedNodes[id] {
+				c.sched.AddNode(id, c.opts.MapSlots)
+				c.schedNodes[id] = true
+			}
+		}
+		for _, id := range failed {
+			if c.schedNodes[id] {
+				c.sched.RemoveNode(id)
+				delete(c.schedNodes, id)
+			}
+		}
+	})
+}
+
+// Manager returns the node currently holding the resource-manager role,
+// or nil during a leadership gap.
+func (c *Cluster) Manager() *Node {
+	for _, id := range c.order {
+		if n, ok := c.nodes[id]; ok && n.IsManager() {
+			return n
+		}
+	}
+	return nil
+}
+
+// rebindDriver points the job driver at the current manager node.
+func (c *Cluster) rebindDriver() error {
+	mgrNode := c.Manager()
+	if mgrNode == nil {
+		return fmt.Errorf("cluster: no resource manager is live")
+	}
+	if c.driver != nil && c.driverOn == mgrNode.ID {
+		return nil
+	}
+	driver, err := mapreduce.NewDriver(mgrNode.ID, c.net, mgrNode.fs, c.sched, mgrNode.Ring, c.opts.ReduceSlots)
+	if err != nil {
+		return err
+	}
+	// The old driver's dispatcher must stop before the new one pumps the
+	// shared scheduler, or the two loops would steal each other's
+	// assignments.
+	if c.driver != nil {
+		c.driver.Close()
+	}
+	// A newly elected manager needs the scheduler observer too.
+	mgrNode.mu.Lock()
+	mgr := mgrNode.mgr
+	mgrNode.mu.Unlock()
+	if mgr != nil && c.driverOn != mgrNode.ID {
+		c.attachScheduler(mgr)
+		// Reconcile scheduler membership with the manager's view.
+		live := map[hashing.NodeID]bool{}
+		for _, id := range mgr.Members() {
+			live[id] = true
+			if !c.schedNodes[id] {
+				c.sched.AddNode(id, c.opts.MapSlots)
+				c.schedNodes[id] = true
+			}
+		}
+		for id := range c.schedNodes {
+			if !live[id] {
+				c.sched.RemoveNode(id)
+				delete(c.schedNodes, id)
+			}
+		}
+	}
+	c.driver = driver
+	c.driverOn = mgrNode.ID
+	return nil
+}
+
+// Node returns a node by ID.
+func (c *Cluster) Node(id hashing.NodeID) (*Node, bool) {
+	n, ok := c.nodes[id]
+	return n, ok
+}
+
+// Nodes lists live node IDs in sorted order.
+func (c *Cluster) Nodes() []hashing.NodeID {
+	out := make([]hashing.NodeID, 0, len(c.nodes))
+	for _, id := range c.order {
+		if _, ok := c.nodes[id]; ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Scheduler exposes the scheduling policy (for stats).
+func (c *Cluster) Scheduler() scheduler.Scheduler { return c.sched }
+
+// anyNode returns some live node (preferring the manager).
+func (c *Cluster) anyNode() (*Node, error) {
+	if n := c.Manager(); n != nil {
+		return n, nil
+	}
+	for _, id := range c.order {
+		if n, ok := c.nodes[id]; ok {
+			return n, nil
+		}
+	}
+	return nil, fmt.Errorf("cluster: no live nodes")
+}
+
+// Upload stores a file in the DHT file system.
+func (c *Cluster) Upload(name, owner string, perm dhtfs.Perm, data []byte) (dhtfs.Metadata, error) {
+	n, err := c.anyNode()
+	if err != nil {
+		return dhtfs.Metadata{}, err
+	}
+	return n.fs.Upload(name, owner, perm, data, c.opts.BlockSize)
+}
+
+// UploadRecords stores a line-oriented file with record-aligned blocks.
+func (c *Cluster) UploadRecords(name, owner string, perm dhtfs.Perm, data []byte, delim byte) (dhtfs.Metadata, error) {
+	n, err := c.anyNode()
+	if err != nil {
+		return dhtfs.Metadata{}, err
+	}
+	return n.fs.UploadRecords(name, owner, perm, data, c.opts.BlockSize, delim)
+}
+
+// ReadFile fetches a file from the DHT file system.
+func (c *Cluster) ReadFile(name, user string) ([]byte, error) {
+	n, err := c.anyNode()
+	if err != nil {
+		return nil, err
+	}
+	return n.fs.ReadFile(name, user)
+}
+
+// DeleteFile removes a file (owner only) from the DHT file system.
+func (c *Cluster) DeleteFile(name, user string) error {
+	n, err := c.anyNode()
+	if err != nil {
+		return err
+	}
+	return n.fs.Delete(name, user)
+}
+
+// Run executes a MapReduce job to completion.
+func (c *Cluster) Run(spec mapreduce.JobSpec) (mapreduce.Result, error) {
+	if err := c.rebindDriver(); err != nil {
+		return mapreduce.Result{}, err
+	}
+	return c.driver.Run(spec)
+}
+
+// Collect fetches and decodes a completed job's output pairs.
+func (c *Cluster) Collect(res mapreduce.Result, user string) ([]mapreduce.KV, error) {
+	if err := c.rebindDriver(); err != nil {
+		return nil, err
+	}
+	return c.driver.Collect(res, user)
+}
+
+// DropIntermediates deletes a job's shuffle data cluster-wide.
+func (c *Cluster) DropIntermediates(spec mapreduce.JobSpec) {
+	if err := c.rebindDriver(); err == nil {
+		c.driver.DropIntermediates(spec)
+	}
+}
+
+// Kill crashes a node without any cleanup handshake: it simply vanishes
+// from the network, exactly as a machine failure would appear to its
+// peers. Detection and recovery run through heartbeats, the resource
+// manager and (if the manager died) election.
+func (c *Cluster) Kill(id hashing.NodeID) {
+	if n, ok := c.nodes[id]; ok {
+		n.Close()
+		delete(c.nodes, id)
+	}
+}
+
+// FailNow is deterministic failure handling for tests and benchmarks: the
+// node is killed and the resource manager is told immediately, skipping
+// the heartbeat wait.
+func (c *Cluster) FailNow(id hashing.NodeID) error {
+	c.Kill(id)
+	mgrNode := c.Manager()
+	if mgrNode == nil {
+		return fmt.Errorf("cluster: no manager to process the failure")
+	}
+	mgrNode.mu.Lock()
+	mgr := mgrNode.mgr
+	mgrNode.mu.Unlock()
+	mgr.Fail(id)
+	return nil
+}
+
+// MigrateMisplacedCaches runs the §II-E cache-migration option across the
+// cluster: every node is told its current scheduler hash-key range and
+// pulls cached input blocks that now fall in it from its ring neighbors.
+// The paper disables this option for its experiments (few misplaced
+// objects are ever needed); it is exposed for workloads with fast-moving
+// range boundaries. Returns the number of blocks migrated.
+func (c *Cluster) MigrateMisplacedCaches() (int, error) {
+	table := c.sched.RangeTable()
+	mgrNode := c.Manager()
+	if mgrNode == nil {
+		return 0, fmt.Errorf("cluster: no live manager")
+	}
+	ring := mgrNode.Ring()
+	total := 0
+	for _, id := range table.Servers() {
+		if _, ok := c.nodes[id]; !ok {
+			continue
+		}
+		start, end, ok := table.ServerRange(id)
+		if !ok {
+			continue
+		}
+		left, err := ring.Predecessor(id)
+		if err != nil {
+			return total, err
+		}
+		right, err := ring.Successor(id)
+		if err != nil {
+			return total, err
+		}
+		req := mapreduce.AdoptRangeReq{Start: start, End: end, Left: left, Right: right}
+		body, err := transport.Encode(req)
+		if err != nil {
+			return total, err
+		}
+		out, err := c.net.Call(id, mapreduce.MethodAdoptRange, body)
+		if err != nil {
+			return total, err
+		}
+		var resp mapreduce.AdoptRangeResp
+		if err := transport.Decode(out, &resp); err != nil {
+			return total, err
+		}
+		total += resp.Migrated
+	}
+	return total, nil
+}
+
+// MetricsSnapshot aggregates every live node's metrics into one map.
+func (c *Cluster) MetricsSnapshot() map[string]int64 {
+	total := make(map[string]int64)
+	for _, n := range c.nodes {
+		metrics.Merge(total, n.MetricsSnapshot())
+	}
+	return total
+}
+
+// CacheStats aggregates every live node's combined iCache+oCache
+// counters, the cluster-wide figure the paper reports as the cache hit
+// ratio.
+func (c *Cluster) CacheStats() cache.Stats {
+	var total cache.Stats
+	for _, n := range c.nodes {
+		s := n.cache.CombinedStats()
+		total.Hits += s.Hits
+		total.Misses += s.Misses
+		total.Insertions += s.Insertions
+		total.Evictions += s.Evictions
+		total.Expirations += s.Expirations
+	}
+	return total
+}
+
+// Close shuts every node down.
+func (c *Cluster) Close() {
+	if c.driver != nil {
+		c.driver.Close()
+		c.driver = nil
+	}
+	for id, n := range c.nodes {
+		n.Close()
+		delete(c.nodes, id)
+	}
+	if c.net != nil {
+		c.net.Close()
+	}
+}

@@ -1,0 +1,156 @@
+package cluster
+
+import (
+	"sync"
+
+	"eclipsemr/internal/chord"
+	"eclipsemr/internal/hashing"
+)
+
+// Manager is the resource manager role (§II: "responsible for server
+// join, leave, failure recovery, and file upload"). Exactly one live node
+// holds it at a time; it owns the authoritative membership ring and epoch
+// counter, disseminates views, verifies failure reports and directs
+// re-replication. Scheduler integration happens through the OnChange
+// callback, which the job-scheduler role uses to add and remove worker
+// slots.
+type Manager struct {
+	node  *Node
+	mu    sync.Mutex
+	ring  *hashing.Ring
+	epoch uint64
+	// onChange observers are invoked with every join and failure.
+	onChange []func(joined, failed []hashing.NodeID)
+	stopped  bool
+}
+
+// newManager builds the role object on a node with an initial ring and
+// epoch.
+func newManager(n *Node, ring *hashing.Ring, epoch uint64) *Manager {
+	return &Manager{node: n, ring: ring, epoch: epoch}
+}
+
+// start finishes promotion; currently a placeholder for symmetric
+// shutdown via stop.
+func (m *Manager) start() {}
+
+// stop deactivates the role.
+func (m *Manager) stop() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stopped = true
+}
+
+// OnChange registers a membership observer (the job scheduler).
+func (m *Manager) OnChange(fn func(joined, failed []hashing.NodeID)) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.onChange = append(m.onChange, fn)
+}
+
+// Epoch returns the current membership epoch.
+func (m *Manager) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// Members returns the live membership in ring order.
+func (m *Manager) Members() []hashing.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ring.Members()
+}
+
+// Join admits a new worker: it enters the ring, the epoch advances, the
+// view is broadcast and data is re-balanced onto the newcomer.
+func (m *Manager) Join(id hashing.NodeID) error {
+	m.mu.Lock()
+	if err := m.ring.AddNode(id); err != nil {
+		m.mu.Unlock()
+		return err
+	}
+	m.epoch++
+	observers := append([]func(joined, failed []hashing.NodeID){}, m.onChange...)
+	m.mu.Unlock()
+	m.broadcastView()
+	m.directRecovery()
+	for _, fn := range observers {
+		fn([]hashing.NodeID{id}, nil)
+	}
+	return nil
+}
+
+// reportSuspect handles a failure report from a neighbor heartbeat: the
+// manager verifies the suspect itself before declaring it dead (a report
+// may be due to a partition local to the reporter).
+func (m *Manager) reportSuspect(suspect hashing.NodeID) {
+	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
+	if _, ok := m.ring.Position(suspect); !ok {
+		m.mu.Unlock()
+		return // already removed
+	}
+	m.mu.Unlock()
+	var resp pingResp
+	if err := m.node.call(suspect, methodPing, ack{}, &resp); err == nil {
+		return // false alarm
+	}
+	m.Fail(suspect)
+}
+
+// Fail removes a dead worker from the membership, broadcasts the new view
+// and directs every survivor to re-replicate, restoring the replication
+// invariant from the copies the predecessor and successor hold.
+func (m *Manager) Fail(id hashing.NodeID) {
+	m.mu.Lock()
+	if !m.ring.Remove(id) {
+		m.mu.Unlock()
+		return
+	}
+	m.epoch++
+	observers := append([]func(joined, failed []hashing.NodeID){}, m.onChange...)
+	m.mu.Unlock()
+	m.broadcastView()
+	m.directRecovery()
+	for _, fn := range observers {
+		fn(nil, []hashing.NodeID{id})
+	}
+}
+
+// view snapshots the authoritative view.
+func (m *Manager) view() chord.View {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return chord.NewView(m.epoch, m.ring)
+}
+
+// broadcastView pushes the current view to every member (including the
+// local node, through adoptView directly).
+func (m *Manager) broadcastView() {
+	v := m.view()
+	m.node.adoptView(v, m.node.ID)
+	for id := range v.Members {
+		if id == m.node.ID {
+			continue
+		}
+		_ = m.node.call(id, methodView, viewMsg{View: v, Manager: m.node.ID}, nil) // best effort
+	}
+}
+
+// directRecovery asks every member to run re-replication against the new
+// view. Errors are tolerated: the next membership change retries.
+func (m *Manager) directRecovery() {
+	v := m.view()
+	for id := range v.Members {
+		if id == m.node.ID {
+			_, _ = m.node.fs.ReReplicate()
+			continue
+		}
+		var resp recoverResp
+		_ = m.node.call(id, methodRecover, ack{}, &resp)
+	}
+}

@@ -1,0 +1,511 @@
+// Package cluster assembles EclipseMR nodes into a running system: each
+// worker node combines a DHT file system shard, a distributed in-memory
+// cache slice and a MapReduce worker behind one transport endpoint, and
+// the package adds the control plane the paper describes in §II — an
+// epoch-numbered membership view disseminated by the resource manager,
+// neighbor heartbeats for failure detection, bully election of a new
+// resource manager / job scheduler when the current one dies, and
+// re-replication of file blocks after a failure.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"eclipsemr/internal/cache"
+	"eclipsemr/internal/chord"
+	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/mapreduce"
+	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/transport"
+)
+
+// Config holds per-node and cluster-wide parameters. The defaults mirror
+// the paper's testbed where sensible (8 map + 8 reduce slots per server;
+// blocks replicated on predecessor and successor).
+type Config struct {
+	// Replicas is the total copies per block/metadata entry (owner +
+	// predecessor + successor = 3). Default 3.
+	Replicas int
+	// MapSlots / ReduceSlots per server. Default 8 each.
+	MapSlots    int
+	ReduceSlots int
+	// CacheBytes is the distributed in-memory cache capacity per server,
+	// split evenly between iCache and oCache. Default 64 MiB.
+	CacheBytes int64
+	// BlockSize is the default DHT-FS block size for uploads. The paper
+	// uses 128 MB; the in-process default is 256 KiB (experiments scale
+	// sizes down uniformly). Default 256 KiB.
+	BlockSize int
+	// HeartbeatInterval / HeartbeatTimeout drive neighbor failure
+	// detection. Defaults 200 ms / 600 ms.
+	HeartbeatInterval time.Duration
+	HeartbeatTimeout  time.Duration
+	// DataDir, when set, persists each node's file system blocks under
+	// DataDir/<node-id>/ (a restarted node recovers its shard); empty
+	// keeps blocks in memory.
+	DataDir string
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Replicas <= 0 {
+		c.Replicas = 3
+	}
+	if c.MapSlots <= 0 {
+		c.MapSlots = 8
+	}
+	if c.ReduceSlots <= 0 {
+		c.ReduceSlots = 8
+	}
+	if c.CacheBytes <= 0 {
+		c.CacheBytes = 64 << 20
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 256 << 10
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = 200 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = 3 * c.HeartbeatInterval
+	}
+	return c
+}
+
+// Control-plane wire messages.
+type (
+	pingResp struct {
+		Epoch   uint64
+		Manager hashing.NodeID
+	}
+	viewMsg struct {
+		View    chord.View
+		Manager hashing.NodeID
+	}
+	suspectMsg struct {
+		Suspect  hashing.NodeID
+		Reporter hashing.NodeID
+	}
+	electionMsg struct {
+		Candidate hashing.NodeID
+	}
+	electionResp struct {
+		Alive bool
+	}
+	recoverResp struct {
+		Pushed int
+	}
+	// StatsResp carries one node's metrics snapshot.
+	StatsResp struct {
+		Node    hashing.NodeID
+		Metrics map[string]int64
+	}
+	ack struct{}
+)
+
+// Control-plane method names.
+const (
+	methodPing        = "cluster.ping"
+	methodView        = "cluster.view"
+	methodSuspect     = "cluster.suspect"
+	methodElection    = "cluster.election"
+	methodCoordinator = "cluster.coordinator"
+	methodRecover     = "cluster.recover"
+	// MethodStats returns the node's merged metrics snapshot.
+	MethodStats = "cluster.stats"
+)
+
+// Node is one EclipseMR worker server.
+type Node struct {
+	ID  hashing.NodeID
+	cfg Config
+	net transport.Network
+
+	fs     *dhtfs.Service
+	cache  *cache.NodeCache
+	worker *mapreduce.Worker
+
+	mu      sync.Mutex
+	view    chord.View
+	ring    *hashing.Ring // derived from view, cached
+	manager hashing.NodeID
+	mgr     *Manager // non-nil while this node is the resource manager
+	closed  bool
+
+	stopHB chan struct{}
+	wg     sync.WaitGroup
+
+	// extra, when set, is consulted for methods no built-in service
+	// claims (cmd/eclipse-node mounts its job-submission endpoint here).
+	extra func(method string, body []byte) ([]byte, bool, error)
+}
+
+// NewNode constructs (but does not start) a node.
+func NewNode(id hashing.NodeID, net transport.Network, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	n := &Node{ID: id, cfg: cfg, net: net, stopHB: make(chan struct{})}
+	store := dhtfs.NewStore()
+	if cfg.DataDir != "" {
+		var err error
+		store, err = dhtfs.NewStoreAt(filepath.Join(cfg.DataDir, string(id)))
+		if err != nil {
+			return nil, err
+		}
+	}
+	fs, err := dhtfs.NewServiceWithStore(id, net, n.Ring, cfg.Replicas, store)
+	if err != nil {
+		return nil, err
+	}
+	n.fs = fs
+	n.cache = cache.NewShared(cfg.CacheBytes)
+	n.worker = mapreduce.NewWorker(id, fs, n.cache, net)
+	return n, nil
+}
+
+// FS exposes the node's DHT file system service.
+func (n *Node) FS() *dhtfs.Service { return n.fs }
+
+// Cache exposes the node's in-memory cache slice.
+func (n *Node) Cache() *cache.NodeCache { return n.cache }
+
+// BlockSize returns the node's configured DHT-FS block size.
+func (n *Node) BlockSize() int { return n.cfg.BlockSize }
+
+// MetricsSnapshot merges the node's worker and file system counters with
+// its cache statistics into one flat map.
+func (n *Node) MetricsSnapshot() map[string]int64 {
+	snap := n.worker.Metrics().Snapshot()
+	metrics.Merge(snap, n.fs.Metrics().Snapshot())
+	cs := n.cache.CombinedStats()
+	snap["cache.hits"] = int64(cs.Hits)
+	snap["cache.misses"] = int64(cs.Misses)
+	snap["cache.insertions"] = int64(cs.Insertions)
+	snap["cache.evictions"] = int64(cs.Evictions)
+	snap["cache.bytes"] = n.cache.ICache.Bytes() + n.cache.OCache.Bytes()
+	return snap
+}
+
+// Ring returns the node's current membership ring (a copy).
+func (n *Node) Ring() *hashing.Ring {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.ring == nil {
+		return hashing.NewRing()
+	}
+	return n.ring.Clone()
+}
+
+// View returns the node's current membership view.
+func (n *Node) View() chord.View {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.view
+}
+
+// ManagerID returns the node's notion of the current resource manager.
+func (n *Node) ManagerID() hashing.NodeID {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.manager
+}
+
+// IsManager reports whether this node currently holds the resource
+// manager role.
+func (n *Node) IsManager() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mgr != nil
+}
+
+// SetExtraHandler installs a fallback handler for methods outside the
+// built-in services. Call before Start.
+func (n *Node) SetExtraHandler(h func(method string, body []byte) ([]byte, bool, error)) {
+	n.extra = h
+}
+
+// Start registers the node on the network and launches its heartbeat
+// loop.
+func (n *Node) Start() error {
+	if err := n.net.Listen(n.ID, n.handle); err != nil {
+		return err
+	}
+	n.wg.Add(1)
+	go n.heartbeatLoop()
+	return nil
+}
+
+// Close stops the node's background work and removes it from the network.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	mgr := n.mgr
+	n.mu.Unlock()
+	close(n.stopHB)
+	if mgr != nil {
+		mgr.stop()
+	}
+	n.net.Unlisten(n.ID)
+	n.wg.Wait()
+}
+
+// BecomeManagerWith bootstraps the resource-manager role on this node
+// with an explicit initial ring and epoch, broadcasting the view to every
+// member. Deployments (cmd/eclipse-node) call it on the designated
+// bootstrap coordinator; subsequent failures are handled by election.
+func (n *Node) BecomeManagerWith(ring *hashing.Ring, epoch uint64) *Manager {
+	mgr := newManager(n, ring, epoch)
+	n.mu.Lock()
+	n.mgr = mgr
+	n.manager = n.ID
+	n.mu.Unlock()
+	mgr.broadcastView()
+	return mgr
+}
+
+// Manager returns this node's resource-manager role, or nil if the node
+// does not currently hold it.
+func (n *Node) Manager() *Manager {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.mgr
+}
+
+// adoptView installs a membership view if it is newer than the current
+// one. It returns true if the view was adopted.
+func (n *Node) adoptView(v chord.View, manager hashing.NodeID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if v.Epoch < n.view.Epoch {
+		return false
+	}
+	if v.Epoch == n.view.Epoch && manager == n.manager {
+		n.view = v // idempotent refresh
+		return true
+	}
+	ring, err := v.Ring()
+	if err != nil {
+		return false
+	}
+	n.view = v
+	n.ring = ring
+	n.manager = manager
+	return true
+}
+
+// handle dispatches inbound calls: MapReduce worker methods first, then
+// file system methods, then the control plane.
+func (n *Node) handle(method string, body []byte) ([]byte, error) {
+	if out, ok, err := n.worker.Handle(method, body); ok {
+		return out, err
+	}
+	if out, ok, err := n.fs.Handle(method, body); ok {
+		return out, err
+	}
+	switch method {
+	case methodPing:
+		n.mu.Lock()
+		resp := pingResp{Epoch: n.view.Epoch, Manager: n.manager}
+		n.mu.Unlock()
+		return transport.Encode(resp)
+	case methodView:
+		var msg viewMsg
+		if err := transport.Decode(body, &msg); err != nil {
+			return nil, err
+		}
+		n.adoptView(msg.View, msg.Manager)
+		return transport.Encode(ack{})
+	case methodSuspect:
+		var msg suspectMsg
+		if err := transport.Decode(body, &msg); err != nil {
+			return nil, err
+		}
+		n.mu.Lock()
+		mgr := n.mgr
+		n.mu.Unlock()
+		if mgr == nil {
+			return nil, errors.New("cluster: not the resource manager")
+		}
+		mgr.reportSuspect(msg.Suspect)
+		return transport.Encode(ack{})
+	case methodElection:
+		var msg electionMsg
+		if err := transport.Decode(body, &msg); err != nil {
+			return nil, err
+		}
+		// Bully election: a higher-ID node answers "alive" and launches
+		// its own election, suppressing the lower candidate.
+		if n.ID > msg.Candidate {
+			go n.runElection()
+			return transport.Encode(electionResp{Alive: true})
+		}
+		return transport.Encode(electionResp{Alive: false})
+	case methodCoordinator:
+		var msg viewMsg
+		if err := transport.Decode(body, &msg); err != nil {
+			return nil, err
+		}
+		n.adoptView(msg.View, msg.Manager)
+		return transport.Encode(ack{})
+	case methodRecover:
+		pushed, err := n.fs.ReReplicate()
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(recoverResp{Pushed: pushed})
+	case MethodStats:
+		return transport.Encode(StatsResp{Node: n.ID, Metrics: n.MetricsSnapshot()})
+	}
+	if n.extra != nil {
+		if out, ok, err := n.extra(method, body); ok {
+			return out, err
+		}
+	}
+	return nil, fmt.Errorf("cluster: unknown method %q", method)
+}
+
+// call is the node's typed RPC helper.
+func (n *Node) call(to hashing.NodeID, method string, req, resp any) error {
+	body, err := transport.Encode(req)
+	if err != nil {
+		return err
+	}
+	out, err := n.net.Call(to, method, body)
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	return transport.Decode(out, resp)
+}
+
+// heartbeatLoop implements the paper's neighbor heartbeats: each server
+// periodically pings its ring successor; after HeartbeatTimeout without a
+// response it reports the suspect to the resource manager, and if the
+// manager itself is gone it starts an election.
+func (n *Node) heartbeatLoop() {
+	defer n.wg.Done()
+	ticker := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	lastSeen := make(map[hashing.NodeID]time.Time)
+	for {
+		select {
+		case <-n.stopHB:
+			return
+		case <-ticker.C:
+		}
+		n.mu.Lock()
+		ring := n.ring
+		manager := n.manager
+		n.mu.Unlock()
+		if ring == nil || ring.Len() < 2 {
+			continue
+		}
+		succ, err := ring.Clone().Successor(n.ID)
+		if err != nil {
+			continue
+		}
+		var resp pingResp
+		if err := n.call(succ, methodPing, ack{}, &resp); err == nil {
+			lastSeen[succ] = time.Now()
+			continue
+		}
+		seen, ok := lastSeen[succ]
+		if !ok {
+			lastSeen[succ] = time.Now()
+			continue
+		}
+		if time.Since(seen) < n.cfg.HeartbeatTimeout {
+			continue
+		}
+		delete(lastSeen, succ)
+		// Successor is dead: tell the resource manager. If we *are* the
+		// manager, handle it directly; if the manager is unreachable,
+		// elect a new one.
+		n.mu.Lock()
+		mgr := n.mgr
+		n.mu.Unlock()
+		if mgr != nil {
+			mgr.reportSuspect(succ)
+			continue
+		}
+		if err := n.call(manager, methodSuspect, suspectMsg{Suspect: succ, Reporter: n.ID}, nil); err != nil {
+			if errors.Is(err, transport.ErrUnreachable) {
+				n.runElection()
+			}
+		}
+	}
+}
+
+// runElection performs a bully election over the current view: if any
+// higher-ID member is alive, it takes over; otherwise this node becomes
+// the resource manager, purges unreachable members and broadcasts the new
+// view.
+func (n *Node) runElection() {
+	n.mu.Lock()
+	if n.mgr != nil || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	view := n.view
+	n.mu.Unlock()
+	for id := range view.Members {
+		if id <= n.ID {
+			continue
+		}
+		var resp electionResp
+		if err := n.call(id, methodElection, electionMsg{Candidate: n.ID}, &resp); err == nil && resp.Alive {
+			return // a higher node takes over
+		}
+	}
+	n.becomeManager()
+}
+
+// becomeManager promotes this node to resource manager, drops unreachable
+// members from the view, and broadcasts the result.
+func (n *Node) becomeManager() {
+	n.mu.Lock()
+	if n.mgr != nil || n.closed {
+		n.mu.Unlock()
+		return
+	}
+	ring, err := n.view.Ring()
+	if err != nil {
+		n.mu.Unlock()
+		return
+	}
+	epoch := n.view.Epoch
+	n.mu.Unlock()
+
+	// Probe every member; survivors form the new view.
+	alive := hashing.NewRing()
+	for _, id := range ring.Members() {
+		if id == n.ID {
+			pos, _ := ring.Position(id)
+			_ = alive.Add(id, pos)
+			continue
+		}
+		var resp pingResp
+		if err := n.call(id, methodPing, ack{}, &resp); err == nil {
+			pos, _ := ring.Position(id)
+			_ = alive.Add(id, pos)
+		}
+	}
+	mgr := newManager(n, alive, epoch+1)
+	n.mu.Lock()
+	n.mgr = mgr
+	n.manager = n.ID
+	n.mu.Unlock()
+	mgr.broadcastView()
+	mgr.directRecovery()
+	mgr.start()
+}

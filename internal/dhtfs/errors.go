@@ -1,0 +1,29 @@
+package dhtfs
+
+import (
+	"errors"
+	"strings"
+
+	"eclipsemr/internal/transport"
+)
+
+// IsNotFound reports whether err denotes a missing block, file or
+// metadata entry, whether it occurred locally or was relayed from a
+// remote node (remote errors cross the wire as strings).
+func IsNotFound(err error) bool {
+	if errors.Is(err, ErrNotFound) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, ErrNotFound.Error())
+}
+
+// IsPermission reports whether err denotes an access-permission failure,
+// local or remote.
+func IsPermission(err error) bool {
+	if errors.Is(err, ErrPermission) {
+		return true
+	}
+	var re *transport.RemoteError
+	return errors.As(err, &re) && strings.Contains(re.Msg, ErrPermission.Error())
+}

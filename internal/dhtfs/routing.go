@@ -1,0 +1,108 @@
+package dhtfs
+
+import (
+	"fmt"
+
+	"eclipsemr/internal/chord"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/transport"
+)
+
+// Zero-hop vs classic DHT routing (§II-A): with complete routing tables
+// (m set to the number of servers) every block request goes directly to
+// its owner — the paper's default for cluster-scale deployments. "If zero
+// hop routing is not enabled, it routes the request to another server
+// that owns the hash key as in the classic DHT routing algorithm [29]":
+// each hop forwards the request to the closest preceding finger until the
+// owner answers. The routed path exists for very large or churny rings
+// where complete tables are impractical, and for the routing ablation.
+
+type (
+	routedGetReq struct {
+		Key hashing.Key
+		// Hops counts forwards so far; guards against routing loops.
+		Hops int
+	}
+	routedGetResp struct {
+		Data []byte
+		Hops int
+	}
+)
+
+// MethodRoutedGet is the hop-by-hop block fetch.
+const MethodRoutedGet = "fs.routedGet"
+
+// maxRouteHops bounds forwarding; with consistent finger tables a lookup
+// needs O(log n) hops, so anything past this indicates divergent views.
+const maxRouteHops = 64
+
+// SetZeroHop selects between direct owner access (true, the default) and
+// classic multi-hop DHT routing for block reads.
+func (s *Service) SetZeroHop(enabled bool) { s.zeroHopOff = !enabled }
+
+// handleRoutedGet serves one hop of a routed block fetch: answer from the
+// local shard if the block is here, otherwise forward to the next hop
+// from this node's finger table.
+func (s *Service) handleRoutedGet(body []byte) ([]byte, error) {
+	var req routedGetReq
+	if err := transport.Decode(body, &req); err != nil {
+		return nil, err
+	}
+	if data, err := s.store.GetBlock(req.Key); err == nil {
+		return transport.Encode(routedGetResp{Data: data, Hops: req.Hops})
+	}
+	if req.Hops >= maxRouteHops {
+		return nil, fmt.Errorf("dhtfs: routed lookup for %s exceeded %d hops", req.Key, maxRouteHops)
+	}
+	ring := s.ring()
+	if ring.Owns(s.self, req.Key) {
+		// We own the key but do not hold the block: it does not exist.
+		return nil, fmt.Errorf("%w: block %s", ErrNotFound, req.Key)
+	}
+	next, err := s.nextHop(ring, req.Key)
+	if err != nil {
+		return nil, err
+	}
+	var resp routedGetResp
+	if err := s.call(next, MethodRoutedGet, routedGetReq{Key: req.Key, Hops: req.Hops + 1}, &resp); err != nil {
+		return nil, err
+	}
+	return transport.Encode(resp)
+}
+
+// nextHop computes this node's forwarding target for key k from its
+// finger table (rebuilt from the current view; rings are small and
+// membership changes rare, so this costs microseconds).
+func (s *Service) nextHop(ring *hashing.Ring, k hashing.Key) (hashing.NodeID, error) {
+	ft, err := chord.Build(ring, s.self, 64)
+	if err != nil {
+		return "", err
+	}
+	next, _ := ft.NextHop(k)
+	if next == s.self {
+		return "", fmt.Errorf("dhtfs: no forward progress for key %s", k)
+	}
+	return next, nil
+}
+
+// ReadBlockRouted fetches a block via classic DHT routing, returning the
+// data and the number of hops taken.
+func (s *Service) ReadBlockRouted(k hashing.Key) ([]byte, int, error) {
+	// Serve locally when possible (hop zero).
+	if data, err := s.store.GetBlock(k); err == nil {
+		return data, 0, nil
+	}
+	ring := s.ring()
+	if ring.Owns(s.self, k) {
+		return nil, 0, fmt.Errorf("%w: block %s", ErrNotFound, k)
+	}
+	next, err := s.nextHop(ring, k)
+	if err != nil {
+		return nil, 0, err
+	}
+	var resp routedGetResp
+	if err := s.call(next, MethodRoutedGet, routedGetReq{Key: k, Hops: 1}, &resp); err != nil {
+		return nil, 0, err
+	}
+	return resp.Data, resp.Hops, nil
+}

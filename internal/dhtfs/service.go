@@ -1,0 +1,572 @@
+package dhtfs
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"time"
+
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/transport"
+)
+
+// Wire message types. All payloads cross the transport gob-encoded so the
+// same protocol runs in-process and over TCP.
+type (
+	putBlockReq struct {
+		Key  hashing.Key
+		Data []byte
+	}
+	getBlockReq struct {
+		Key hashing.Key
+	}
+	getBlockResp struct {
+		Data []byte
+	}
+	hasBlockResp struct {
+		Has bool
+	}
+	putMetaReq struct {
+		Meta Metadata
+	}
+	getMetaReq struct {
+		Name string
+		User string
+	}
+	getMetaResp struct {
+		Meta Metadata
+	}
+	appendSegReq struct {
+		Job       string
+		Partition string
+		Data      []byte
+		TTL       time.Duration
+	}
+	readSegReq struct {
+		Job       string
+		Partition string
+	}
+	readSegResp struct {
+		Segments [][]byte
+	}
+	dropSegReq struct {
+		Job string
+	}
+	deleteBlockReq struct {
+		Key hashing.Key
+	}
+	deleteMetaReq struct {
+		Name string
+	}
+	empty struct{}
+)
+
+// Method names mounted by the cluster node dispatcher.
+const (
+	MethodPutBlock    = "fs.putBlock"
+	MethodGetBlock    = "fs.getBlock"
+	MethodHasBlock    = "fs.hasBlock"
+	MethodPutMeta     = "fs.putMeta"
+	MethodGetMeta     = "fs.getMeta"
+	MethodAppendSeg   = "fs.appendSegment"
+	MethodReadSeg     = "fs.readSegments"
+	MethodDropSeg     = "fs.dropJobSegments"
+	MethodDeleteBlock = "fs.deleteBlock"
+	MethodDeleteMeta  = "fs.deleteMeta"
+)
+
+// Service is one node's DHT file system endpoint: it serves the fs.*
+// methods from its local Store and implements the client-side operations
+// (upload, read, re-replication) against the rest of the ring.
+type Service struct {
+	self     hashing.NodeID
+	store    *Store
+	net      transport.Network
+	ring     func() *hashing.Ring
+	replicas int
+	now      func() time.Time
+	// zeroHopOff selects classic multi-hop DHT routing for block reads
+	// instead of the paper's default one-hop direct access (§II-A).
+	zeroHopOff bool
+	reg        *metrics.Registry
+}
+
+// NewService builds a Service with an in-memory shard. ring supplies the
+// current membership view (it changes on joins and failures); replicas is
+// the total copy count per object — the paper's predecessor+successor
+// scheme is replicas=3.
+func NewService(self hashing.NodeID, net transport.Network, ring func() *hashing.Ring, replicas int) (*Service, error) {
+	return NewServiceWithStore(self, net, ring, replicas, NewStore())
+}
+
+// NewServiceWithStore builds a Service over a caller-provided shard
+// (e.g. a disk-backed store from NewStoreAt).
+func NewServiceWithStore(self hashing.NodeID, net transport.Network, ring func() *hashing.Ring, replicas int, store *Store) (*Service, error) {
+	if replicas < 1 {
+		return nil, fmt.Errorf("dhtfs: replicas must be >= 1, got %d", replicas)
+	}
+	if ring == nil {
+		return nil, errors.New("dhtfs: nil ring source")
+	}
+	if store == nil {
+		return nil, errors.New("dhtfs: nil store")
+	}
+	return &Service{
+		self:     self,
+		store:    store,
+		net:      net,
+		ring:     ring,
+		replicas: replicas,
+		now:      time.Now,
+		reg:      metrics.NewRegistry(),
+	}, nil
+}
+
+// Store exposes the local shard (for recovery orchestration and tests).
+func (s *Service) Store() *Store { return s.store }
+
+// Now returns the service's current time (overridable via SetClock).
+func (s *Service) Now() time.Time { return s.now() }
+
+// Metrics exposes the file system's operational counters plus live
+// storage gauges.
+func (s *Service) Metrics() *metrics.Registry {
+	blocks, metas, segs := s.store.Counts()
+	s.reg.Gauge("fs.store.blocks").Set(int64(blocks))
+	s.reg.Gauge("fs.store.metas").Set(int64(metas))
+	s.reg.Gauge("fs.store.segments").Set(int64(segs))
+	s.reg.Gauge("fs.store.bytes").Set(s.store.Bytes())
+	return s.reg
+}
+
+// SetClock overrides the metadata timestamp and segment-TTL time source.
+func (s *Service) SetClock(now func() time.Time) {
+	s.now = now
+	s.store.SetClock(now)
+}
+
+// Handle serves one inbound fs.* call. The second return value reports
+// whether the method belongs to this service.
+func (s *Service) Handle(method string, body []byte) ([]byte, bool, error) {
+	switch method {
+	case MethodPutBlock:
+		var req putBlockReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		s.reg.Counter("fs.blocks.written").Inc()
+		s.reg.Counter("fs.bytes.written").Add(int64(len(req.Data)))
+		if err := s.store.PutBlock(req.Key, req.Data); err != nil {
+			return nil, true, err
+		}
+		out, err := transport.Encode(empty{})
+		return out, true, err
+	case MethodGetBlock:
+		var req getBlockReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		data, err := s.store.GetBlock(req.Key)
+		if err != nil {
+			return nil, true, err
+		}
+		s.reg.Counter("fs.blocks.read").Inc()
+		s.reg.Counter("fs.bytes.read").Add(int64(len(data)))
+		out, err := transport.Encode(getBlockResp{Data: data})
+		return out, true, err
+	case MethodHasBlock:
+		var req getBlockReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		out, err := transport.Encode(hasBlockResp{Has: s.store.HasBlock(req.Key)})
+		return out, true, err
+	case MethodPutMeta:
+		var req putMetaReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		s.store.PutMeta(req.Meta)
+		out, err := transport.Encode(empty{})
+		return out, true, err
+	case MethodGetMeta:
+		var req getMetaReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		meta, err := s.store.GetMeta(req.Name)
+		if err != nil {
+			return nil, true, err
+		}
+		// The paper's read path checks access permission at the metadata
+		// owner before revealing partitioning information.
+		if !meta.CanRead(req.User) {
+			return nil, true, fmt.Errorf("%w: %s by %q", ErrPermission, req.Name, req.User)
+		}
+		out, err := transport.Encode(getMetaResp{Meta: meta})
+		return out, true, err
+	case MethodAppendSeg:
+		var req appendSegReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		s.reg.Counter("fs.segments.appended").Inc()
+		s.reg.Counter("fs.segments.bytes").Add(int64(len(req.Data)))
+		s.store.AppendSegment(req.Job, req.Partition, req.Data, req.TTL)
+		out, err := transport.Encode(empty{})
+		return out, true, err
+	case MethodReadSeg:
+		var req readSegReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		out, err := transport.Encode(readSegResp{Segments: s.store.ReadSegments(req.Job, req.Partition)})
+		return out, true, err
+	case MethodDropSeg:
+		var req dropSegReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		s.store.DropJobSegments(req.Job)
+		out, err := transport.Encode(empty{})
+		return out, true, err
+	case MethodDeleteBlock:
+		var req deleteBlockReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		s.store.DeleteBlock(req.Key)
+		out, err := transport.Encode(empty{})
+		return out, true, err
+	case MethodRoutedGet:
+		out, err := s.handleRoutedGet(body)
+		return out, true, err
+	case MethodDeleteMeta:
+		var req deleteMetaReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		s.store.DeleteMeta(req.Name)
+		out, err := transport.Encode(empty{})
+		return out, true, err
+	}
+	return nil, false, nil
+}
+
+// call invokes an fs.* method, short-circuiting to the local store when
+// the destination is this node (zero-hop fast path).
+func (s *Service) call(to hashing.NodeID, method string, req, resp any) error {
+	body, err := transport.Encode(req)
+	if err != nil {
+		return err
+	}
+	var out []byte
+	if to == s.self {
+		out, _, err = s.Handle(method, body)
+	} else {
+		out, err = s.net.Call(to, method, body)
+	}
+	if err != nil {
+		return err
+	}
+	if resp == nil {
+		return nil
+	}
+	return transport.Decode(out, resp)
+}
+
+// replicaSet returns the nodes that should hold key k under the current
+// membership.
+func (s *Service) replicaSet(k hashing.Key) ([]hashing.NodeID, error) {
+	return s.ring().ReplicaSet(k, s.replicas)
+}
+
+// Upload splits a file into blocks, distributes the blocks (and replicas)
+// across the ring by hash key, and stores the metadata at the file-name
+// owner (and replicas). It returns the stored metadata.
+func (s *Service) Upload(name, owner string, perm Perm, data []byte, blockSize int) (Metadata, error) {
+	chunks, keys, err := Split(name, data, blockSize)
+	if err != nil {
+		return Metadata{}, err
+	}
+	return s.storeFile(name, owner, perm, data, blockSize, chunks, keys)
+}
+
+// UploadRecords is Upload with record-aligned block boundaries: blocks are
+// cut only after delim so line-oriented map tasks never see a torn record.
+func (s *Service) UploadRecords(name, owner string, perm Perm, data []byte, blockSize int, delim byte) (Metadata, error) {
+	chunks, keys, err := SplitRecords(name, data, blockSize, delim)
+	if err != nil {
+		return Metadata{}, err
+	}
+	return s.storeFile(name, owner, perm, data, blockSize, chunks, keys)
+}
+
+// storeFile distributes pre-split chunks and their metadata.
+func (s *Service) storeFile(name, owner string, perm Perm, data []byte, blockSize int, chunks [][]byte, keys []hashing.Key) (Metadata, error) {
+	for i, chunk := range chunks {
+		targets, err := s.replicaSet(keys[i])
+		if err != nil {
+			return Metadata{}, err
+		}
+		for _, t := range targets {
+			if err := s.call(t, MethodPutBlock, putBlockReq{Key: keys[i], Data: chunk}, nil); err != nil {
+				return Metadata{}, fmt.Errorf("dhtfs: store block %d on %s: %w", i, t, err)
+			}
+		}
+	}
+	sums := make([][sha1.Size]byte, len(chunks))
+	for i, chunk := range chunks {
+		sums[i] = SumBlock(chunk)
+	}
+	meta := Metadata{
+		Name:      name,
+		Owner:     owner,
+		Perm:      perm,
+		Size:      int64(len(data)),
+		BlockSize: blockSize,
+		BlockKeys: keys,
+		BlockSums: sums,
+		Created:   s.now(),
+	}
+	targets, err := s.replicaSet(hashing.KeyOfString(name))
+	if err != nil {
+		return Metadata{}, err
+	}
+	for _, t := range targets {
+		if err := s.call(t, MethodPutMeta, putMetaReq{Meta: meta}, nil); err != nil {
+			return Metadata{}, fmt.Errorf("dhtfs: store metadata on %s: %w", t, err)
+		}
+	}
+	return meta, nil
+}
+
+// Lookup fetches a file's metadata from its metadata owner, checking the
+// user's read permission there, and falling back to replicas if the owner
+// is unreachable.
+func (s *Service) Lookup(name, user string) (Metadata, error) {
+	targets, err := s.replicaSet(hashing.KeyOfString(name))
+	if err != nil {
+		return Metadata{}, err
+	}
+	var lastErr error
+	for _, t := range targets {
+		var resp getMetaResp
+		err := s.call(t, MethodGetMeta, getMetaReq{Name: name, User: user}, &resp)
+		if err == nil {
+			return resp.Meta, nil
+		}
+		lastErr = err
+		if errors.Is(err, transport.ErrUnreachable) {
+			continue // ask the next replica
+		}
+		// Application-level failure (missing or forbidden): replicas hold
+		// the same answer, so report it immediately.
+		return Metadata{}, err
+	}
+	return Metadata{}, fmt.Errorf("dhtfs: lookup %q: %w", name, lastErr)
+}
+
+// ReadBlock fetches one block by key from its owner, falling back to
+// replicas if the owner is unreachable or missing the block. With
+// zero-hop routing disabled the request instead travels hop by hop
+// through finger tables.
+func (s *Service) ReadBlock(k hashing.Key) ([]byte, error) {
+	if s.zeroHopOff {
+		data, _, err := s.ReadBlockRouted(k)
+		return data, err
+	}
+	targets, err := s.replicaSet(k)
+	if err != nil {
+		return nil, err
+	}
+	var lastErr error
+	for _, t := range targets {
+		var resp getBlockResp
+		if err := s.call(t, MethodGetBlock, getBlockReq{Key: k}, &resp); err == nil {
+			return resp.Data, nil
+		} else {
+			lastErr = err
+		}
+	}
+	return nil, fmt.Errorf("dhtfs: read block %s: %w", k, lastErr)
+}
+
+// ReadBlockVerified fetches a block and checks it against the expected
+// digest, trying each replica in turn until one passes — a corrupted copy
+// on one server is healed by reading its neighbor's replica.
+func (s *Service) ReadBlockVerified(k hashing.Key, sum [sha1.Size]byte) ([]byte, error) {
+	targets, err := s.replicaSet(k)
+	if err != nil {
+		return nil, err
+	}
+	sawCorrupt := false
+	var lastErr error
+	for _, t := range targets {
+		var resp getBlockResp
+		if err := s.call(t, MethodGetBlock, getBlockReq{Key: k}, &resp); err != nil {
+			lastErr = err
+			continue
+		}
+		if SumBlock(resp.Data) != sum {
+			sawCorrupt = true
+			continue
+		}
+		return resp.Data, nil
+	}
+	if sawCorrupt {
+		return nil, fmt.Errorf("%w: %s on every reachable replica", ErrCorrupt, k)
+	}
+	return nil, fmt.Errorf("dhtfs: read block %s: %w", k, lastErr)
+}
+
+// ReadFile fetches metadata and then all blocks, reassembling the file.
+// Blocks are integrity-checked against the metadata digests (files
+// uploaded by older stores without digests skip the check).
+func (s *Service) ReadFile(name, user string) ([]byte, error) {
+	meta, err := s.Lookup(name, user)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, meta.Size)
+	for i, k := range meta.BlockKeys {
+		var block []byte
+		if i < len(meta.BlockSums) {
+			block, err = s.ReadBlockVerified(k, meta.BlockSums[i])
+		} else {
+			block, err = s.ReadBlock(k)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dhtfs: file %q block %d: %w", name, i, err)
+		}
+		out = append(out, block...)
+	}
+	if int64(len(out)) != meta.Size {
+		return nil, fmt.Errorf("dhtfs: file %q reassembled to %d bytes, metadata says %d",
+			name, len(out), meta.Size)
+	}
+	return out, nil
+}
+
+// PushSegment appends intermediate-result data for a job partition on the
+// node owning the partition key (the proactive-shuffle write). A positive
+// ttl invalidates the data after that duration.
+func (s *Service) PushSegment(to hashing.NodeID, job, partition string, data []byte, ttl time.Duration) error {
+	return s.call(to, MethodAppendSeg, appendSegReq{Job: job, Partition: partition, Data: data, TTL: ttl}, nil)
+}
+
+// FetchSegments reads all intermediate-result spills for a job partition
+// from the given node.
+func (s *Service) FetchSegments(from hashing.NodeID, job, partition string) ([][]byte, error) {
+	var resp readSegResp
+	if err := s.call(from, MethodReadSeg, readSegReq{Job: job, Partition: partition}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Segments, nil
+}
+
+// DropJob removes a job's intermediate data across the whole ring.
+func (s *Service) DropJob(job string) {
+	for _, id := range s.ring().Members() {
+		_ = s.call(id, MethodDropSeg, dropSegReq{Job: job}, nil) // best effort
+	}
+}
+
+// Delete removes a file: its blocks and metadata are deleted from every
+// replica. Only the file's owner may delete it. Unreachable replicas are
+// tolerated (re-replication after their recovery is driven off live
+// copies, which no longer exist, so the delete is effective).
+func (s *Service) Delete(name, user string) error {
+	meta, err := s.Lookup(name, user)
+	if err != nil {
+		return err
+	}
+	if meta.Owner != user {
+		return fmt.Errorf("%w: delete %s by %q", ErrPermission, name, user)
+	}
+	for _, k := range meta.BlockKeys {
+		targets, err := s.replicaSet(k)
+		if err != nil {
+			return err
+		}
+		for _, t := range targets {
+			_ = s.call(t, MethodDeleteBlock, deleteBlockReq{Key: k}, nil) // best effort
+		}
+	}
+	targets, err := s.replicaSet(hashing.KeyOfString(name))
+	if err != nil {
+		return err
+	}
+	for _, t := range targets {
+		_ = s.call(t, MethodDeleteMeta, deleteMetaReq{Name: name}, nil) // best effort
+	}
+	return nil
+}
+
+// ReReplicate runs after a membership change: for every block and
+// metadata entry held locally, it ensures all current replica-set members
+// have a copy, and drops objects this node no longer replicates. It
+// returns the number of objects pushed. This is how a predecessor or
+// successor "takes over the faulty server" using its replicated data.
+func (s *Service) ReReplicate() (pushed int, err error) {
+	for _, k := range s.store.BlockKeys() {
+		targets, rerr := s.replicaSet(k)
+		if rerr != nil {
+			return pushed, rerr
+		}
+		mine := false
+		for _, t := range targets {
+			if t == s.self {
+				mine = true
+				continue
+			}
+			var has hasBlockResp
+			if cerr := s.call(t, MethodHasBlock, getBlockReq{Key: k}, &has); cerr != nil {
+				err = cerr
+				continue
+			}
+			if has.Has {
+				continue
+			}
+			data, gerr := s.store.GetBlock(k)
+			if gerr != nil {
+				continue // raced with deletion
+			}
+			if cerr := s.call(t, MethodPutBlock, putBlockReq{Key: k, Data: data}, nil); cerr != nil {
+				err = cerr
+				continue
+			}
+			pushed++
+		}
+		if !mine {
+			s.store.DeleteBlock(k)
+		}
+	}
+	for _, name := range s.store.MetaNames() {
+		targets, rerr := s.replicaSet(hashing.KeyOfString(name))
+		if rerr != nil {
+			return pushed, rerr
+		}
+		meta, gerr := s.store.GetMeta(name)
+		if gerr != nil {
+			continue
+		}
+		mine := false
+		for _, t := range targets {
+			if t == s.self {
+				mine = true
+				continue
+			}
+			if cerr := s.call(t, MethodPutMeta, putMetaReq{Meta: meta}, nil); cerr != nil {
+				err = cerr
+				continue
+			}
+			pushed++
+		}
+		if !mine {
+			s.store.DeleteMeta(name)
+		}
+	}
+	return pushed, err
+}

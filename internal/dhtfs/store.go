@@ -1,0 +1,380 @@
+// Package dhtfs implements EclipseMR's decentralized DHT file system
+// (§II-A of the paper). Files are partitioned into fixed-size blocks that
+// are distributed across servers by block hash key; file metadata (name,
+// owner, size, partitioning) lives on the server whose hash-key range
+// covers the hash of the file name, so there is no central directory
+// service like HDFS's NameNode. Metadata and blocks are replicated on the
+// owner's predecessor and successor for fault tolerance, and intermediate
+// MapReduce results are persisted here (reducer-side) as appendable
+// segments so failed jobs can restart from stored partial work.
+package dhtfs
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"eclipsemr/internal/hashing"
+)
+
+// Perm is a minimal access-permission word for file metadata; the paper's
+// metadata records "file name, owner, file size" and read access is
+// checked at the metadata owner before a job runs.
+type Perm uint8
+
+const (
+	// PermPrivate allows access only by the file's owner.
+	PermPrivate Perm = iota
+	// PermPublic allows access by any user.
+	PermPublic
+)
+
+// Metadata describes one uploaded file.
+type Metadata struct {
+	Name      string
+	Owner     string
+	Perm      Perm
+	Size      int64
+	BlockSize int
+	// BlockKeys holds the ring key of every block, in file order. Block i
+	// holds bytes [i*BlockSize, min((i+1)*BlockSize, Size)).
+	BlockKeys []hashing.Key
+	// BlockSums holds the SHA-1 digest of every block; reads verify
+	// against it and fall back to a replica on mismatch, so a corrupted
+	// copy cannot silently reach an application.
+	BlockSums [][sha1.Size]byte
+	Created   time.Time
+}
+
+// SumBlock computes a block's integrity digest.
+func SumBlock(data []byte) [sha1.Size]byte { return sha1.Sum(data) }
+
+// Blocks returns the number of blocks in the file.
+func (m Metadata) Blocks() int { return len(m.BlockKeys) }
+
+// CanRead reports whether user may read the file.
+func (m Metadata) CanRead(user string) bool {
+	return m.Perm == PermPublic || m.Owner == user
+}
+
+// ErrNotFound is returned for missing blocks, metadata or segments.
+var ErrNotFound = errors.New("dhtfs: not found")
+
+// ErrPermission is returned when the metadata permission check fails.
+var ErrPermission = errors.New("dhtfs: permission denied")
+
+// ErrCorrupt is returned when a block fails its integrity check on every
+// replica.
+var ErrCorrupt = errors.New("dhtfs: block corrupt")
+
+// Split partitions data into blockSize chunks and returns the chunks with
+// their deterministic ring keys for the given file name.
+func Split(name string, data []byte, blockSize int) ([][]byte, []hashing.Key, error) {
+	if blockSize <= 0 {
+		return nil, nil, fmt.Errorf("dhtfs: block size must be positive, got %d", blockSize)
+	}
+	var chunks [][]byte
+	var keys []hashing.Key
+	for i := 0; i*blockSize < len(data) || (i == 0 && len(data) == 0); i++ {
+		end := (i + 1) * blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		chunks = append(chunks, data[i*blockSize:end])
+		keys = append(keys, hashing.BlockKey(name, i))
+	}
+	return chunks, keys, nil
+}
+
+// SplitRecords partitions data into chunks of at most blockSize bytes,
+// cutting only after a delimiter byte so no record straddles a block
+// boundary (the role Hadoop's line-oriented input format plays for HDFS
+// blocks). A record longer than blockSize is hard-cut. Returned chunks
+// carry the same deterministic per-index ring keys as Split.
+func SplitRecords(name string, data []byte, blockSize int, delim byte) ([][]byte, []hashing.Key, error) {
+	if blockSize <= 0 {
+		return nil, nil, fmt.Errorf("dhtfs: block size must be positive, got %d", blockSize)
+	}
+	var chunks [][]byte
+	var keys []hashing.Key
+	for offset, idx := 0, 0; offset < len(data) || idx == 0; idx++ {
+		end := offset + blockSize
+		if end >= len(data) {
+			end = len(data)
+		} else if cut := lastIndexByte(data[offset:end], delim); cut >= 0 {
+			end = offset + cut + 1
+		}
+		chunks = append(chunks, data[offset:end])
+		keys = append(keys, hashing.BlockKey(name, idx))
+		offset = end
+	}
+	return chunks, keys, nil
+}
+
+func lastIndexByte(b []byte, c byte) int {
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] == c {
+			return i
+		}
+	}
+	return -1
+}
+
+// Store is one server's local shard of the DHT file system: data blocks,
+// file metadata, and intermediate-result segments. It is safe for
+// concurrent use. Blocks are held in memory; the paper's disk costs are
+// modeled separately by the simulator.
+type Store struct {
+	backend blockBackend
+
+	mu       sync.RWMutex
+	metas    map[string]Metadata
+	segments map[string][]segment // jobID "/" partition -> ordered spills
+	segBytes int64
+	now      func() time.Time
+	// metaPath, when set, persists the metadata map (gob) so a restarted
+	// disk-backed node recovers both blocks and the files they belong to.
+	metaPath string
+}
+
+// segment is one stored intermediate-result spill; Expires implements the
+// paper's TTL invalidation of stored intermediate results (zero = no
+// TTL).
+type segment struct {
+	data    []byte
+	expires time.Time
+}
+
+// NewStore returns an empty in-memory shard.
+func NewStore() *Store {
+	return &Store{
+		backend:  newMemBackend(),
+		metas:    make(map[string]Metadata),
+		segments: make(map[string][]segment),
+		now:      time.Now,
+	}
+}
+
+// NewStoreAt returns a shard whose block payloads and file metadata
+// persist under dir; a restarted node recovers both. Intermediate-result
+// segments remain in memory — they are transient by design
+// (TTL-invalidated, regenerable by re-running maps).
+func NewStoreAt(dir string) (*Store, error) {
+	backend, err := newDiskBackend(dir)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		backend:  backend,
+		metas:    make(map[string]Metadata),
+		segments: make(map[string][]segment),
+		now:      time.Now,
+		metaPath: filepath.Join(dir, "metadata.gob"),
+	}
+	if err := s.loadMetas(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// loadMetas restores the persisted metadata map, if present.
+func (s *Store) loadMetas() error {
+	data, err := os.ReadFile(s.metaPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("dhtfs: load metadata: %w", err)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&s.metas); err != nil {
+		return fmt.Errorf("dhtfs: corrupt metadata file %s: %w", s.metaPath, err)
+	}
+	return nil
+}
+
+// persistMetasLocked rewrites the metadata file (write-then-rename).
+// Caller holds s.mu. The map is small — one entry per file, not per
+// block — so a full rewrite per update is cheap and crash-safe.
+func (s *Store) persistMetasLocked() {
+	if s.metaPath == "" {
+		return
+	}
+	var buf bytes.Buffer
+	if gob.NewEncoder(&buf).Encode(s.metas) != nil {
+		return // metadata is replicated ring-wide; best effort locally
+	}
+	tmp := s.metaPath + ".tmp"
+	if os.WriteFile(tmp, buf.Bytes(), 0o644) != nil {
+		return
+	}
+	_ = os.Rename(tmp, s.metaPath)
+}
+
+// SetClock overrides the TTL time source (tests, simulation).
+func (s *Store) SetClock(now func() time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+}
+
+// PutBlock stores a block, overwriting any previous content. On a
+// disk-backed shard an IO failure is reported; the in-memory backend
+// never fails.
+func (s *Store) PutBlock(k hashing.Key, data []byte) error {
+	return s.backend.put(k, data)
+}
+
+// GetBlock fetches a block.
+func (s *Store) GetBlock(k hashing.Key) ([]byte, error) {
+	data, ok, err := s.backend.get(k)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("%w: block %s", ErrNotFound, k)
+	}
+	return data, nil
+}
+
+// HasBlock reports block presence without copying.
+func (s *Store) HasBlock(k hashing.Key) bool {
+	return s.backend.has(k)
+}
+
+// DeleteBlock removes a block, reporting whether it existed.
+func (s *Store) DeleteBlock(k hashing.Key) bool {
+	_, ok := s.backend.delete(k)
+	return ok
+}
+
+// BlockKeys lists every block key held locally.
+func (s *Store) BlockKeys() []hashing.Key {
+	return s.backend.keys()
+}
+
+// PutMeta stores file metadata.
+func (s *Store) PutMeta(m Metadata) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metas[m.Name] = m
+	s.persistMetasLocked()
+}
+
+// GetMeta fetches metadata by file name.
+func (s *Store) GetMeta(name string) (Metadata, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	m, ok := s.metas[name]
+	if !ok {
+		return Metadata{}, fmt.Errorf("%w: metadata for %q", ErrNotFound, name)
+	}
+	return m, nil
+}
+
+// DeleteMeta removes metadata, reporting whether it existed.
+func (s *Store) DeleteMeta(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.metas[name]
+	delete(s.metas, name)
+	if ok {
+		s.persistMetasLocked()
+	}
+	return ok
+}
+
+// MetaNames lists every file whose metadata is held locally.
+func (s *Store) MetaNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.metas))
+	for name := range s.metas {
+		out = append(out, name)
+	}
+	return out
+}
+
+// segKey builds the segment namespace key.
+func segKey(job, partition string) string { return job + "/" + partition }
+
+// AppendSegment appends one spill of intermediate results for a job
+// partition (the proactive-shuffle write path: mappers push buffered
+// results here as they are generated). A positive ttl invalidates the
+// spill after that duration, per the paper's application-set TTL on
+// stored intermediate results.
+func (s *Store) AppendSegment(job, partition string, data []byte, ttl time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seg := segment{data: append([]byte(nil), data...)}
+	if ttl > 0 {
+		seg.expires = s.now().Add(ttl)
+	}
+	k := segKey(job, partition)
+	s.segments[k] = append(s.segments[k], seg)
+	s.segBytes += int64(len(data))
+}
+
+// ReadSegments returns every live spill stored for a job partition, in
+// arrival order; expired spills are dropped.
+func (s *Store) ReadSegments(job, partition string) [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := segKey(job, partition)
+	now := s.now()
+	segs := s.segments[k]
+	live := segs[:0]
+	var out [][]byte
+	for _, seg := range segs {
+		if !seg.expires.IsZero() && now.After(seg.expires) {
+			s.segBytes -= int64(len(seg.data))
+			continue
+		}
+		live = append(live, seg)
+		out = append(out, append([]byte(nil), seg.data...))
+	}
+	if len(live) == 0 {
+		delete(s.segments, k)
+	} else {
+		s.segments[k] = live
+	}
+	return out
+}
+
+// DropJobSegments deletes all intermediate data of a job (invoked when a
+// job completes or its TTL lapses).
+func (s *Store) DropJobSegments(job string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prefix := job + "/"
+	for k, segs := range s.segments {
+		if len(k) >= len(prefix) && k[:len(prefix)] == prefix {
+			for _, seg := range segs {
+				s.segBytes -= int64(len(seg.data))
+			}
+			delete(s.segments, k)
+		}
+	}
+}
+
+// Bytes returns the total payload bytes held (blocks + segments).
+func (s *Store) Bytes() int64 {
+	s.mu.RLock()
+	segBytes := s.segBytes
+	s.mu.RUnlock()
+	return s.backend.bytes() + segBytes
+}
+
+// Counts returns the number of blocks, metadata entries and segment
+// streams held.
+func (s *Store) Counts() (blocks, metas, segments int) {
+	blocks = len(s.backend.keys())
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return blocks, len(s.metas), len(s.segments)
+}

@@ -1,0 +1,130 @@
+package hashing
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func newVRing(t *testing.T, nodes, vnodes int) *VirtualRing {
+	t.Helper()
+	r, err := NewVirtualRing(vnodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < nodes; i++ {
+		if err := r.AddNode(NodeID(fmt.Sprintf("n%02d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+func TestVirtualRingValidation(t *testing.T) {
+	if _, err := NewVirtualRing(0); err == nil {
+		t.Fatal("vnodes=0 accepted")
+	}
+	r := newVRing(t, 2, 4)
+	if err := r.AddNode("n00"); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if r.Len() != 2 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+}
+
+func TestVirtualRingOwnerStable(t *testing.T) {
+	r := newVRing(t, 8, 16)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		k := Key(rng.Uint64())
+		a, err := r.Owner(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := r.Owner(k)
+		if a != b || a == "" {
+			t.Fatalf("unstable owner %q/%q", a, b)
+		}
+	}
+}
+
+func TestVirtualRingReplicaSetDistinct(t *testing.T) {
+	r := newVRing(t, 6, 32)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 300; i++ {
+		set, err := r.ReplicaSet(Key(rng.Uint64()), 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(set) != 3 {
+			t.Fatalf("replica set = %v", set)
+		}
+		seen := map[NodeID]bool{}
+		for _, id := range set {
+			if seen[id] {
+				t.Fatalf("duplicate physical node in %v", set)
+			}
+			seen[id] = true
+		}
+	}
+	// More replicas than nodes clamps to the node count.
+	set, err := r.ReplicaSet(1, 100)
+	if err != nil || len(set) != 6 {
+		t.Fatalf("clamped set = %v, %v", set, err)
+	}
+}
+
+func TestVirtualRingRemove(t *testing.T) {
+	r := newVRing(t, 4, 8)
+	if !r.Remove("n02") || r.Remove("n02") {
+		t.Fatal("Remove semantics")
+	}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 300; i++ {
+		owner, err := r.Owner(Key(rng.Uint64()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner == "n02" {
+			t.Fatal("removed node still owns keys")
+		}
+	}
+	if len(r.Members()) != 3 {
+		t.Fatalf("members = %v", r.Members())
+	}
+}
+
+// TestVirtualNodesEqualizeLoad verifies the point of virtual nodes: the
+// spread of per-node key-space shares shrinks as tokens increase.
+func TestVirtualNodesEqualizeLoad(t *testing.T) {
+	spread := func(vnodes int) float64 {
+		r := newVRing(t, 20, vnodes)
+		shares := r.LoadShare()
+		var total, min, max float64
+		min = math.Inf(1)
+		for _, s := range shares {
+			total += s
+			if s < min {
+				min = s
+			}
+			if s > max {
+				max = s
+			}
+		}
+		if math.Abs(total-1) > 1e-9 {
+			t.Fatalf("shares sum to %g", total)
+		}
+		return max / min
+	}
+	single := spread(1)
+	many := spread(64)
+	if many >= single {
+		t.Fatalf("64 vnodes spread %.2f not tighter than single-token %.2f", many, single)
+	}
+	if many > 3 {
+		t.Fatalf("64-vnode max/min share = %.2f, want < 3", many)
+	}
+	t.Logf("max/min key-space share: 1 token %.2f, 64 tokens %.2f", single, many)
+}

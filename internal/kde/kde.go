@@ -1,0 +1,231 @@
+// Package kde implements the statistical machinery behind the
+// locality-aware fair (LAF) job scheduler: a box-kernel density estimate
+// of the hash-key access distribution, an exponential moving average that
+// attenuates historic access patterns, and CDF partitioning into
+// equally-probable hash-key ranges (Algorithm 1 of the paper).
+package kde
+
+import (
+	"fmt"
+	"math/bits"
+
+	"eclipsemr/internal/hashing"
+)
+
+// Estimator tracks the hash-key distribution of recent input-block
+// accesses. The key space is divided into Bins fine-grained histogram
+// bins; each observed access adds 1/k to k adjacent bins (box kernel
+// density estimation, bandwidth k). Every Window observations the current
+// histogram is folded into a moving average with weight Alpha:
+//
+//	ma[b] = Alpha*cur[b] + (1-Alpha)*ma[b]
+//
+// Estimator is not safe for concurrent use; the scheduler serializes
+// access under its own lock.
+type Estimator struct {
+	bins      int
+	bandwidth int
+	alpha     float64
+	window    int
+
+	cur    []float64 // histogram of the current window
+	ma     []float64 // moving-averaged distribution
+	count  int       // observations in the current window
+	primed bool      // ma has absorbed at least one window
+	merges int       // number of completed windows
+}
+
+// Config holds Estimator parameters. The zero value is invalid; use
+// DefaultConfig as a starting point.
+type Config struct {
+	Bins      int     // number of histogram bins over the key space
+	Bandwidth int     // box-kernel bandwidth k (adjacent bins per access)
+	Alpha     float64 // moving-average weight for the newest window
+	Window    int     // observations (N) per distribution merge
+}
+
+// DefaultConfig mirrors the parameters the paper settles on: a large
+// number of fine-grained bins, a modest smoothing bandwidth, alpha=0.001
+// (the value fixed for most experiments in §III-C) and a window of 1024
+// recent tasks.
+func DefaultConfig() Config {
+	return Config{Bins: 4096, Bandwidth: 8, Alpha: 0.001, Window: 1024}
+}
+
+// New builds an Estimator, validating the configuration.
+func New(cfg Config) (*Estimator, error) {
+	if cfg.Bins <= 0 {
+		return nil, fmt.Errorf("kde: Bins must be positive, got %d", cfg.Bins)
+	}
+	if cfg.Bandwidth <= 0 || cfg.Bandwidth > cfg.Bins {
+		return nil, fmt.Errorf("kde: Bandwidth must be in [1,%d], got %d", cfg.Bins, cfg.Bandwidth)
+	}
+	if cfg.Alpha < 0 || cfg.Alpha > 1 {
+		return nil, fmt.Errorf("kde: Alpha must be in [0,1], got %g", cfg.Alpha)
+	}
+	if cfg.Window <= 0 {
+		return nil, fmt.Errorf("kde: Window must be positive, got %d", cfg.Window)
+	}
+	return &Estimator{
+		bins:      cfg.Bins,
+		bandwidth: cfg.Bandwidth,
+		alpha:     cfg.Alpha,
+		window:    cfg.Window,
+		cur:       make([]float64, cfg.Bins),
+		ma:        make([]float64, cfg.Bins),
+	}, nil
+}
+
+// BinOf maps a hash key to its histogram bin: floor(k * bins / 2^64),
+// computed without overflow.
+func (e *Estimator) BinOf(k hashing.Key) int {
+	hi, _ := bits.Mul64(uint64(k), uint64(e.bins))
+	return int(hi)
+}
+
+// binStart returns the first key of bin b.
+func (e *Estimator) binStart(b int) hashing.Key {
+	// ceil(b * 2^64 / bins): find smallest key whose bin is b.
+	// b*2^64/bins = (b<<64)/bins; compute via bits.Div64.
+	if b == 0 {
+		return 0
+	}
+	q, r := bits.Div64(uint64(b), 0, uint64(e.bins))
+	if r != 0 {
+		q++
+	}
+	return hashing.Key(q)
+}
+
+// binWidth returns the key-space width of bin b as a float (bins may not
+// divide 2^64 evenly; the sub-key rounding is irrelevant at 4096 bins).
+func (e *Estimator) binWidth() float64 {
+	return keySpace / float64(e.bins)
+}
+
+const keySpace = float64(1<<63) * 2 // 2^64 as a float64
+
+// Add records one input-block access at hash key k. It returns true when
+// the observation completed a window and the moving average was updated —
+// the scheduler re-partitions its hash-key ranges on that signal.
+func (e *Estimator) Add(k hashing.Key) bool {
+	// Box kernel: spread 1 unit of mass across `bandwidth` adjacent bins
+	// centred on the key's bin, wrapping around the ring.
+	center := e.BinOf(k)
+	w := 1.0 / float64(e.bandwidth)
+	start := center - (e.bandwidth-1)/2
+	for i := 0; i < e.bandwidth; i++ {
+		b := (start + i) % e.bins
+		if b < 0 {
+			b += e.bins
+		}
+		e.cur[b] += w
+	}
+	e.count++
+	if e.count < e.window {
+		return false
+	}
+	e.merge()
+	return true
+}
+
+// merge folds the current window into the moving average and resets the
+// window, per lines 11–23 of Algorithm 1. The very first window seeds the
+// moving average directly so a small alpha does not take thousands of
+// windows to escape the empty initial state.
+func (e *Estimator) merge() {
+	if !e.primed {
+		copy(e.ma, e.cur)
+		e.primed = true
+	} else {
+		for b := range e.ma {
+			e.ma[b] = e.alpha*e.cur[b] + (1-e.alpha)*e.ma[b]
+		}
+	}
+	for b := range e.cur {
+		e.cur[b] = 0
+	}
+	e.count = 0
+	e.merges++
+}
+
+// Merges returns how many windows have been folded into the moving
+// average.
+func (e *Estimator) Merges() int { return e.merges }
+
+// Primed reports whether at least one window has completed; before that
+// the distribution is uniform.
+func (e *Estimator) Primed() bool { return e.primed }
+
+// PDF returns a copy of the moving-averaged (unnormalized) distribution.
+func (e *Estimator) PDF() []float64 {
+	return append([]float64(nil), e.ma...)
+}
+
+// CDF returns the cumulative distribution over the bins, normalized to
+// 1.0. An unprimed (or all-zero) estimator yields the uniform CDF.
+func (e *Estimator) CDF() []float64 {
+	cdf := make([]float64, e.bins)
+	var total float64
+	for _, v := range e.ma {
+		total += v
+	}
+	if !e.primed || total == 0 {
+		for b := range cdf {
+			cdf[b] = float64(b+1) / float64(e.bins)
+		}
+		return cdf
+	}
+	var acc float64
+	for b, v := range e.ma {
+		acc += v
+		cdf[b] = acc / total
+	}
+	return cdf
+}
+
+// Partition cuts the key space into n equally-probable ranges and returns
+// the n range-start boundaries, beginning at key 0. This is
+// partitionCDF() from Algorithm 1: boundary i is the key at which the CDF
+// reaches i/n, interpolated linearly within a bin. The returned slice is
+// sorted and suitable for hashing.NewRangeTable.
+func (e *Estimator) Partition(n int) ([]hashing.Key, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("kde: cannot partition into %d ranges", n)
+	}
+	cdf := e.CDF()
+	bounds := make([]hashing.Key, n)
+	bounds[0] = 0
+	bin := 0
+	width := e.binWidth()
+	for i := 1; i < n; i++ {
+		target := float64(i) / float64(n)
+		for bin < e.bins-1 && cdf[bin] < target {
+			bin++
+		}
+		// Interpolate inside the bin. prev is the CDF at the bin's start.
+		var prev float64
+		if bin > 0 {
+			prev = cdf[bin-1]
+		}
+		mass := cdf[bin] - prev
+		frac := 1.0
+		if mass > 0 {
+			frac = (target - prev) / mass
+		}
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		key := float64(uint64(e.binStart(bin))) + frac*width
+		if key >= keySpace {
+			key = keySpace - 1
+		}
+		bounds[i] = hashing.Key(key)
+		if bounds[i] < bounds[i-1] {
+			bounds[i] = bounds[i-1] // clamp: bounds must stay sorted
+		}
+	}
+	return bounds, nil
+}

@@ -1,0 +1,327 @@
+package kde
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"eclipsemr/internal/hashing"
+)
+
+func mustNew(t *testing.T, cfg Config) *Estimator {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{Bins: 0, Bandwidth: 1, Alpha: 0.5, Window: 10},
+		{Bins: 10, Bandwidth: 0, Alpha: 0.5, Window: 10},
+		{Bins: 10, Bandwidth: 11, Alpha: 0.5, Window: 10},
+		{Bins: 10, Bandwidth: 1, Alpha: -0.1, Window: 10},
+		{Bins: 10, Bandwidth: 1, Alpha: 1.1, Window: 10},
+		{Bins: 10, Bandwidth: 1, Alpha: 0.5, Window: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Fatalf("DefaultConfig rejected: %v", err)
+	}
+}
+
+func TestBinOfCoversSpace(t *testing.T) {
+	e := mustNew(t, Config{Bins: 64, Bandwidth: 1, Alpha: 1, Window: 1})
+	if b := e.BinOf(0); b != 0 {
+		t.Fatalf("BinOf(0) = %d", b)
+	}
+	if b := e.BinOf(hashing.MaxKey); b != 63 {
+		t.Fatalf("BinOf(MaxKey) = %d", b)
+	}
+	f := func(k hashing.Key) bool {
+		b := e.BinOf(k)
+		return b >= 0 && b < 64
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinStartIsFirstKeyOfBin(t *testing.T) {
+	e := mustNew(t, Config{Bins: 100, Bandwidth: 1, Alpha: 1, Window: 1})
+	for b := 0; b < 100; b++ {
+		s := e.binStart(b)
+		if e.BinOf(s) != b {
+			t.Fatalf("BinOf(binStart(%d)) = %d", b, e.BinOf(s))
+		}
+		if s > 0 && e.BinOf(s-1) != b-1 {
+			t.Fatalf("binStart(%d)-1 in bin %d, want %d", b, e.BinOf(s-1), b-1)
+		}
+	}
+}
+
+func TestUnprimedCDFUniform(t *testing.T) {
+	e := mustNew(t, Config{Bins: 10, Bandwidth: 1, Alpha: 0.5, Window: 100})
+	cdf := e.CDF()
+	for b, v := range cdf {
+		want := float64(b+1) / 10
+		if math.Abs(v-want) > 1e-12 {
+			t.Fatalf("uniform CDF[%d] = %g want %g", b, v, want)
+		}
+	}
+	bounds, err := e.Partition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform distribution must partition into equal-width ranges.
+	for i := 1; i < len(bounds); i++ {
+		width := uint64(bounds[i] - bounds[i-1])
+		wantWidth := uint64(1) << 63 / 5 * 2
+		if relDiff(float64(width), float64(wantWidth)) > 0.01 {
+			t.Fatalf("uniform partition width %d, want ~%d", width, wantWidth)
+		}
+	}
+}
+
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+func TestAddSignalsWindowCompletion(t *testing.T) {
+	e := mustNew(t, Config{Bins: 16, Bandwidth: 1, Alpha: 1, Window: 3})
+	if e.Add(1) || e.Add(2) {
+		t.Fatal("window signalled early")
+	}
+	if !e.Add(3) {
+		t.Fatal("window completion not signalled")
+	}
+	if e.Merges() != 1 || !e.Primed() {
+		t.Fatalf("Merges=%d Primed=%v", e.Merges(), e.Primed())
+	}
+}
+
+func TestBoxKernelSpreadsMass(t *testing.T) {
+	e := mustNew(t, Config{Bins: 16, Bandwidth: 4, Alpha: 1, Window: 1})
+	e.Add(0) // bin 0; kernel spreads to bins -1..2 wrapping to 15,0,1,2
+	pdf := e.PDF()
+	var total float64
+	nonzero := 0
+	for _, v := range pdf {
+		total += v
+		if v > 0 {
+			nonzero++
+		}
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("kernel mass = %g want 1", total)
+	}
+	if nonzero != 4 {
+		t.Fatalf("kernel touched %d bins want 4", nonzero)
+	}
+	if pdf[15] == 0 {
+		t.Fatal("kernel did not wrap around the ring")
+	}
+}
+
+func TestMovingAverageAttenuatesHistory(t *testing.T) {
+	e := mustNew(t, Config{Bins: 4, Bandwidth: 1, Alpha: 0.5, Window: 4})
+	// Window 1: all mass in bin 0.
+	for i := 0; i < 4; i++ {
+		e.Add(0)
+	}
+	// Window 2: all mass in bin 2 (keys in the third quarter of the space).
+	k2 := hashing.Key(uint64(1) << 63) // exactly half way -> bin 2 of 4
+	for i := 0; i < 4; i++ {
+		e.Add(k2)
+	}
+	pdf := e.PDF()
+	// ma = 0.5*new + 0.5*old: bin0 = 2, bin2 = 2.
+	if math.Abs(pdf[0]-2) > 1e-9 || math.Abs(pdf[2]-2) > 1e-9 {
+		t.Fatalf("pdf = %v, want bins 0 and 2 each 2.0", pdf)
+	}
+	// Window 3: mass in bin 2 again; bin0 decays to 1, bin2 rises to 3.
+	for i := 0; i < 4; i++ {
+		e.Add(k2)
+	}
+	pdf = e.PDF()
+	if math.Abs(pdf[0]-1) > 1e-9 || math.Abs(pdf[2]-3) > 1e-9 {
+		t.Fatalf("after decay pdf = %v", pdf)
+	}
+}
+
+func TestAlphaOneForgetsHistory(t *testing.T) {
+	e := mustNew(t, Config{Bins: 4, Bandwidth: 1, Alpha: 1, Window: 2})
+	e.Add(0)
+	e.Add(0)
+	k2 := hashing.Key(uint64(1) << 63)
+	e.Add(k2)
+	e.Add(k2)
+	pdf := e.PDF()
+	if pdf[0] != 0 {
+		t.Fatalf("alpha=1 retained history: pdf=%v", pdf)
+	}
+	if pdf[2] != 2 {
+		t.Fatalf("alpha=1 lost current window: pdf=%v", pdf)
+	}
+}
+
+// TestPartitionSkewNarrowsHotRanges reproduces the paper's core claim: when
+// accesses concentrate around two hot keys, the servers covering those keys
+// get narrower hash ranges (Figure 3).
+func TestPartitionSkewNarrowsHotRanges(t *testing.T) {
+	e := mustNew(t, Config{Bins: 1024, Bandwidth: 8, Alpha: 1, Window: 10000})
+	rng := rand.New(rand.NewSource(1))
+	// Two normal distributions centred at 0.25 and 0.75 of the key space,
+	// like the synthetic grep workload in §III-C.
+	for i := 0; i < 10000; i++ {
+		var center float64
+		if rng.Intn(2) == 0 {
+			center = 0.25
+		} else {
+			center = 0.75
+		}
+		pos := center + rng.NormFloat64()*0.02
+		pos = math.Mod(pos+1, 1)
+		e.Add(hashing.Key(pos * keySpace))
+	}
+	bounds, err := e.Partition(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	widths := make([]float64, 8)
+	for i := range bounds {
+		next := bounds[(i+1)%8]
+		widths[i] = float64(uint64(next - bounds[i]))
+	}
+	// Ranges containing the hot keys (0.25 and 0.75 of the space) must be
+	// far narrower than the widest (cold) range.
+	hot1 := hashing.Key(0.25 * keySpace)
+	hot2 := hashing.Key(0.75 * keySpace)
+	var maxW, hotW1, hotW2 float64
+	for i := range bounds {
+		next := bounds[(i+1)%8]
+		if widths[i] > maxW {
+			maxW = widths[i]
+		}
+		if hashing.InRange(hot1, bounds[i], next) {
+			hotW1 = widths[i]
+		}
+		if hashing.InRange(hot2, bounds[i], next) {
+			hotW2 = widths[i]
+		}
+	}
+	if hotW1 == 0 || hotW2 == 0 {
+		t.Fatal("hot keys not covered by any range")
+	}
+	if hotW1 > maxW/4 || hotW2 > maxW/4 {
+		t.Fatalf("hot ranges not narrowed: hot1=%.3g hot2=%.3g max=%.3g", hotW1, hotW2, maxW)
+	}
+}
+
+// TestPartitionEquallyProbable checks the defining property of
+// partitionCDF: each range receives ~1/n of the access probability mass.
+func TestPartitionEquallyProbable(t *testing.T) {
+	e := mustNew(t, Config{Bins: 2048, Bandwidth: 4, Alpha: 1, Window: 20000})
+	rng := rand.New(rand.NewSource(2))
+	samples := make([]hashing.Key, 20000)
+	for i := range samples {
+		// Skewed: squared uniform concentrates mass near 0.
+		u := rng.Float64()
+		samples[i] = hashing.Key(u * u * keySpace)
+		e.Add(samples[i])
+	}
+	n := 5
+	bounds, err := e.Partition(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab, err := hashing.NewRangeTable(
+		[]hashing.NodeID{"a", "b", "c", "d", "e"}, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[hashing.NodeID]int{}
+	// Fresh draws from the same distribution.
+	for i := 0; i < 20000; i++ {
+		u := rng.Float64()
+		counts[tab.Lookup(hashing.Key(u*u*keySpace))]++
+	}
+	for id, c := range counts {
+		frac := float64(c) / 20000
+		if math.Abs(frac-0.2) > 0.05 {
+			t.Errorf("server %s got %.1f%% of accesses, want ~20%%", id, frac*100)
+		}
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	e := mustNew(t, DefaultConfig())
+	if _, err := e.Partition(0); err == nil {
+		t.Fatal("Partition(0) accepted")
+	}
+	if _, err := e.Partition(-1); err == nil {
+		t.Fatal("Partition(-1) accepted")
+	}
+}
+
+// Property: Partition always returns sorted bounds starting at 0, no
+// matter what keys were observed.
+func TestPartitionAlwaysSorted(t *testing.T) {
+	f := func(keys []hashing.Key, nRanges uint8) bool {
+		n := int(nRanges%16) + 1
+		e, err := New(Config{Bins: 128, Bandwidth: 4, Alpha: 0.3, Window: 8})
+		if err != nil {
+			return false
+		}
+		for _, k := range keys {
+			e.Add(k)
+		}
+		bounds, err := e.Partition(n)
+		if err != nil || len(bounds) != n || bounds[0] != 0 {
+			return false
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] < bounds[i-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHotSpotCollapsesRanges reproduces the extreme single-hot-key case
+// from §II-E: when one key receives all accesses, most servers' ranges
+// collapse to (nearly) nothing so all servers share the hot data.
+func TestHotSpotCollapsesRanges(t *testing.T) {
+	e := mustNew(t, Config{Bins: 1024, Bandwidth: 1, Alpha: 1, Window: 1000})
+	hot := hashing.Key(0.3 * keySpace)
+	for i := 0; i < 1000; i++ {
+		e.Add(hot)
+	}
+	bounds, err := e.Partition(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All interior boundaries should land inside the hot key's bin: the
+	// middle ranges are (nearly) zero width.
+	binW := keySpace / 1024
+	for i := 2; i < 4; i++ {
+		gap := float64(uint64(bounds[i] - bounds[i-1]))
+		if gap > binW {
+			t.Fatalf("range %d width %.3g exceeds one bin (%.3g): bounds=%v", i-1, gap, binW, bounds)
+		}
+	}
+}

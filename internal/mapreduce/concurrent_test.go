@@ -1,0 +1,135 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentJobsShareScheduler runs a batch of jobs through one
+// driver at the same time — the real-engine analogue of the paper's
+// Figure 8 — and verifies every job's output is correct and jobs never
+// observe each other's tasks.
+func TestConcurrentJobsShareScheduler(t *testing.T) {
+	ec := newEngineCluster(t, engineOpts{nodes: 5, slots: 2})
+	inputs := map[string]map[string]int{
+		"in-a.txt": {"alpha": 40, "omega": 13},
+		"in-b.txt": {"beta": 25, "omega": 7},
+		"in-c.txt": {"gamma": 61},
+	}
+	for name, words := range inputs {
+		ec.upload(t, name, corpus(words), 256)
+	}
+	type jobCase struct {
+		id    string
+		input string
+	}
+	var jobs []jobCase
+	for i := 0; i < 9; i++ {
+		input := []string{"in-a.txt", "in-b.txt", "in-c.txt"}[i%3]
+		jobs = append(jobs, jobCase{id: fmt.Sprintf("conc-%d", i), input: input})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(jobs))
+	for _, jc := range jobs {
+		wg.Add(1)
+		go func(jc jobCase) {
+			defer wg.Done()
+			res, err := ec.driver.Run(JobSpec{
+				ID: jc.id, App: "test-wordcount", Inputs: []string{jc.input}, User: "tester",
+			})
+			if err != nil {
+				errs <- fmt.Errorf("%s: %w", jc.id, err)
+				return
+			}
+			kvs, err := ec.driver.Collect(res, "tester")
+			if err != nil {
+				errs <- fmt.Errorf("%s collect: %w", jc.id, err)
+				return
+			}
+			want := inputs[jc.input]
+			got := map[string]int{}
+			for _, kv := range kvs {
+				n, _ := strconv.Atoi(string(kv.Value))
+				got[kv.Key] = n
+			}
+			if len(got) != len(want) {
+				errs <- fmt.Errorf("%s: %d words, want %d", jc.id, len(got), len(want))
+				return
+			}
+			for w, n := range want {
+				if got[w] != n {
+					errs <- fmt.Errorf("%s: count[%q]=%d want %d", jc.id, w, got[w], n)
+					return
+				}
+			}
+		}(jc)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestDuplicateConcurrentJobIDRejected verifies two in-flight jobs cannot
+// share an ID (the dispatcher routes assignments by job ID).
+func TestDuplicateConcurrentJobIDRejected(t *testing.T) {
+	ec := newEngineCluster(t, engineOpts{})
+	ec.upload(t, "dup.txt", corpus(map[string]int{"w": 2000}), 64)
+	spec := JobSpec{ID: "dup-job", App: "test-wordcount", Inputs: []string{"dup.txt"}, User: "tester"}
+	var wg sync.WaitGroup
+	results := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := ec.driver.Run(spec)
+			results <- err
+		}()
+	}
+	wg.Wait()
+	close(results)
+	var failures int
+	for err := range results {
+		if err != nil {
+			if !strings.Contains(err.Error(), "already running") {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			failures++
+		}
+	}
+	// Either both ran sequentially (one finished before the other
+	// started) or exactly one was rejected — never both failing.
+	if failures > 1 {
+		t.Fatalf("both duplicate submissions failed")
+	}
+}
+
+// TestDriverCloseFailsInFlightJobs verifies Close unblocks a waiting map
+// phase with an error rather than hanging.
+func TestDriverCloseFailsInFlightJobs(t *testing.T) {
+	ec := newEngineCluster(t, engineOpts{nodes: 2, slots: 1})
+	ec.upload(t, "slow.txt", corpus(map[string]int{"x": 500}), 64)
+	done := make(chan error, 1)
+	go func() {
+		_, err := ec.driver.Run(JobSpec{
+			ID: "to-close", App: "test-wordcount", Inputs: []string{"slow.txt"}, User: "tester",
+		})
+		done <- err
+	}()
+	// Let the job get going, then close the driver. Depending on timing
+	// the job may have already finished, which is also fine.
+	ec.driver.Close()
+	if err := <-done; err != nil && !strings.Contains(err.Error(), "driver closed") {
+		t.Fatalf("err = %v", err)
+	}
+	// New submissions are refused.
+	if _, err := ec.driver.Run(JobSpec{
+		ID: "after-close", App: "test-wordcount", Inputs: []string{"slow.txt"}, User: "tester",
+	}); err == nil {
+		t.Fatal("Run succeeded after Close")
+	}
+}

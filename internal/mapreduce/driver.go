@@ -1,0 +1,496 @@
+package mapreduce
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/scheduler"
+	"eclipsemr/internal/transport"
+)
+
+// Driver orchestrates MapReduce jobs from the job-scheduler node: it
+// resolves input metadata through the DHT file system, feeds map tasks to
+// the pluggable scheduling policy, dispatches tasks to workers over the
+// transport, schedules reduce tasks at the nodes storing the intermediate
+// results, and assembles results.
+//
+// A single Driver runs any number of jobs concurrently (the paper's
+// Figure 8 batches seven): one dispatcher goroutine owns the scheduling
+// policy and routes each assignment to the job that submitted the task,
+// so concurrent Run calls share worker slots under the policy.
+type Driver struct {
+	self  hashing.NodeID
+	net   transport.Network
+	fs    *dhtfs.Service
+	sched scheduler.Scheduler
+	ring  func() *hashing.Ring
+	// reduceSlots bounds concurrent reduce tasks per node.
+	reduceSlots int
+	start       time.Time
+
+	mu   sync.Mutex
+	jobs map[string]*activeJob
+	// wake nudges the dispatcher; buffered so signalling never blocks.
+	wake    chan struct{}
+	started bool
+	closed  bool
+}
+
+// activeJob is the dispatcher-side state of one running map phase.
+type activeJob struct {
+	spec      JobSpec
+	ns        string
+	mk        *marker
+	res       *Result
+	attempts  map[string]int
+	taskByID  map[string]scheduler.Task
+	remaining int
+	done      chan error // buffered(1); receives the phase outcome
+	failed    bool
+}
+
+// NewDriver builds a Driver. The scheduler must already know the worker
+// nodes and their map slots; reduceSlots bounds reducer concurrency per
+// node (the paper configures 8 map and 8 reduce slots per server).
+func NewDriver(self hashing.NodeID, net transport.Network, fs *dhtfs.Service,
+	sched scheduler.Scheduler, ring func() *hashing.Ring, reduceSlots int) (*Driver, error) {
+	if fs == nil || sched == nil || ring == nil {
+		return nil, errors.New("mapreduce: driver requires fs, scheduler and ring")
+	}
+	if reduceSlots <= 0 {
+		reduceSlots = 8
+	}
+	return &Driver{
+		self:        self,
+		net:         net,
+		fs:          fs,
+		sched:       sched,
+		ring:        ring,
+		reduceSlots: reduceSlots,
+		start:       time.Now(),
+		jobs:        make(map[string]*activeJob),
+		wake:        make(chan struct{}, 1),
+	}, nil
+}
+
+// since returns the driver's monotonic time, the clock fed to the
+// scheduling policy.
+func (d *Driver) since() time.Duration { return time.Since(d.start) }
+
+// marker is the completion record persisted to the DHT file system when a
+// job with a reuse tag finishes its map phase; a later job with the same
+// tag reads it instead of re-running the maps.
+type marker struct {
+	Servers   []hashing.NodeID
+	Bounds    []hashing.Key
+	PartBytes []int64
+	// Expires invalidates the marker (and with it reuse of the stored
+	// intermediates) once the job's IntermediateTTL lapses; zero means no
+	// TTL.
+	Expires time.Time
+}
+
+func markerFile(namespace string) string { return "_mr/" + namespace + "/done" }
+
+// Run executes one job to completion. Run may be called concurrently for
+// different jobs; job IDs must be unique among in-flight jobs.
+func (d *Driver) Run(spec JobSpec) (Result, error) {
+	if err := spec.validate(); err != nil {
+		return Result{}, err
+	}
+	began := time.Now()
+	ns := spec.Namespace()
+	res := Result{Job: spec.ID}
+
+	// Reuse path: a completed map phase under this namespace lets the job
+	// skip straight to reducing (§II-C).
+	var mk marker
+	reused := false
+	if spec.ReuseTag != "" {
+		if data, err := d.fs.ReadFile(markerFile(ns), spec.User); err == nil {
+			if err := transport.Decode(data, &mk); err != nil {
+				return Result{}, fmt.Errorf("mapreduce: corrupt reuse marker for %q: %w", ns, err)
+			}
+			// The TTL on stored intermediate results invalidates reuse.
+			if mk.Expires.IsZero() || d.fs.Now().Before(mk.Expires) {
+				reused = true
+			} else {
+				mk = marker{}
+			}
+		}
+	}
+
+	if !reused {
+		table, err := hashing.AlignedRangeTable(d.ring())
+		if err != nil {
+			return Result{}, err
+		}
+		mk.Servers = table.Servers()
+		mk.Bounds = table.Bounds()
+		mk.PartBytes = make([]int64, table.Len())
+
+		tasks, err := d.mapTasks(spec)
+		if err != nil {
+			return Result{}, err
+		}
+		res.MapTasks = len(tasks)
+		if err := d.runMapPhase(spec, ns, tasks, &mk, &res); err != nil {
+			return Result{}, err
+		}
+		if spec.ReuseTag != "" {
+			if spec.IntermediateTTL > 0 {
+				mk.Expires = d.fs.Now().Add(spec.IntermediateTTL)
+			}
+			data, err := transport.Encode(mk)
+			if err != nil {
+				return Result{}, err
+			}
+			if _, err := d.fs.Upload(markerFile(ns), spec.User, dhtfs.PermPublic, data, 1<<20); err != nil {
+				return Result{}, fmt.Errorf("mapreduce: store reuse marker: %w", err)
+			}
+		}
+	} else {
+		res.MapsSkipped = true
+	}
+
+	if err := d.runReducePhase(spec, ns, mk, &res); err != nil {
+		return Result{}, err
+	}
+	res.Elapsed = time.Since(began)
+	return res, nil
+}
+
+// mapTasks expands the job's input files into one task per block.
+func (d *Driver) mapTasks(spec JobSpec) ([]scheduler.Task, error) {
+	var tasks []scheduler.Task
+	for _, input := range spec.Inputs {
+		meta, err := d.fs.Lookup(input, spec.User)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: input %q: %w", input, err)
+		}
+		for i, bk := range meta.BlockKeys {
+			tasks = append(tasks, scheduler.Task{
+				Job:     spec.ID,
+				ID:      fmt.Sprintf("%s/m/%s/%d", spec.ID, input, i),
+				HashKey: bk,
+			})
+		}
+	}
+	return tasks, nil
+}
+
+// runMapPhase registers the job with the dispatcher, submits its tasks,
+// and waits for the phase to finish.
+func (d *Driver) runMapPhase(spec JobSpec, ns string, tasks []scheduler.Task, mk *marker, res *Result) error {
+	j := &activeJob{
+		spec:      spec,
+		ns:        ns,
+		mk:        mk,
+		res:       res,
+		attempts:  make(map[string]int, len(tasks)),
+		taskByID:  make(map[string]scheduler.Task, len(tasks)),
+		remaining: len(tasks),
+		done:      make(chan error, 1),
+	}
+	for _, t := range tasks {
+		j.taskByID[t.ID] = t
+	}
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("mapreduce: driver closed")
+	}
+	if _, dup := d.jobs[spec.ID]; dup {
+		d.mu.Unlock()
+		return fmt.Errorf("mapreduce: job %s is already running", spec.ID)
+	}
+	d.jobs[spec.ID] = j
+	if !d.started {
+		d.started = true
+		go d.dispatchLoop()
+	}
+	d.mu.Unlock()
+
+	now := d.since()
+	for _, t := range tasks {
+		d.sched.Submit(t, now)
+	}
+	d.signal()
+	err := <-j.done
+
+	d.mu.Lock()
+	delete(d.jobs, spec.ID)
+	d.mu.Unlock()
+	return err
+}
+
+// signal nudges the dispatcher without blocking.
+func (d *Driver) signal() {
+	select {
+	case d.wake <- struct{}{}:
+	default:
+	}
+}
+
+// dispatchLoop is the single goroutine that pumps the scheduling policy:
+// it pulls ready assignments, routes each to its job, and wakes for
+// delay-scheduler deadlines. It runs for the driver's lifetime.
+func (d *Driver) dispatchLoop() {
+	for {
+		d.mu.Lock()
+		closed := d.closed
+		d.mu.Unlock()
+		if closed {
+			return
+		}
+
+		for _, a := range d.sched.Dispatch(d.since()) {
+			d.mu.Lock()
+			j := d.jobs[a.Task.Job]
+			d.mu.Unlock()
+			if j == nil {
+				// The job failed and deregistered while this task sat in
+				// the queue; give the slot back.
+				d.sched.Release(a.Node)
+				continue
+			}
+			go d.runMapTask(j, a)
+		}
+
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if dl, ok := d.sched.NextDeadline(); ok {
+			if wait := dl - d.since(); wait > 0 {
+				timer = time.NewTimer(wait)
+				timerC = timer.C
+			} else {
+				// Deadline already passed: take another dispatch pass.
+				continue
+			}
+		}
+		select {
+		case <-d.wake:
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+	}
+}
+
+// runMapTask executes one assignment against its worker and accounts the
+// completion.
+func (d *Driver) runMapTask(j *activeJob, a scheduler.Assignment) {
+	req := RunMapReq{
+		Job:            j.spec.ID,
+		Namespace:      j.ns,
+		App:            j.spec.App,
+		Params:         j.spec.Params,
+		BlockKey:       a.Task.HashKey,
+		ReduceServers:  j.mk.Servers,
+		ReduceBounds:   j.mk.Bounds,
+		SpillThreshold: j.spec.SpillThreshold,
+		TTL:            j.spec.IntermediateTTL,
+	}
+	var resp RunMapResp
+	err := d.call(a.Node, MethodRunMap, req, &resp)
+
+	maxAttempts := j.spec.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 3
+	}
+
+	d.mu.Lock()
+	defer func() {
+		d.mu.Unlock()
+		d.signal()
+	}()
+	if err == nil {
+		d.sched.Release(a.Node)
+		if j.failed {
+			return
+		}
+		for i, b := range resp.PartBytes {
+			j.mk.PartBytes[i] += b
+		}
+		j.res.ShuffleBytes += sum(resp.PartBytes)
+		if resp.CacheHit {
+			j.res.CacheHits++
+		} else {
+			j.res.CacheMisses++
+		}
+		j.remaining--
+		if j.remaining == 0 {
+			j.done <- nil
+		}
+		return
+	}
+	// Failure handling: unreachable workers leave the pool; application
+	// errors are retried elsewhere up to the limit.
+	if errors.Is(err, transport.ErrUnreachable) {
+		d.sched.RemoveNode(a.Node)
+	} else {
+		d.sched.Release(a.Node)
+	}
+	if j.failed {
+		return
+	}
+	j.attempts[a.Task.ID]++
+	if j.attempts[a.Task.ID] >= maxAttempts {
+		j.failed = true
+		j.done <- fmt.Errorf("mapreduce: task %s failed %d times, last error: %w",
+			a.Task.ID, j.attempts[a.Task.ID], err)
+		return
+	}
+	d.sched.Submit(j.taskByID[a.Task.ID], d.since())
+}
+
+// Close stops the dispatcher goroutine. Intended for process shutdown;
+// jobs still in flight fail their map phases.
+func (d *Driver) Close() {
+	d.mu.Lock()
+	d.closed = true
+	jobs := make([]*activeJob, 0, len(d.jobs))
+	for _, j := range d.jobs {
+		jobs = append(jobs, j)
+	}
+	d.mu.Unlock()
+	for _, j := range jobs {
+		select {
+		case j.done <- errors.New("mapreduce: driver closed"):
+		default:
+		}
+	}
+	d.signal()
+}
+
+// runReducePhase schedules one reduce task per non-empty partition,
+// directly at the node storing the partition's segments (the paper's
+// reduce placement: "the scheduler schedules reduce tasks where the
+// intermediate results are stored"). Per-node concurrency is bounded by
+// reduceSlots.
+func (d *Driver) runReducePhase(spec JobSpec, ns string, mk marker, res *Result) error {
+	type reduceTask struct {
+		part  int
+		owner hashing.NodeID
+	}
+	var tasks []reduceTask
+	for part, bytes := range mk.PartBytes {
+		if bytes > 0 {
+			tasks = append(tasks, reduceTask{part: part, owner: mk.Servers[part]})
+		}
+	}
+	res.ReduceTasks = len(tasks)
+	if len(tasks) == 0 {
+		return nil
+	}
+	sem := make(map[hashing.NodeID]chan struct{})
+	for _, t := range tasks {
+		if _, ok := sem[t.owner]; !ok {
+			sem[t.owner] = make(chan struct{}, d.reduceSlots)
+		}
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for _, t := range tasks {
+		wg.Add(1)
+		go func(t reduceTask) {
+			defer wg.Done()
+			sem[t.owner] <- struct{}{}
+			defer func() { <-sem[t.owner] }()
+			outFile := fmt.Sprintf("%s.out.%s", spec.ID, partitionName(t.part))
+			req := RunReduceReq{
+				Job:                spec.ID,
+				Namespace:          ns,
+				App:                spec.App,
+				Params:             spec.Params,
+				Partition:          t.part,
+				SegmentOwner:       t.owner,
+				OutputFile:         outFile,
+				CacheIntermediates: spec.CacheIntermediates,
+				CacheOutputs:       spec.CacheOutputs,
+				TTL:                spec.IntermediateTTL,
+				User:               spec.User,
+			}
+			var resp RunReduceResp
+			err := d.call(t.owner, MethodRunReduce, req, &resp)
+			if err != nil && errors.Is(err, transport.ErrUnreachable) {
+				// Segment owner died. Its successor holds no segments (the
+				// paper leaves intermediates unreplicated by default), so
+				// surface the failure: the caller restarts the job.
+				err = fmt.Errorf("mapreduce: reduce partition %d lost with node %s: %w",
+					t.part, t.owner, err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				return
+			}
+			if resp.InputCached {
+				res.CacheHits++
+			}
+			if resp.HasOutput {
+				res.OutputFiles = append(res.OutputFiles, outFile)
+			}
+		}(t)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// call invokes a worker method over the network (the driver node is
+// itself a listening worker, so self-calls take the same path).
+func (d *Driver) call(to hashing.NodeID, method string, req, resp any) error {
+	body, err := transport.Encode(req)
+	if err != nil {
+		return err
+	}
+	out, err := d.net.Call(to, method, body)
+	if err != nil {
+		return err
+	}
+	return transport.Decode(out, resp)
+}
+
+// Collect reads and decodes every output file of a completed job,
+// returning the merged key-value pairs (sorted within each partition;
+// partitions concatenated in partition order).
+func (d *Driver) Collect(res Result, user string) ([]KV, error) {
+	var out []KV
+	for _, f := range res.OutputFiles {
+		data, err := d.fs.ReadFile(f, user)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: collect %q: %w", f, err)
+		}
+		kvs, err := DecodeKVs(data)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: collect %q: %w", f, err)
+		}
+		out = append(out, kvs...)
+	}
+	return out, nil
+}
+
+// DropIntermediates removes a namespace's segments cluster-wide.
+func (d *Driver) DropIntermediates(spec JobSpec) {
+	d.fs.DropJob(spec.Namespace())
+}
+
+func sum(xs []int64) int64 {
+	var total int64
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

@@ -1,0 +1,101 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// KV is one key-value pair in the intermediate and output streams.
+type KV struct {
+	Key   string
+	Value []byte
+}
+
+// Intermediate spills and reduce outputs cross the wire and the DHT file
+// system as flat streams of length-prefixed pairs:
+//
+//	u32 keyLen | key | u32 valueLen | value | ...
+//
+// A hand-rolled format (rather than gob) keeps spills append-concatenable:
+// the byte concatenation of two streams is the stream of their
+// concatenated pairs, which is exactly what segment append gives us.
+
+// AppendKV appends one encoded pair to buf and returns the extended slice.
+func AppendKV(buf []byte, kv KV) []byte {
+	var l [4]byte
+	binary.BigEndian.PutUint32(l[:], uint32(len(kv.Key)))
+	buf = append(buf, l[:]...)
+	buf = append(buf, kv.Key...)
+	binary.BigEndian.PutUint32(l[:], uint32(len(kv.Value)))
+	buf = append(buf, l[:]...)
+	buf = append(buf, kv.Value...)
+	return buf
+}
+
+// EncodeKVs encodes a pair slice as one stream.
+func EncodeKVs(kvs []KV) []byte {
+	size := 0
+	for _, kv := range kvs {
+		size += 8 + len(kv.Key) + len(kv.Value)
+	}
+	buf := make([]byte, 0, size)
+	for _, kv := range kvs {
+		buf = AppendKV(buf, kv)
+	}
+	return buf
+}
+
+// DecodeKVs parses a stream back into pairs.
+func DecodeKVs(data []byte) ([]KV, error) {
+	var out []KV
+	for off := 0; off < len(data); {
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("mapreduce: truncated key length at offset %d", off)
+		}
+		klen := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if off+klen > len(data) {
+			return nil, fmt.Errorf("mapreduce: truncated key at offset %d", off)
+		}
+		key := string(data[off : off+klen])
+		off += klen
+		if off+4 > len(data) {
+			return nil, fmt.Errorf("mapreduce: truncated value length at offset %d", off)
+		}
+		vlen := int(binary.BigEndian.Uint32(data[off:]))
+		off += 4
+		if off+vlen > len(data) {
+			return nil, fmt.Errorf("mapreduce: truncated value at offset %d", off)
+		}
+		value := append([]byte(nil), data[off:off+vlen]...)
+		off += vlen
+		out = append(out, KV{Key: key, Value: value})
+	}
+	return out, nil
+}
+
+// GroupByKey sorts pairs by key and collates the values of equal keys,
+// preserving the pairs' relative order within a key (stable sort): the
+// reducer contract.
+func GroupByKey(kvs []KV) []Group {
+	sorted := append([]KV(nil), kvs...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+	var out []Group
+	for i := 0; i < len(sorted); {
+		j := i
+		var values [][]byte
+		for ; j < len(sorted) && sorted[j].Key == sorted[i].Key; j++ {
+			values = append(values, sorted[j].Value)
+		}
+		out = append(out, Group{Key: sorted[i].Key, Values: values})
+		i = j
+	}
+	return out
+}
+
+// Group is one reduce input: a key and all of its values.
+type Group struct {
+	Key    string
+	Values [][]byte
+}

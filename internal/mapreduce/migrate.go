@@ -1,0 +1,128 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"eclipsemr/internal/cache"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/transport"
+)
+
+// Misplaced-cache migration (§II-E): when the LAF scheduler shifts a
+// server's hash-key range, blocks cached under the old ranges can end up
+// on a neighbor whose range no longer covers them. EclipseMR "provides an
+// option to check if a left or a right neighbor worker server has cached
+// data objects, and to migrate the cached data if either one has". The
+// worker serves its cached blocks by range (mr.cacheRange) and adopts a
+// new range by pulling misplaced entries from both ring neighbors
+// (mr.adoptRange).
+
+// Wire messages for cache migration.
+type (
+	// CacheRangeReq asks a node for its cached input blocks within
+	// [Start, End).
+	CacheRangeReq struct {
+		Start hashing.Key
+		End   hashing.Key
+	}
+	// CachedBlock is one migrating iCache entry.
+	CachedBlock struct {
+		Key  hashing.Key
+		Data []byte
+	}
+	// CacheRangeResp carries the matching entries.
+	CacheRangeResp struct {
+		Blocks []CachedBlock
+	}
+	// AdoptRangeReq tells a node its new cache range and its current ring
+	// neighbors to check for misplaced entries.
+	AdoptRangeReq struct {
+		Start hashing.Key
+		End   hashing.Key
+		Left  hashing.NodeID
+		Right hashing.NodeID
+	}
+	// AdoptRangeResp reports how many blocks were migrated in.
+	AdoptRangeResp struct {
+		Migrated int
+	}
+)
+
+// Migration method names.
+const (
+	MethodCacheRange = "mr.cacheRange"
+	MethodAdoptRange = "mr.adoptRange"
+)
+
+// handleMigration serves the migration methods; called from
+// Worker.Handle.
+func (w *Worker) handleMigration(method string, body []byte) ([]byte, bool, error) {
+	switch method {
+	case MethodCacheRange:
+		var req CacheRangeReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		var resp CacheRangeResp
+		for _, e := range w.cache.ICache.EntriesInRange(req.Start, req.End) {
+			data, _ := e.Value.([]byte)
+			if data == nil {
+				continue
+			}
+			resp.Blocks = append(resp.Blocks, CachedBlock{Key: e.HashKey, Data: data})
+		}
+		out, err := transport.Encode(resp)
+		return out, true, err
+	case MethodAdoptRange:
+		var req AdoptRangeReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		migrated, err := w.adoptRange(req)
+		if err != nil {
+			return nil, true, err
+		}
+		out, err := transport.Encode(AdoptRangeResp{Migrated: migrated})
+		return out, true, err
+	}
+	return nil, false, nil
+}
+
+// adoptRange pulls cached blocks in [Start, End) from both neighbors into
+// the local iCache, skipping anything already cached here.
+func (w *Worker) adoptRange(req AdoptRangeReq) (int, error) {
+	migrated := 0
+	var firstErr error
+	for _, neighbor := range []hashing.NodeID{req.Left, req.Right} {
+		if neighbor == "" || neighbor == w.self {
+			continue
+		}
+		body, err := transport.Encode(CacheRangeReq{Start: req.Start, End: req.End})
+		if err != nil {
+			return migrated, err
+		}
+		out, err := w.net.Call(neighbor, MethodCacheRange, body)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("mapreduce: migrate from %s: %w", neighbor, err)
+			}
+			continue // a dead neighbor is not fatal; recovery handles it
+		}
+		var resp CacheRangeResp
+		if err := transport.Decode(out, &resp); err != nil {
+			return migrated, err
+		}
+		for _, blk := range resp.Blocks {
+			if _, ok := w.cache.ICache.Peek(cache.BlockKey(blk.Key)); ok {
+				continue
+			}
+			if w.cache.PutBlock(blk.Key, blk.Data) {
+				migrated++
+			}
+		}
+	}
+	if migrated == 0 && firstErr != nil {
+		return 0, firstErr
+	}
+	return migrated, nil
+}

@@ -1,0 +1,88 @@
+package mapreduce
+
+import (
+	"testing"
+
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/transport"
+)
+
+// callWorker invokes a worker method through the test network.
+func callWorker(t *testing.T, ec *engineCluster, to hashing.NodeID, method string, req, resp any) {
+	t.Helper()
+	body, err := transport.Encode(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ec.net.Call(to, method, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := transport.Decode(out, resp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCacheRangeServesOnlyMatchingBlocks(t *testing.T) {
+	ec := newEngineCluster(t, engineOpts{nodes: 3})
+	w := ec.workers[ec.ids[0]]
+	w.Cache().PutBlock(100, []byte("inside"))
+	w.Cache().PutBlock(900, []byte("outside"))
+	var resp CacheRangeResp
+	callWorker(t, ec, ec.ids[0], MethodCacheRange, CacheRangeReq{Start: 50, End: 500}, &resp)
+	if len(resp.Blocks) != 1 || resp.Blocks[0].Key != 100 || string(resp.Blocks[0].Data) != "inside" {
+		t.Fatalf("blocks = %+v", resp.Blocks)
+	}
+}
+
+func TestAdoptRangeMigratesFromNeighbors(t *testing.T) {
+	ec := newEngineCluster(t, engineOpts{nodes: 3, cacheSize: 4 << 20})
+	left, mid, right := ec.workers[ec.ids[0]], ec.workers[ec.ids[1]], ec.workers[ec.ids[2]]
+	// Blocks cached on the neighbors under old ranges, now covered by
+	// mid's new range [0, 1000).
+	left.Cache().PutBlock(10, []byte("from-left"))
+	right.Cache().PutBlock(20, []byte("from-right"))
+	right.Cache().PutBlock(5000, []byte("stays")) // outside the range
+	// mid already holds one of them: no double count.
+	mid.Cache().PutBlock(10, []byte("from-left"))
+
+	var resp AdoptRangeResp
+	callWorker(t, ec, ec.ids[1], MethodAdoptRange, AdoptRangeReq{
+		Start: 0, End: 1000, Left: ec.ids[0], Right: ec.ids[2],
+	}, &resp)
+	if resp.Migrated != 1 {
+		t.Fatalf("migrated = %d, want 1 (only the right neighbor's block 20)", resp.Migrated)
+	}
+	if data, ok := mid.Cache().GetBlock(20); !ok || string(data) != "from-right" {
+		t.Fatalf("block 20 not migrated: %q %v", data, ok)
+	}
+	if _, ok := mid.Cache().GetBlock(5000); ok {
+		t.Fatal("out-of-range block migrated")
+	}
+}
+
+func TestAdoptRangeToleratesDeadNeighbor(t *testing.T) {
+	ec := newEngineCluster(t, engineOpts{nodes: 3})
+	ec.workers[ec.ids[2]].Cache().PutBlock(42, []byte("survivor"))
+	ec.net.Unlisten(ec.ids[0]) // left neighbor is dead
+	var resp AdoptRangeResp
+	callWorker(t, ec, ec.ids[1], MethodAdoptRange, AdoptRangeReq{
+		Start: 0, End: 1000, Left: ec.ids[0], Right: ec.ids[2],
+	}, &resp)
+	if resp.Migrated != 1 {
+		t.Fatalf("migrated = %d despite live right neighbor", resp.Migrated)
+	}
+}
+
+func TestAdoptRangeAllNeighborsDeadErrors(t *testing.T) {
+	ec := newEngineCluster(t, engineOpts{nodes: 3})
+	ec.net.Unlisten(ec.ids[0])
+	ec.net.Unlisten(ec.ids[2])
+	body, err := transport.Encode(AdoptRangeReq{Start: 0, End: 10, Left: ec.ids[0], Right: ec.ids[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ec.net.Call(ec.ids[1], MethodAdoptRange, body); err == nil {
+		t.Fatal("adopt with all neighbors dead succeeded")
+	}
+}

@@ -1,0 +1,74 @@
+package mapreduce
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+// Property: DecodeKVs never panics on arbitrary bytes — it either returns
+// an error or a pair list that re-encodes to a prefix-compatible stream.
+func TestDecodeKVsArbitraryBytes(t *testing.T) {
+	f := func(data []byte) bool {
+		kvs, err := DecodeKVs(data)
+		if err != nil {
+			return true // rejected: fine
+		}
+		// Accepted input must round-trip exactly.
+		return bytes.Equal(EncodeKVs(kvs), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Encode→Decode is the identity for arbitrary pair lists.
+func TestKVRoundTripArbitrary(t *testing.T) {
+	f := func(keys []string, values [][]byte) bool {
+		n := len(keys)
+		if len(values) < n {
+			n = len(values)
+		}
+		kvs := make([]KV, n)
+		for i := 0; i < n; i++ {
+			kvs[i] = KV{Key: keys[i], Value: values[i]}
+		}
+		out, err := DecodeKVs(EncodeKVs(kvs))
+		if err != nil || len(out) != len(kvs) {
+			return false
+		}
+		for i := range kvs {
+			if out[i].Key != kvs[i].Key || !bytes.Equal(out[i].Value, kvs[i].Value) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: GroupByKey conserves every value exactly once.
+func TestGroupByKeyConservesValues(t *testing.T) {
+	f := func(keys []uint8, payload uint8) bool {
+		kvs := make([]KV, len(keys))
+		for i, k := range keys {
+			kvs[i] = KV{Key: string(rune('a' + k%16)), Value: []byte{payload, k}}
+		}
+		groups := GroupByKey(kvs)
+		total := 0
+		for _, g := range groups {
+			total += len(g.Values)
+			for i := 1; i < len(g.Values); i++ {
+				if g.Key == "" {
+					return false
+				}
+			}
+		}
+		return total == len(kvs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

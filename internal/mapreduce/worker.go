@@ -1,0 +1,321 @@
+package mapreduce
+
+import (
+	"fmt"
+	"time"
+
+	"eclipsemr/internal/cache"
+	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/transport"
+)
+
+// Wire messages for the mr.* worker methods.
+type (
+	// RunMapReq asks a worker to execute one map task.
+	RunMapReq struct {
+		Job       string
+		Namespace string
+		App       string
+		Params    Params
+		// BlockKey identifies the input block in the DHT file system.
+		BlockKey hashing.Key
+		// ReduceServers / ReduceBounds describe the reduce partition
+		// table fixed at job start (partition i is owned by
+		// ReduceServers[i]).
+		ReduceServers  []hashing.NodeID
+		ReduceBounds   []hashing.Key
+		SpillThreshold int
+		TTL            time.Duration
+	}
+	// RunMapResp reports the intermediate bytes pushed per partition —
+	// the mapper's "notify the scheduler with their hash keys" step.
+	RunMapResp struct {
+		PartBytes []int64
+		// CacheHit reports the input block was served from iCache.
+		CacheHit bool
+		// RemoteRead reports the block came from a remote server's shard.
+		RemoteRead bool
+	}
+	// RunReduceReq asks a worker to execute one reduce task.
+	RunReduceReq struct {
+		Job       string
+		Namespace string
+		App       string
+		Params    Params
+		Partition int
+		// SegmentOwner is the node holding the partition's spills.
+		SegmentOwner hashing.NodeID
+		OutputFile   string
+		// OutputBlockSize sizes the DHT-FS blocks of the output file.
+		OutputBlockSize    int
+		CacheIntermediates bool
+		CacheOutputs       bool
+		TTL                time.Duration
+		User               string
+	}
+	// RunReduceResp summarizes a reduce task.
+	RunReduceResp struct {
+		Keys        int64
+		OutputBytes int64
+		// InputCached reports the merged partition input came from oCache.
+		InputCached bool
+		// HasOutput reports whether an output file was written (empty
+		// partitions produce none).
+		HasOutput bool
+	}
+)
+
+// Worker method names.
+const (
+	MethodRunMap    = "mr.runMap"
+	MethodRunReduce = "mr.runReduce"
+)
+
+// Worker executes map and reduce tasks on one node. It reads input blocks
+// through the node's iCache, proactively shuffles intermediate results to
+// reducer-side nodes, and serves reduce tasks from locally stored
+// segments (or oCache).
+type Worker struct {
+	self  hashing.NodeID
+	fs    *dhtfs.Service
+	cache *cache.NodeCache
+	net   transport.Network
+	reg   *metrics.Registry
+}
+
+// NewWorker builds a Worker bound to the node's file system service and
+// cache.
+func NewWorker(self hashing.NodeID, fs *dhtfs.Service, nc *cache.NodeCache, net transport.Network) *Worker {
+	return &Worker{self: self, fs: fs, cache: nc, net: net, reg: metrics.NewRegistry()}
+}
+
+// Cache exposes the node cache for stats collection.
+func (w *Worker) Cache() *cache.NodeCache { return w.cache }
+
+// Metrics exposes the worker's operational counters.
+func (w *Worker) Metrics() *metrics.Registry { return w.reg }
+
+// Handle serves one inbound mr.* call; the bool reports method ownership.
+func (w *Worker) Handle(method string, body []byte) ([]byte, bool, error) {
+	switch method {
+	case MethodRunMap:
+		var req RunMapReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		resp, err := w.runMap(req)
+		if err != nil {
+			return nil, true, err
+		}
+		out, err := transport.Encode(resp)
+		return out, true, err
+	case MethodRunReduce:
+		var req RunReduceReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		resp, err := w.runReduce(req)
+		if err != nil {
+			return nil, true, err
+		}
+		out, err := transport.Encode(resp)
+		return out, true, err
+	}
+	return w.handleMigration(method, body)
+}
+
+// fetchBlock implements the paper's map-side read path: iCache, then the
+// local DHT-FS shard, then a remote read that populates iCache so the
+// popular block is now cached *here*, in the range the scheduler mapped it
+// to — independent of where the file system stored it.
+func (w *Worker) fetchBlock(k hashing.Key) (data []byte, cacheHit, remote bool, err error) {
+	if data, ok := w.cache.GetBlock(k); ok {
+		return data, true, false, nil
+	}
+	if data, err := w.fs.Store().GetBlock(k); err == nil {
+		w.cache.PutBlock(k, data)
+		return data, false, false, nil
+	}
+	data, err = w.fs.ReadBlock(k)
+	if err != nil {
+		return nil, false, false, err
+	}
+	w.cache.PutBlock(k, data)
+	return data, false, true, nil
+}
+
+// runMap executes one map task with proactive shuffling.
+func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
+	app, err := lookupApp(req.App)
+	if err != nil {
+		return RunMapResp{}, err
+	}
+	if len(req.ReduceServers) == 0 || len(req.ReduceServers) != len(req.ReduceBounds) {
+		return RunMapResp{}, fmt.Errorf("mapreduce: malformed reduce table (%d servers, %d bounds)",
+			len(req.ReduceServers), len(req.ReduceBounds))
+	}
+	table, err := hashing.NewRangeTable(req.ReduceServers, req.ReduceBounds)
+	if err != nil {
+		return RunMapResp{}, err
+	}
+	input, cacheHit, remote, err := w.fetchBlock(req.BlockKey)
+	if err != nil {
+		return RunMapResp{}, fmt.Errorf("mapreduce: map input %s: %w", req.BlockKey, err)
+	}
+	w.reg.Counter("mr.map.tasks").Inc()
+	w.reg.Counter("mr.map.input_bytes").Add(int64(len(input)))
+	if cacheHit {
+		w.reg.Counter("mr.map.cache_hits").Inc()
+	}
+	if remote {
+		w.reg.Counter("mr.map.remote_reads").Inc()
+	}
+
+	threshold := req.SpillThreshold
+	if threshold <= 0 {
+		threshold = DefaultSpillThreshold
+	}
+	nParts := len(req.ReduceServers)
+	resp := RunMapResp{PartBytes: make([]int64, nParts), CacheHit: cacheHit, RemoteRead: remote}
+	buffers := make([][]KV, nParts)
+	bufBytes := make([]int, nParts)
+
+	spill := func(part int) error {
+		if len(buffers[part]) == 0 {
+			return nil
+		}
+		kvs := buffers[part]
+		if app.Combine != nil {
+			kvs, err = combine(app.Combine, req.Params, kvs)
+			if err != nil {
+				return err
+			}
+		}
+		data := EncodeKVs(kvs)
+		partition := partitionName(part)
+		if err := w.fs.PushSegment(req.ReduceServers[part], req.Namespace, partition, data, req.TTL); err != nil {
+			return fmt.Errorf("mapreduce: spill partition %d to %s: %w", part, req.ReduceServers[part], err)
+		}
+		resp.PartBytes[part] += int64(len(data))
+		w.reg.Counter("mr.shuffle.spills").Inc()
+		w.reg.Counter("mr.shuffle.bytes").Add(int64(len(data)))
+		buffers[part] = nil
+		bufBytes[part] = 0
+		return nil
+	}
+
+	emit := func(key string, value []byte) error {
+		part := table.LookupIndex(hashing.KeyOfString(key))
+		buffers[part] = append(buffers[part], KV{Key: key, Value: append([]byte(nil), value...)})
+		bufBytes[part] += 8 + len(key) + len(value)
+		// Proactive shuffle: push the buffer the moment it crosses the
+		// spill threshold, while the map is still running.
+		if bufBytes[part] >= threshold {
+			return spill(part)
+		}
+		return nil
+	}
+
+	if err := app.Map(req.Params, input, emit); err != nil {
+		return RunMapResp{}, fmt.Errorf("mapreduce: map %s on block %s: %w", req.App, req.BlockKey, err)
+	}
+	for part := range buffers {
+		if err := spill(part); err != nil {
+			return RunMapResp{}, err
+		}
+	}
+	return resp, nil
+}
+
+// combine applies the map-side combiner to a buffered spill.
+func combine(fn ReduceFunc, params Params, kvs []KV) ([]KV, error) {
+	var out []KV
+	emit := func(key string, value []byte) error {
+		out = append(out, KV{Key: key, Value: append([]byte(nil), value...)})
+		return nil
+	}
+	for _, g := range GroupByKey(kvs) {
+		if err := fn(params, g.Key, g.Values, emit); err != nil {
+			return nil, fmt.Errorf("mapreduce: combine key %q: %w", g.Key, err)
+		}
+	}
+	return out, nil
+}
+
+// partitionName is the segment-store partition label for index part.
+func partitionName(part int) string { return fmt.Sprintf("p%04d", part) }
+
+// mergedTag is the oCache data ID of a partition's merged reduce input.
+func mergedTag(part int) string { return "merged:" + partitionName(part) }
+
+// runReduce executes one reduce task: gather the partition's intermediate
+// data (oCache, local segments, or a remote fetch if scheduled off the
+// segment owner), group by key, reduce, and persist the output to the DHT
+// file system.
+func (w *Worker) runReduce(req RunReduceReq) (RunReduceResp, error) {
+	app, err := lookupApp(req.App)
+	if err != nil {
+		return RunReduceResp{}, err
+	}
+	var resp RunReduceResp
+	var merged []byte
+	if data, ok := w.cache.GetTagged(req.Namespace, mergedTag(req.Partition)); ok {
+		merged = data
+		resp.InputCached = true
+	} else {
+		var segments [][]byte
+		if req.SegmentOwner == w.self {
+			segments = w.fs.Store().ReadSegments(req.Namespace, partitionName(req.Partition))
+		} else {
+			segments, err = w.fs.FetchSegments(req.SegmentOwner, req.Namespace, partitionName(req.Partition))
+			if err != nil {
+				return RunReduceResp{}, fmt.Errorf("mapreduce: fetch segments for partition %d: %w",
+					req.Partition, err)
+			}
+		}
+		for _, seg := range segments {
+			merged = append(merged, seg...)
+		}
+		if req.CacheIntermediates && len(merged) > 0 {
+			w.cache.PutTagged(req.Namespace, mergedTag(req.Partition),
+				hashing.KeyOfString(req.Namespace+mergedTag(req.Partition)), merged, req.TTL)
+		}
+	}
+	if len(merged) == 0 {
+		return resp, nil // empty partition
+	}
+	kvs, err := DecodeKVs(merged)
+	if err != nil {
+		return RunReduceResp{}, fmt.Errorf("mapreduce: partition %d corrupt: %w", req.Partition, err)
+	}
+	var output []byte
+	emit := func(key string, value []byte) error {
+		output = AppendKV(output, KV{Key: key, Value: value})
+		return nil
+	}
+	for _, g := range GroupByKey(kvs) {
+		resp.Keys++
+		if err := app.Reduce(req.Params, g.Key, g.Values, emit); err != nil {
+			return RunReduceResp{}, fmt.Errorf("mapreduce: reduce key %q: %w", g.Key, err)
+		}
+	}
+	blockSize := req.OutputBlockSize
+	if blockSize <= 0 {
+		blockSize = 1 << 20
+	}
+	if _, err := w.fs.Upload(req.OutputFile, req.User, dhtfs.PermPublic, output, blockSize); err != nil {
+		return RunReduceResp{}, fmt.Errorf("mapreduce: store output %q: %w", req.OutputFile, err)
+	}
+	if req.CacheOutputs {
+		w.cache.PutTagged(req.Namespace, "out:"+partitionName(req.Partition),
+			hashing.KeyOfString(req.OutputFile), output, req.TTL)
+	}
+	resp.OutputBytes = int64(len(output))
+	resp.HasOutput = true
+	w.reg.Counter("mr.reduce.tasks").Inc()
+	w.reg.Counter("mr.reduce.keys").Add(resp.Keys)
+	w.reg.Counter("mr.reduce.output_bytes").Add(resp.OutputBytes)
+	return resp, nil
+}

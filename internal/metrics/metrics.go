@@ -1,0 +1,127 @@
+// Package metrics is a small dependency-free metrics registry used by the
+// node runtime to expose operational counters and gauges (tasks executed,
+// bytes moved, cache behaviour, RPC volume) through the cluster.stats
+// endpoint and eclipse-cli. Counters are monotonically increasing;
+// gauges are set to the latest value. All operations are safe for
+// concurrent use and allocation-free on the hot paths.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing 64-bit counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta (negative deltas are ignored:
+// counters never decrease).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a 64-bit value that can move in both directions.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Registry names and collects metrics. The zero value is not usable; use
+// NewRegistry.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+	}
+}
+
+// Counter returns (creating if needed) the named counter. Names should be
+// dotted paths like "mr.map.tasks".
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Snapshot returns every metric's current value, keyed by name. Gauges
+// and counters share the namespace; registering both kinds under one name
+// is a programming error surfaced by Snapshot choosing the counter.
+func (r *Registry) Snapshot() map[string]int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]int64, len(r.counters)+len(r.gauges))
+	for name, g := range r.gauges {
+		out[name] = g.Value()
+	}
+	for name, c := range r.counters {
+		out[name] = c.Value()
+	}
+	return out
+}
+
+// String renders the snapshot sorted by name, one "name value" per line.
+func (r *Registry) String() string {
+	snap := r.Snapshot()
+	names := make([]string, 0, len(snap))
+	for n := range snap {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%s %d\n", n, snap[n])
+	}
+	return b.String()
+}
+
+// Merge sums another snapshot into dst (cluster-wide aggregation).
+func Merge(dst, src map[string]int64) {
+	for name, v := range src {
+		dst[name] += v
+	}
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterMonotonic(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("a.b")
+	c.Inc()
+	c.Add(4)
+	c.Add(-10) // ignored: counters never decrease
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	if r.Counter("a.b") != c {
+		t.Fatal("Counter not idempotent per name")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g")
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Fatalf("value = %d", g.Value())
+	}
+}
+
+func TestSnapshotAndString(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z.count").Add(2)
+	r.Gauge("a.gauge").Set(9)
+	snap := r.Snapshot()
+	if snap["z.count"] != 2 || snap["a.gauge"] != 9 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	s := r.String()
+	if !strings.HasPrefix(s, "a.gauge 9\n") || !strings.Contains(s, "z.count 2\n") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	dst := map[string]int64{"x": 1}
+	Merge(dst, map[string]int64{"x": 2, "y": 5})
+	if dst["x"] != 3 || dst["y"] != 5 {
+		t.Fatalf("merged = %v", dst)
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("hot").Inc()
+				r.Gauge("level").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Counter("hot").Value() != 16000 {
+		t.Fatalf("hot = %d", r.Counter("hot").Value())
+	}
+	if r.Gauge("level").Value() != 16000 {
+		t.Fatalf("level = %d", r.Gauge("level").Value())
+	}
+}

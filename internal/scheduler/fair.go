@@ -1,0 +1,125 @@
+package scheduler
+
+import (
+	"sync"
+	"time"
+
+	"eclipsemr/internal/hashing"
+)
+
+// Fair is a locality-unaware least-loaded scheduler resembling Hadoop's
+// default fair scheduling: each task goes to the server with the most
+// free slots, FIFO. It serves as the baseline that trades all cache
+// locality for immediate dispatch.
+type Fair struct {
+	mu    sync.Mutex
+	table *hashing.RangeTable // retained only so locality can be *measured*
+	free  map[hashing.NodeID]int
+	queue []pendingTask
+	stats Stats
+	// rrOffset rotates the job that leads each dispatch round.
+	rrOffset int
+}
+
+var _ Scheduler = (*Fair)(nil)
+
+// NewFair builds a Fair scheduler. The ring is used only to report which
+// assignments happened to be local; it does not influence placement.
+func NewFair(ring *hashing.Ring) (*Fair, error) {
+	table, err := hashing.AlignedRangeTable(ring)
+	if err != nil {
+		return nil, err
+	}
+	return &Fair{table: table, free: make(map[hashing.NodeID]int)}, nil
+}
+
+// AddNode registers a worker with the given slot count.
+func (s *Fair) AddNode(id hashing.NodeID, slots int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.free[id] = slots
+}
+
+// RemoveNode drops a worker.
+func (s *Fair) RemoveNode(id hashing.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.free, id)
+}
+
+// Submit enqueues a task.
+func (s *Fair) Submit(t Task, now time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.queue = append(s.queue, pendingTask{task: t, enqueued: now})
+}
+
+// Dispatch assigns queued tasks to the least-loaded servers, FIFO.
+func (s *Fair) Dispatch(now time.Duration) []Assignment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Assignment
+	s.rrOffset++
+	s.queue = interleaveByJob(s.queue, func(p pendingTask) string { return p.task.Job }, s.rrOffset)
+	for len(s.queue) > 0 {
+		node, ok := s.mostFreeLocked()
+		if !ok {
+			break
+		}
+		p := s.queue[0]
+		s.queue = s.queue[1:]
+		s.free[node]--
+		local := s.table.Lookup(p.task.HashKey) == node
+		s.stats.Assigned++
+		if local {
+			s.stats.LocalAssigns++
+		}
+		if s.stats.PerNode == nil {
+			s.stats.PerNode = make(map[hashing.NodeID]uint64)
+		}
+		s.stats.PerNode[node]++
+		s.stats.TotalWait += now - p.enqueued
+		out = append(out, Assignment{Task: p.task, Node: node, Local: local, Waited: now - p.enqueued})
+	}
+	return out
+}
+
+func (s *Fair) mostFreeLocked() (hashing.NodeID, bool) {
+	var best hashing.NodeID
+	bestFree := 0
+	for id, f := range s.free {
+		if f > bestFree || (f == bestFree && f > 0 && id < best) {
+			best, bestFree = id, f
+		}
+	}
+	return best, bestFree > 0
+}
+
+// Release returns a slot to the node.
+func (s *Fair) Release(node hashing.NodeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.free[node]; ok {
+		s.free[node]++
+	}
+}
+
+// NextDeadline always reports none.
+func (s *Fair) NextDeadline() (time.Duration, bool) { return 0, false }
+
+// RangeTable returns the (measurement-only) DHT-aligned table.
+func (s *Fair) RangeTable() *hashing.RangeTable { return s.table }
+
+// Pending returns the queued task count.
+func (s *Fair) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Stats returns a snapshot of the counters.
+func (s *Fair) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cloneStats(s.stats)
+}

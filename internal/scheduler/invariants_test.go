@@ -1,0 +1,151 @@
+package scheduler
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/kde"
+)
+
+// TestSlotConservation drives every scheduler through a long random
+// sequence of submits, dispatches and releases and checks the core
+// resource invariant: a node never runs more tasks than it has slots, and
+// every submitted task is eventually assigned exactly once.
+func TestSlotConservation(t *testing.T) {
+	const (
+		nodes = 6
+		slots = 3
+		tasks = 1500
+	)
+	ring, ids := testRing(t, nodes)
+	makers := map[string]func() Scheduler{
+		"laf": func() Scheduler {
+			s, err := NewLAF(LAFConfig{KDE: kde.Config{Bins: 256, Bandwidth: 8, Alpha: 0.5, Window: 64}}, ring)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"delay": func() Scheduler {
+			s, err := NewDelay(DelayConfig{Wait: 40 * time.Millisecond}, ring)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+		"fair": func() Scheduler {
+			s, err := NewFair(ring)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return s
+		},
+	}
+	for name, mk := range makers {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			for _, id := range ids {
+				s.AddNode(id, slots)
+			}
+			rng := rand.New(rand.NewSource(99))
+			running := map[hashing.NodeID]int{}
+			assignedTask := map[string]int{}
+			var inFlight []Assignment
+			submitted, completed := 0, 0
+			now := time.Duration(0)
+			for completed < tasks {
+				// Random interleaving of submissions and completions.
+				if submitted < tasks && (len(inFlight) == 0 || rng.Intn(2) == 0) {
+					id := fmt.Sprintf("t%04d", submitted)
+					s.Submit(Task{ID: id, HashKey: hashing.Key(rng.Uint64())}, now)
+					submitted++
+				}
+				for _, a := range s.Dispatch(now) {
+					running[a.Node]++
+					if running[a.Node] > slots {
+						t.Fatalf("node %s over capacity: %d running", a.Node, running[a.Node])
+					}
+					assignedTask[a.Task.ID]++
+					if assignedTask[a.Task.ID] > 1 {
+						t.Fatalf("task %s assigned twice", a.Task.ID)
+					}
+					inFlight = append(inFlight, a)
+				}
+				if len(inFlight) > 0 && rng.Intn(3) != 0 {
+					i := rng.Intn(len(inFlight))
+					a := inFlight[i]
+					inFlight = append(inFlight[:i], inFlight[i+1:]...)
+					running[a.Node]--
+					s.Release(a.Node)
+					completed++
+				}
+				now += 7 * time.Millisecond
+			}
+			if s.Pending() != 0 {
+				t.Fatalf("pending = %d after all completions", s.Pending())
+			}
+			st := s.Stats()
+			if st.Assigned != tasks {
+				t.Fatalf("assigned = %d want %d", st.Assigned, tasks)
+			}
+			var perNode uint64
+			for _, c := range st.PerNode {
+				perNode += c
+			}
+			if perNode != tasks {
+				t.Fatalf("per-node counts sum to %d want %d", perNode, tasks)
+			}
+		})
+	}
+}
+
+// TestMultiJobFairness verifies the round-robin across jobs: a large job
+// submitted first cannot starve a later small job — both make progress
+// proportionally.
+func TestMultiJobFairness(t *testing.T) {
+	ring, ids := testRing(t, 2)
+	for name, mk := range map[string]func() Scheduler{
+		"laf":   func() Scheduler { s, _ := NewLAF(DefaultLAFConfig(), ring); return s },
+		"delay": func() Scheduler { s, _ := NewDelay(DelayConfig{Wait: -1}, ring); return s },
+		"fair":  func() Scheduler { s, _ := NewFair(ring); return s },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			for _, id := range ids {
+				s.AddNode(id, 1)
+			}
+			// Job A floods the queue, then job B arrives.
+			for i := 0; i < 100; i++ {
+				s.Submit(Task{Job: "A", ID: fmt.Sprintf("a%03d", i), HashKey: hashing.Key(i) * 1e17}, 0)
+			}
+			for i := 0; i < 100; i++ {
+				s.Submit(Task{Job: "B", ID: fmt.Sprintf("b%03d", i), HashKey: hashing.Key(i)*1e17 + 7}, 0)
+			}
+			done := map[string]int{}
+			completed := 0
+			var inFlight []Assignment
+			now := time.Duration(0)
+			for completed < 60 {
+				for _, a := range s.Dispatch(now) {
+					inFlight = append(inFlight, a)
+				}
+				if len(inFlight) == 0 {
+					t.Fatal("no progress")
+				}
+				a := inFlight[0]
+				inFlight = inFlight[1:]
+				s.Release(a.Node)
+				done[a.Task.Job]++
+				completed++
+				now += time.Millisecond
+			}
+			if done["B"] < 20 {
+				t.Fatalf("job B starved: %v after 60 completions", done)
+			}
+			t.Logf("completions: %v", done)
+		})
+	}
+}

@@ -1,0 +1,145 @@
+// Package transport provides the message substrate EclipseMR nodes use to
+// talk to each other: a Network interface with two implementations, an
+// in-process network for tests, examples and single-process clusters, and
+// a TCP network (cmd/eclipse-node) for real multi-machine deployment.
+//
+// The unit of communication is a named method call carrying opaque bytes;
+// the cluster layer defines the method set and encodes payloads with gob
+// (see Codec). Keeping the transport byte-oriented means every protocol
+// interaction — metadata lookup, block reads, proactive shuffle pushes,
+// heartbeats, election messages — crosses the same boundary whether the
+// peers share a process or a data center.
+package transport
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"sync"
+
+	"eclipsemr/internal/hashing"
+)
+
+// Handler processes one inbound call on a node.
+type Handler func(method string, body []byte) ([]byte, error)
+
+// Network connects nodes by ID.
+type Network interface {
+	// Listen registers a node and its handler.
+	Listen(id hashing.NodeID, h Handler) error
+	// Call invokes method on the destination node and returns its reply.
+	Call(to hashing.NodeID, method string, body []byte) ([]byte, error)
+	// Unlisten removes a node; subsequent calls to it fail.
+	Unlisten(id hashing.NodeID)
+	// Close tears the network down.
+	Close() error
+}
+
+// ErrUnreachable is returned when the destination node is not listening
+// (crashed, partitioned, or never started).
+var ErrUnreachable = errors.New("transport: node unreachable")
+
+// RemoteError wraps an error string returned by a remote handler so
+// callers can distinguish transport failures from application failures.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("transport: remote %s failed: %s", e.Method, e.Msg)
+}
+
+// Local is an in-process Network. Payloads are copied on both directions
+// so callers cannot observe shared memory across the "wire", preserving
+// distributed semantics. Nodes can be partitioned for failure-injection
+// tests.
+type Local struct {
+	mu          sync.RWMutex
+	handlers    map[hashing.NodeID]Handler
+	partitioned map[hashing.NodeID]bool
+	closed      bool
+}
+
+// NewLocal builds an empty in-process network.
+func NewLocal() *Local {
+	return &Local{
+		handlers:    make(map[hashing.NodeID]Handler),
+		partitioned: make(map[hashing.NodeID]bool),
+	}
+}
+
+// Listen registers a node.
+func (l *Local) Listen(id hashing.NodeID, h Handler) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errors.New("transport: network closed")
+	}
+	if _, ok := l.handlers[id]; ok {
+		return fmt.Errorf("transport: node %s already listening", id)
+	}
+	l.handlers[id] = h
+	return nil
+}
+
+// Call invokes a method on the destination.
+func (l *Local) Call(to hashing.NodeID, method string, body []byte) ([]byte, error) {
+	l.mu.RLock()
+	h, ok := l.handlers[to]
+	cut := l.partitioned[to]
+	closed := l.closed
+	l.mu.RUnlock()
+	if closed || !ok || cut {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
+	}
+	reply, err := h(method, append([]byte(nil), body...))
+	if err != nil {
+		return nil, &RemoteError{Method: method, Msg: err.Error()}
+	}
+	return append([]byte(nil), reply...), nil
+}
+
+// Unlisten removes a node.
+func (l *Local) Unlisten(id hashing.NodeID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	delete(l.handlers, id)
+	delete(l.partitioned, id)
+}
+
+// Partition makes a node unreachable without deregistering it — the node
+// keeps running but nobody can call it, simulating a network failure as
+// opposed to a crash.
+func (l *Local) Partition(id hashing.NodeID, cut bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.partitioned[id] = cut
+}
+
+// Close shuts the network down.
+func (l *Local) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closed = true
+	l.handlers = map[hashing.NodeID]Handler{}
+	return nil
+}
+
+// Encode gob-encodes a value for a call payload.
+func Encode(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, fmt.Errorf("transport: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode gob-decodes a call payload into out (a pointer).
+func Decode(data []byte, out any) error {
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(out); err != nil {
+		return fmt.Errorf("transport: decode: %w", err)
+	}
+	return nil
+}

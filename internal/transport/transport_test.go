@@ -1,0 +1,297 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"eclipsemr/internal/hashing"
+)
+
+func echoHandler(method string, body []byte) ([]byte, error) {
+	if method == "fail" {
+		return nil, errors.New("boom")
+	}
+	return append([]byte(method+":"), body...), nil
+}
+
+func TestLocalCall(t *testing.T) {
+	n := NewLocal()
+	if err := n.Listen("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := n.Call("a", "echo", []byte("hi"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "echo:hi" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestLocalRemoteError(t *testing.T) {
+	n := NewLocal()
+	n.Listen("a", echoHandler)
+	_, err := n.Call("a", "fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestLocalUnreachable(t *testing.T) {
+	n := NewLocal()
+	if _, err := n.Call("ghost", "m", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	n.Listen("a", echoHandler)
+	n.Unlisten("a")
+	if _, err := n.Call("a", "m", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("after Unlisten err = %v", err)
+	}
+}
+
+func TestLocalPartition(t *testing.T) {
+	n := NewLocal()
+	n.Listen("a", echoHandler)
+	n.Partition("a", true)
+	if _, err := n.Call("a", "m", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("partitioned node reachable: %v", err)
+	}
+	n.Partition("a", false)
+	if _, err := n.Call("a", "m", nil); err != nil {
+		t.Fatalf("healed node unreachable: %v", err)
+	}
+}
+
+func TestLocalDuplicateListen(t *testing.T) {
+	n := NewLocal()
+	n.Listen("a", echoHandler)
+	if err := n.Listen("a", echoHandler); err == nil {
+		t.Fatal("duplicate Listen accepted")
+	}
+}
+
+func TestLocalPayloadIsolation(t *testing.T) {
+	n := NewLocal()
+	var got []byte
+	n.Listen("a", func(method string, body []byte) ([]byte, error) {
+		got = body
+		return body, nil
+	})
+	sent := []byte("mutable")
+	reply, err := n.Call("a", "m", sent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent[0] = 'X'
+	if got[0] == 'X' {
+		t.Fatal("handler observed caller mutation: payload not copied")
+	}
+	reply[0] = 'Y'
+	if got[0] == 'Y' {
+		t.Fatal("caller mutation visible to handler reply buffer")
+	}
+}
+
+func TestLocalClosed(t *testing.T) {
+	n := NewLocal()
+	n.Listen("a", echoHandler)
+	n.Close()
+	if _, err := n.Call("a", "m", nil); err == nil {
+		t.Fatal("call succeeded on closed network")
+	}
+	if err := n.Listen("b", echoHandler); err == nil {
+		t.Fatal("Listen succeeded on closed network")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	type payload struct {
+		Name string
+		Keys []hashing.Key
+	}
+	in := payload{Name: "f", Keys: []hashing.Key{1, 2, 3}}
+	data, err := Encode(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out payload
+	if err := Decode(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != in.Name || len(out.Keys) != 3 || out.Keys[2] != 3 {
+		t.Fatalf("round trip = %+v", out)
+	}
+	if err := Decode([]byte("garbage"), &out); err == nil {
+		t.Fatal("Decode accepted garbage")
+	}
+}
+
+func newTCPPair(t *testing.T) *TCP {
+	t.Helper()
+	net := NewTCP(map[hashing.NodeID]string{
+		"a": "127.0.0.1:0",
+		"b": "127.0.0.1:0",
+	}, 5*time.Second)
+	t.Cleanup(func() { net.Close() })
+	return net
+}
+
+func TestTCPCall(t *testing.T) {
+	net := newTCPPair(t)
+	if err := net.Listen("a", echoHandler); err != nil {
+		t.Fatal(err)
+	}
+	reply, err := net.Call("a", "ping", []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "ping:x" {
+		t.Fatalf("reply = %q", reply)
+	}
+	if _, ok := net.Addr("a"); !ok {
+		t.Fatal("Addr(a) missing")
+	}
+}
+
+func TestTCPRemoteError(t *testing.T) {
+	net := newTCPPair(t)
+	net.Listen("a", echoHandler)
+	_, err := net.Call("a", "fail", nil)
+	var re *RemoteError
+	if !errors.As(err, &re) || re.Msg != "boom" {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection must survive an application error.
+	if _, err := net.Call("a", "ok", nil); err != nil {
+		t.Fatalf("call after remote error: %v", err)
+	}
+}
+
+func TestTCPUnreachable(t *testing.T) {
+	net := NewTCP(map[hashing.NodeID]string{"dead": "127.0.0.1:1"}, time.Second)
+	defer net.Close()
+	if _, err := net.Call("dead", "m", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := net.Call("unknown", "m", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("unknown node err = %v", err)
+	}
+}
+
+func TestTCPConcurrentCalls(t *testing.T) {
+	net := newTCPPair(t)
+	net.Listen("a", func(method string, body []byte) ([]byte, error) {
+		time.Sleep(time.Millisecond) // force interleaving
+		return body, nil
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			msg := fmt.Sprintf("msg-%03d", i)
+			reply, err := net.Call("a", "echo", []byte(msg))
+			if err != nil {
+				errs <- err
+				return
+			}
+			if string(reply) != msg {
+				errs <- fmt.Errorf("mismatched reply %q for %q", reply, msg)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestTCPReentrantCalls(t *testing.T) {
+	net := newTCPPair(t)
+	// a calls b, which calls back into a: must not deadlock.
+	net.Listen("a", func(method string, body []byte) ([]byte, error) {
+		if method == "start" {
+			return net.Call("b", "relay", body)
+		}
+		return append([]byte("a-final:"), body...), nil
+	})
+	net.Listen("b", func(method string, body []byte) ([]byte, error) {
+		return net.Call("a", "final", body)
+	})
+	reply, err := net.Call("a", "start", []byte("z"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(reply) != "a-final:z" {
+		t.Fatalf("reply = %q", reply)
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	net := newTCPPair(t)
+	net.Listen("a", echoHandler)
+	big := make([]byte, 4<<20)
+	for i := range big {
+		big[i] = byte(i)
+	}
+	reply, err := net.Call("a", "big", big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reply) != len(big)+len("big:") {
+		t.Fatalf("reply len = %d", len(reply))
+	}
+}
+
+func TestTCPTimeout(t *testing.T) {
+	net := NewTCP(map[hashing.NodeID]string{"a": "127.0.0.1:0"}, 50*time.Millisecond)
+	defer net.Close()
+	block := make(chan struct{})
+	net.Listen("a", func(method string, body []byte) ([]byte, error) {
+		<-block
+		return nil, nil
+	})
+	_, err := net.Call("a", "slow", nil)
+	close(block)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTCPUnlistenStopsService(t *testing.T) {
+	net := newTCPPair(t)
+	net.Listen("a", echoHandler)
+	if _, err := net.Call("a", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	net.Unlisten("a")
+	// Existing connection dies; a fresh call must fail.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if _, err := net.Call("a", "m", nil); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("calls still succeed after Unlisten")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestTCPDuplicateListen(t *testing.T) {
+	net := newTCPPair(t)
+	net.Listen("a", echoHandler)
+	if err := net.Listen("a", echoHandler); err == nil {
+		t.Fatal("duplicate Listen accepted")
+	}
+	if err := net.Listen("nope", echoHandler); err == nil {
+		t.Fatal("Listen for unregistered node accepted")
+	}
+}

@@ -1,0 +1,214 @@
+// Package workloads generates the synthetic datasets the paper's
+// evaluation uses: HiBench-style Zipf-distributed text for word count /
+// grep / inverted index / sort, power-law web graphs for page rank,
+// Gaussian-mixture point sets for k-means and labeled points for logistic
+// regression, and the merged-two-normal hash-key access traces behind the
+// Figure 7 skew experiments. All generators are seeded and deterministic.
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"eclipsemr/internal/hashing"
+)
+
+// Text produces roughly targetBytes of line-oriented text whose word
+// frequencies follow a Zipf distribution over a synthetic vocabulary, the
+// shape HiBench's text generators produce for word count and grep.
+func Text(seed int64, targetBytes, vocabulary int) []byte {
+	if vocabulary < 1 {
+		vocabulary = 1
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1, uint64(vocabulary-1))
+	var b strings.Builder
+	b.Grow(targetBytes + 64)
+	col := 0
+	for b.Len() < targetBytes {
+		w := word(zipf.Uint64())
+		b.WriteString(w)
+		col += len(w) + 1
+		if col >= 70 {
+			b.WriteByte('\n')
+			col = 0
+		} else {
+			b.WriteByte(' ')
+		}
+	}
+	b.WriteByte('\n')
+	return []byte(b.String())
+}
+
+// word renders vocabulary index i as a pronounceable token.
+func word(i uint64) string {
+	const syllables = "ba be bi bo bu da de di do du ka ke ki ko ku la le li lo lu ma me mi mo mu na ne ni no nu ra re ri ro ru sa se si so su ta te ti to tu"
+	parts := strings.Fields(syllables)
+	if i == 0 {
+		return parts[0]
+	}
+	var b strings.Builder
+	for i > 0 {
+		b.WriteString(parts[i%uint64(len(parts))])
+		i /= uint64(len(parts))
+	}
+	return b.String()
+}
+
+// Documents produces docCount documents of ~docBytes Zipf text each,
+// formatted one per line as "doc-<id>\t<text>" for the inverted index
+// application.
+func Documents(seed int64, docCount, docBytes, vocabulary int) []byte {
+	var b strings.Builder
+	for d := 0; d < docCount; d++ {
+		text := Text(seed+int64(d), docBytes, vocabulary)
+		flat := strings.ReplaceAll(strings.TrimSpace(string(text)), "\n", " ")
+		fmt.Fprintf(&b, "doc-%04d\t%s\n", d, flat)
+	}
+	return []byte(b.String())
+}
+
+// Records produces n fixed-width random records (one per line) for the
+// sort application, in the spirit of the HiBench/TeraGen input.
+func Records(seed int64, n, keyLen int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+	var b strings.Builder
+	b.Grow(n * (keyLen + 1))
+	key := make([]byte, keyLen)
+	for i := 0; i < n; i++ {
+		for j := range key {
+			key[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		b.Write(key)
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Graph produces a power-law directed graph with n nodes, one adjacency
+// line per node: "nodeID dst1 dst2 ...". Out-degrees average avgDeg;
+// destination popularity follows a Zipf distribution, giving the hub
+// structure of web graphs used by page rank.
+func Graph(seed int64, n, avgDeg int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	if n < 2 {
+		n = 2
+	}
+	zipf := rand.NewZipf(rng, 1.3, 2, uint64(n-1))
+	var b strings.Builder
+	for src := 0; src < n; src++ {
+		deg := 1 + rng.Intn(2*avgDeg)
+		b.WriteString(strconv.Itoa(src))
+		seen := map[int]bool{}
+		for d := 0; d < deg; d++ {
+			dst := int(zipf.Uint64())
+			if dst == src || seen[dst] {
+				continue
+			}
+			seen[dst] = true
+			b.WriteByte(' ')
+			b.WriteString(strconv.Itoa(dst))
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String())
+}
+
+// Points produces n d-dimensional points drawn from k Gaussian clusters,
+// one comma-separated point per line — the k-means dataset. The true
+// cluster centers are returned for verification.
+func Points(seed int64, n, d, k int) (data []byte, centers [][]float64) {
+	rng := rand.New(rand.NewSource(seed))
+	centers = make([][]float64, k)
+	for c := range centers {
+		centers[c] = make([]float64, d)
+		for j := range centers[c] {
+			centers[c][j] = rng.Float64()*20 - 10
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		c := centers[i%k]
+		for j := 0; j < d; j++ {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			v := c[j] + rng.NormFloat64()*0.5
+			b.WriteString(strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String()), centers
+}
+
+// LabeledPoints produces n d-dimensional points with ±1 labels generated
+// by a random linear separator plus noise, one "label x1,x2,..." line
+// each — the logistic regression dataset. The true weights are returned.
+func LabeledPoints(seed int64, n, d int) (data []byte, weights []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	weights = make([]float64, d)
+	for j := range weights {
+		weights[j] = rng.NormFloat64()
+	}
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		x := make([]float64, d)
+		dot := 0.0
+		for j := range x {
+			x[j] = rng.NormFloat64()
+			dot += x[j] * weights[j]
+		}
+		label := "1"
+		if dot+rng.NormFloat64()*0.1 < 0 {
+			label = "-1"
+		}
+		b.WriteString(label)
+		b.WriteByte(' ')
+		for j, v := range x {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.FormatFloat(v, 'f', 4, 64))
+		}
+		b.WriteByte('\n')
+	}
+	return []byte(b.String()), weights
+}
+
+// TwoNormalKeys draws n hash keys from the merged two-normal distribution
+// of §III-C's synthetic grep workload: a fraction w1 of accesses cluster
+// around position c1 of the key space (expressed in [0,1)) and the rest
+// around c2, each with standard deviation sd.
+func TwoNormalKeys(seed int64, n int, c1, c2, sd, w1 float64) []hashing.Key {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]hashing.Key, n)
+	for i := range out {
+		center := c2
+		if rng.Float64() < w1 {
+			center = c1
+		}
+		pos := math.Mod(center+rng.NormFloat64()*sd+1, 1)
+		out[i] = KeyAt(pos)
+	}
+	return out
+}
+
+// UniformKeys draws n uniformly distributed hash keys.
+func UniformKeys(seed int64, n int) []hashing.Key {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]hashing.Key, n)
+	for i := range out {
+		out[i] = hashing.Key(rng.Uint64())
+	}
+	return out
+}
+
+// KeyAt maps a position in [0,1) onto the ring key space.
+func KeyAt(pos float64) hashing.Key {
+	pos = math.Mod(pos+1, 1)
+	return hashing.Key(pos * float64(math.MaxUint64))
+}

@@ -1,0 +1,239 @@
+package workloads
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTextDeterministicAndSized(t *testing.T) {
+	a := Text(1, 4096, 1000)
+	b := Text(1, 4096, 1000)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Text not deterministic")
+	}
+	if len(a) < 4096 || len(a) > 4096+128 {
+		t.Fatalf("len = %d", len(a))
+	}
+	if c := Text(2, 4096, 1000); bytes.Equal(a, c) {
+		t.Fatal("different seeds produced identical text")
+	}
+	// Line-oriented: no line longer than ~80 chars.
+	for _, line := range strings.Split(string(a), "\n") {
+		if len(line) > 90 {
+			t.Fatalf("line too long: %d", len(line))
+		}
+	}
+}
+
+func TestTextIsZipfSkewed(t *testing.T) {
+	data := Text(3, 1<<16, 5000)
+	counts := map[string]int{}
+	for _, w := range strings.Fields(string(data)) {
+		counts[w]++
+	}
+	freqs := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freqs = append(freqs, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freqs)))
+	total := 0
+	for _, f := range freqs {
+		total += f
+	}
+	top := 0
+	for i := 0; i < len(freqs) && i < 10; i++ {
+		top += freqs[i]
+	}
+	// In Zipf text the 10 hottest words dominate.
+	if float64(top)/float64(total) < 0.3 {
+		t.Fatalf("top-10 words cover only %.1f%%", 100*float64(top)/float64(total))
+	}
+}
+
+func TestDocumentsFormat(t *testing.T) {
+	data := Documents(1, 5, 256, 100)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("docs = %d", len(lines))
+	}
+	for _, line := range lines {
+		parts := strings.SplitN(line, "\t", 2)
+		if len(parts) != 2 || !strings.HasPrefix(parts[0], "doc-") {
+			t.Fatalf("malformed doc line %q", line[:40])
+		}
+	}
+}
+
+func TestRecordsFixedWidth(t *testing.T) {
+	data := Records(1, 100, 10)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("records = %d", len(lines))
+	}
+	for _, l := range lines {
+		if len(l) != 10 {
+			t.Fatalf("record %q has len %d", l, len(l))
+		}
+	}
+	if bytes.Equal(Records(1, 100, 10), Records(2, 100, 10)) {
+		t.Fatal("seeds ignored")
+	}
+}
+
+func TestGraphWellFormed(t *testing.T) {
+	data := Graph(1, 200, 4)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 200 {
+		t.Fatalf("nodes = %d", len(lines))
+	}
+	indeg := map[int]int{}
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		src, err := strconv.Atoi(fields[0])
+		if err != nil || src != i {
+			t.Fatalf("line %d starts with %q", i, fields[0])
+		}
+		for _, f := range fields[1:] {
+			dst, err := strconv.Atoi(f)
+			if err != nil || dst < 0 || dst >= 200 || dst == src {
+				t.Fatalf("bad edge %s -> %s", fields[0], f)
+			}
+			indeg[dst]++
+		}
+	}
+	// Power-law in-degree: the hottest node should dominate the median.
+	max, sum := 0, 0
+	for _, d := range indeg {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	if max < 5*sum/len(lines) {
+		t.Fatalf("in-degree not skewed: max=%d avg=%d", max, sum/len(lines))
+	}
+}
+
+func TestPointsParseableAndClustered(t *testing.T) {
+	data, centers := Points(1, 300, 3, 3)
+	if len(centers) != 3 || len(centers[0]) != 3 {
+		t.Fatalf("centers = %v", centers)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 300 {
+		t.Fatalf("points = %d", len(lines))
+	}
+	for _, line := range lines {
+		coords := strings.Split(line, ",")
+		if len(coords) != 3 {
+			t.Fatalf("point %q has %d dims", line, len(coords))
+		}
+		var p [3]float64
+		for j, c := range coords {
+			v, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				t.Fatalf("bad coord %q", c)
+			}
+			p[j] = v
+		}
+		// Every point lies near one of the true centers.
+		best := math.Inf(1)
+		for _, c := range centers {
+			d := 0.0
+			for j := range c {
+				d += (p[j] - c[j]) * (p[j] - c[j])
+			}
+			if d < best {
+				best = d
+			}
+		}
+		if best > 25 { // 0.5 stddev noise: 5 sigma ≈ 2.5, squared 6.25 per dim
+			t.Fatalf("point %q far from every center (d²=%g)", line, best)
+		}
+	}
+}
+
+func TestLabeledPointsConsistent(t *testing.T) {
+	data, w := LabeledPoints(1, 500, 4)
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 500 {
+		t.Fatalf("points = %d", len(lines))
+	}
+	agree := 0
+	for _, line := range lines {
+		parts := strings.SplitN(line, " ", 2)
+		label, err := strconv.Atoi(parts[0])
+		if err != nil || (label != 1 && label != -1) {
+			t.Fatalf("bad label %q", parts[0])
+		}
+		dot := 0.0
+		for j, c := range strings.Split(parts[1], ",") {
+			v, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				t.Fatalf("bad coord %q", c)
+			}
+			dot += v * w[j]
+		}
+		if (dot >= 0) == (label == 1) {
+			agree++
+		}
+	}
+	// Labels must largely agree with the generating separator.
+	if float64(agree)/500 < 0.9 {
+		t.Fatalf("only %d/500 labels agree with true weights", agree)
+	}
+}
+
+func TestTwoNormalKeysBimodal(t *testing.T) {
+	keys := TwoNormalKeys(1, 10000, 0.25, 0.75, 0.02, 0.6)
+	if len(keys) != 10000 {
+		t.Fatalf("keys = %d", len(keys))
+	}
+	near := func(pos float64) int {
+		n := 0
+		lo, hi := KeyAt(pos-0.1), KeyAt(pos+0.1)
+		for _, k := range keys {
+			if k >= lo && k < hi {
+				n++
+			}
+		}
+		return n
+	}
+	n1, n2 := near(0.25), near(0.75)
+	if n1 < 5000 || n2 < 3000 {
+		t.Fatalf("modes hold %d and %d of 10000", n1, n2)
+	}
+	frac1 := float64(n1) / float64(n1+n2)
+	if math.Abs(frac1-0.6) > 0.05 {
+		t.Fatalf("mode weight = %.2f want 0.6", frac1)
+	}
+}
+
+func TestUniformKeysSpread(t *testing.T) {
+	keys := UniformKeys(1, 10000)
+	buckets := make([]int, 8)
+	for _, k := range keys {
+		buckets[int(uint64(k)>>61)]++
+	}
+	for i, b := range buckets {
+		if b < 1000 || b > 1500 {
+			t.Fatalf("bucket %d = %d", i, b)
+		}
+	}
+}
+
+func TestKeyAtWraps(t *testing.T) {
+	if KeyAt(0) != 0 {
+		t.Fatal("KeyAt(0) != 0")
+	}
+	if KeyAt(1.25) != KeyAt(0.25) {
+		t.Fatal("KeyAt does not wrap above 1")
+	}
+	if KeyAt(-0.25) != KeyAt(0.75) {
+		t.Fatal("KeyAt does not wrap below 0")
+	}
+}
