@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test check fuzz-smoke fmt
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector gate over the whole suite (vet + build + go test -race).
+check:
+	./scripts/check.sh
+
+# Short bursts of the native fuzz targets; CI runs the same.
+fuzz-smoke:
+	$(GO) test ./internal/mapreduce -run '^$$' -fuzz FuzzDecodeKVs -fuzztime=10s
+	$(GO) test ./internal/kde -run '^$$' -fuzz FuzzPartitionCDF -fuzztime=10s
+
+fmt:
+	gofmt -l -w .

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -46,11 +47,27 @@ func main() {
 	net := transport.NewTCP(hosts, 10*time.Minute)
 	defer net.Close()
 
-	anyNode := func() hashing.NodeID {
+	// callAny tries each host in turn: any node can serve DHT requests, so
+	// a dead entry in the hosts file must not fail the whole command.
+	callAny := func(method string, req, resp interface{}) error {
+		ids := make([]hashing.NodeID, 0, len(hosts))
 		for id := range hosts {
-			return id
+			ids = append(ids, id)
 		}
-		return ""
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		var lastErr error
+		for _, id := range ids {
+			err := nodecmd.Call(net, id, method, req, resp)
+			if err == nil {
+				return nil
+			}
+			lastErr = err
+			if errors.Is(err, transport.ErrUnreachable) || transport.IsTransient(err) {
+				continue // dead or flaky node: the next one can answer
+			}
+			return err
+		}
+		return lastErr
 	}
 
 	switch cmd := flag.Arg(0); cmd {
@@ -66,7 +83,7 @@ func main() {
 		req := nodecmd.UploadReq{
 			Name: flag.Arg(2), Owner: *user, Public: true, Data: data, Records: true,
 		}
-		if err := nodecmd.Call(net, anyNode(), nodecmd.MethodUpload, req, &resp); err != nil {
+		if err := callAny(nodecmd.MethodUpload, req, &resp); err != nil {
 			log.Fatalf("eclipse-cli: upload: %v", err)
 		}
 		fmt.Printf("stored %s: %d bytes in %d blocks\n", flag.Arg(2), resp.Size, resp.Blocks)
@@ -77,7 +94,7 @@ func main() {
 		}
 		var resp nodecmd.ReadResp
 		req := nodecmd.ReadReq{Name: flag.Arg(1), User: *user}
-		if err := nodecmd.Call(net, anyNode(), nodecmd.MethodRead, req, &resp); err != nil {
+		if err := callAny(nodecmd.MethodRead, req, &resp); err != nil {
 			log.Fatalf("eclipse-cli: cat: %v", err)
 		}
 		os.Stdout.Write(resp.Data)

@@ -35,6 +35,11 @@ type Options struct {
 	DelayWait time.Duration
 	// Network overrides the transport; default an in-process network.
 	Network transport.Network
+	// Retry tunes the transparent retry layer wrapped around the network
+	// (zero fields select transport.DefaultRetryPolicy).
+	Retry transport.RetryPolicy
+	// DisableRetry mounts the network bare, without the retry layer.
+	DisableRetry bool
 }
 
 // Cluster is a running EclipseMR deployment plus the job-scheduler role:
@@ -86,6 +91,11 @@ func NewWithNodes(ids []hashing.NodeID, opts Options) (*Cluster, error) {
 	if net == nil {
 		net = transport.NewLocal()
 	}
+	if !opts.DisableRetry {
+		// Transient message loss (a chaos-injected drop, a TCP timeout) is
+		// absorbed here; structural failures still surface immediately.
+		net = transport.NewRetry(net, opts.Retry)
+	}
 	c := &Cluster{
 		opts:       opts,
 		net:        net,
@@ -100,7 +110,13 @@ func NewWithNodes(ids []hashing.NodeID, opts Options) (*Cluster, error) {
 		}
 	}
 	for _, id := range ids {
-		node, err := NewNode(id, net, opts.Config)
+		// Origin-stamped facets let a fault-injecting network attribute
+		// each node's outbound calls (asymmetric partitions, crash-stop).
+		nodeNet := net
+		if on, ok := net.(transport.OriginNetwork); ok {
+			nodeNet = on.From(id)
+		}
+		node, err := NewNode(id, nodeNet, opts.Config)
 		if err != nil {
 			c.Close()
 			return nil, err
@@ -194,7 +210,11 @@ func (c *Cluster) rebindDriver() error {
 	if c.driver != nil && c.driverOn == mgrNode.ID {
 		return nil
 	}
-	driver, err := mapreduce.NewDriver(mgrNode.ID, c.net, mgrNode.fs, c.sched, mgrNode.Ring, c.opts.ReduceSlots)
+	driverNet := c.net
+	if on, ok := c.net.(transport.OriginNetwork); ok {
+		driverNet = on.From(mgrNode.ID)
+	}
+	driver, err := mapreduce.NewDriver(mgrNode.ID, driverNet, mgrNode.fs, c.sched, mgrNode.Ring, c.opts.ReduceSlots)
 	if err != nil {
 		return err
 	}
@@ -398,11 +418,27 @@ func (c *Cluster) MigrateMisplacedCaches() (int, error) {
 	return total, nil
 }
 
-// MetricsSnapshot aggregates every live node's metrics into one map.
+// MetricsSnapshot aggregates every live node's metrics, the driver's
+// retry/failover counters and the network layers' counters into one map.
 func (c *Cluster) MetricsSnapshot() map[string]int64 {
 	total := make(map[string]int64)
 	for _, n := range c.nodes {
 		metrics.Merge(total, n.MetricsSnapshot())
+	}
+	if c.driver != nil {
+		metrics.Merge(total, c.driver.Metrics().Snapshot())
+	}
+	// Walk the transport decorator chain (Retry, Chaos, ...) and pick up
+	// every layer that exports metrics.
+	for net := c.net; net != nil; {
+		if ms, ok := net.(transport.MetricsSource); ok {
+			metrics.Merge(total, ms.NetMetrics().Snapshot())
+		}
+		u, ok := net.(interface{ Unwrap() transport.Network })
+		if !ok {
+			break
+		}
+		net = u.Unwrap()
 	}
 	return total
 }

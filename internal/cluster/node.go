@@ -500,6 +500,14 @@ func (n *Node) becomeManager() {
 			_ = alive.Add(id, pos)
 		}
 	}
+	// Isolation guard: a node that reaches no other member of a
+	// multi-node view is far more likely cut off (or crash-stopped at the
+	// transport) than the sole survivor. Promoting it would create a
+	// zombie manager nobody else can see; stay a worker and let a
+	// reachable node win the election.
+	if ring.Len() > 1 && alive.Len() <= 1 {
+		return
+	}
 	mgr := newManager(n, alive, epoch+1)
 	n.mu.Lock()
 	n.mgr = mgr

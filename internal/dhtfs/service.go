@@ -42,6 +42,12 @@ type (
 		Partition string
 		Data      []byte
 		TTL       time.Duration
+		// Task/Attempt/Seq attribute the spill to one map-task attempt so
+		// retried pushes and re-executed attempts stay idempotent (Task ""
+		// is an untracked legacy append).
+		Task    string
+		Attempt int
+		Seq     int
 	}
 	readSegReq struct {
 		Job       string
@@ -49,6 +55,9 @@ type (
 	}
 	readSegResp struct {
 		Segments [][]byte
+	}
+	readTaggedSegResp struct {
+		Segments []TaggedSegment
 	}
 	dropSegReq struct {
 		Job string
@@ -71,6 +80,7 @@ const (
 	MethodGetMeta     = "fs.getMeta"
 	MethodAppendSeg   = "fs.appendSegment"
 	MethodReadSeg     = "fs.readSegments"
+	MethodReadSegTag  = "fs.readTaggedSegments"
 	MethodDropSeg     = "fs.dropJobSegments"
 	MethodDeleteBlock = "fs.deleteBlock"
 	MethodDeleteMeta  = "fs.deleteMeta"
@@ -213,7 +223,7 @@ func (s *Service) Handle(method string, body []byte) ([]byte, bool, error) {
 		}
 		s.reg.Counter("fs.segments.appended").Inc()
 		s.reg.Counter("fs.segments.bytes").Add(int64(len(req.Data)))
-		s.store.AppendSegment(req.Job, req.Partition, req.Data, req.TTL)
+		s.store.AppendTaskSegment(req.Job, req.Partition, req.Task, req.Attempt, req.Seq, req.Data, req.TTL)
 		out, err := transport.Encode(empty{})
 		return out, true, err
 	case MethodReadSeg:
@@ -222,6 +232,13 @@ func (s *Service) Handle(method string, body []byte) ([]byte, bool, error) {
 			return nil, true, err
 		}
 		out, err := transport.Encode(readSegResp{Segments: s.store.ReadSegments(req.Job, req.Partition)})
+		return out, true, err
+	case MethodReadSegTag:
+		var req readSegReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		out, err := transport.Encode(readTaggedSegResp{Segments: s.store.ReadTaggedSegments(req.Job, req.Partition)})
 		return out, true, err
 	case MethodDropSeg:
 		var req dropSegReq
@@ -303,17 +320,38 @@ func (s *Service) UploadRecords(name, owner string, perm Perm, data []byte, bloc
 	return s.storeFile(name, owner, perm, data, blockSize, chunks, keys)
 }
 
-// storeFile distributes pre-split chunks and their metadata.
+// storeFile distributes pre-split chunks and their metadata. A replica
+// target that is unreachable (crashed but not yet evicted from the ring)
+// is skipped as long as at least one copy lands; re-replication restores
+// the invariant once the membership settles.
 func (s *Service) storeFile(name, owner string, perm Perm, data []byte, blockSize int, chunks [][]byte, keys []hashing.Key) (Metadata, error) {
+	putAll := func(method string, req interface{}, targets []hashing.NodeID, what string) error {
+		stored := 0
+		var lastErr error
+		for _, t := range targets {
+			if err := s.call(t, method, req, nil); err != nil {
+				if errors.Is(err, transport.ErrUnreachable) {
+					s.reg.Counter("fs.store.skipped").Inc()
+					lastErr = err
+					continue
+				}
+				return fmt.Errorf("dhtfs: store %s on %s: %w", what, t, err)
+			}
+			stored++
+		}
+		if stored == 0 {
+			return fmt.Errorf("dhtfs: store %s: no replica reachable: %w", what, lastErr)
+		}
+		return nil
+	}
 	for i, chunk := range chunks {
 		targets, err := s.replicaSet(keys[i])
 		if err != nil {
 			return Metadata{}, err
 		}
-		for _, t := range targets {
-			if err := s.call(t, MethodPutBlock, putBlockReq{Key: keys[i], Data: chunk}, nil); err != nil {
-				return Metadata{}, fmt.Errorf("dhtfs: store block %d on %s: %w", i, t, err)
-			}
+		req := putBlockReq{Key: keys[i], Data: chunk}
+		if err := putAll(MethodPutBlock, req, targets, fmt.Sprintf("block %d", i)); err != nil {
+			return Metadata{}, err
 		}
 	}
 	sums := make([][sha1.Size]byte, len(chunks))
@@ -334,10 +372,8 @@ func (s *Service) storeFile(name, owner string, perm Perm, data []byte, blockSiz
 	if err != nil {
 		return Metadata{}, err
 	}
-	for _, t := range targets {
-		if err := s.call(t, MethodPutMeta, putMetaReq{Meta: meta}, nil); err != nil {
-			return Metadata{}, fmt.Errorf("dhtfs: store metadata on %s: %w", t, err)
-		}
+	if err := putAll(MethodPutMeta, putMetaReq{Meta: meta}, targets, "metadata"); err != nil {
+		return Metadata{}, err
 	}
 	return meta, nil
 }
@@ -358,7 +394,8 @@ func (s *Service) Lookup(name, user string) (Metadata, error) {
 			return resp.Meta, nil
 		}
 		lastErr = err
-		if errors.Is(err, transport.ErrUnreachable) {
+		if errors.Is(err, transport.ErrUnreachable) || transport.IsTransient(err) {
+			s.reg.Counter("fs.lookup.failover").Inc()
 			continue // ask the next replica
 		}
 		// Application-level failure (missing or forbidden): replicas hold
@@ -382,9 +419,12 @@ func (s *Service) ReadBlock(k hashing.Key) ([]byte, error) {
 		return nil, err
 	}
 	var lastErr error
-	for _, t := range targets {
+	for i, t := range targets {
 		var resp getBlockResp
 		if err := s.call(t, MethodGetBlock, getBlockReq{Key: k}, &resp); err == nil {
+			if i > 0 {
+				s.reg.Counter("fs.read.failover").Inc()
+			}
 			return resp.Data, nil
 		} else {
 			lastErr = err
@@ -403,7 +443,7 @@ func (s *Service) ReadBlockVerified(k hashing.Key, sum [sha1.Size]byte) ([]byte,
 	}
 	sawCorrupt := false
 	var lastErr error
-	for _, t := range targets {
+	for i, t := range targets {
 		var resp getBlockResp
 		if err := s.call(t, MethodGetBlock, getBlockReq{Key: k}, &resp); err != nil {
 			lastErr = err
@@ -412,6 +452,9 @@ func (s *Service) ReadBlockVerified(k hashing.Key, sum [sha1.Size]byte) ([]byte,
 		if SumBlock(resp.Data) != sum {
 			sawCorrupt = true
 			continue
+		}
+		if i > 0 {
+			s.reg.Counter("fs.read.failover").Inc()
 		}
 		return resp.Data, nil
 	}
@@ -456,11 +499,38 @@ func (s *Service) PushSegment(to hashing.NodeID, job, partition string, data []b
 	return s.call(to, MethodAppendSeg, appendSegReq{Job: job, Partition: partition, Data: data, TTL: ttl}, nil)
 }
 
+// SegTag attributes a spill to one map-task attempt (see
+// Store.AppendTaskSegment).
+type SegTag struct {
+	Task    string
+	Attempt int
+	Seq     int
+}
+
+// PushTaggedSegment is PushSegment with task attribution, the idempotent
+// write path retried and re-executed mappers must use.
+func (s *Service) PushTaggedSegment(to hashing.NodeID, job, partition string, tag SegTag, data []byte, ttl time.Duration) error {
+	return s.call(to, MethodAppendSeg, appendSegReq{
+		Job: job, Partition: partition, Data: data, TTL: ttl,
+		Task: tag.Task, Attempt: tag.Attempt, Seq: tag.Seq,
+	}, nil)
+}
+
 // FetchSegments reads all intermediate-result spills for a job partition
 // from the given node.
 func (s *Service) FetchSegments(from hashing.NodeID, job, partition string) ([][]byte, error) {
 	var resp readSegResp
 	if err := s.call(from, MethodReadSeg, readSegReq{Job: job, Partition: partition}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Segments, nil
+}
+
+// FetchTaggedSegments reads all spills with task attribution from the
+// given node (the replica union-merge read path).
+func (s *Service) FetchTaggedSegments(from hashing.NodeID, job, partition string) ([]TaggedSegment, error) {
+	var resp readTaggedSegResp
+	if err := s.call(from, MethodReadSegTag, readSegReq{Job: job, Partition: partition}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Segments, nil

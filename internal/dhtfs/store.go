@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -145,10 +146,24 @@ type Store struct {
 
 // segment is one stored intermediate-result spill; Expires implements the
 // paper's TTL invalidation of stored intermediate results (zero = no
-// TTL).
+// TTL). Task/attempt/seq identify the producing map-task attempt so
+// re-executions supersede their predecessors instead of double-counting
+// (task "" marks a legacy untracked spill).
 type segment struct {
 	data    []byte
 	expires time.Time
+	task    string
+	attempt int
+	seq     int
+}
+
+// TaggedSegment is the exported view of one tracked spill, used to merge
+// replicated intermediate data across replicas without duplication.
+type TaggedSegment struct {
+	Task    string
+	Attempt int
+	Seq     int
+	Data    []byte
 }
 
 // NewStore returns an empty in-memory shard.
@@ -309,14 +324,62 @@ func segKey(job, partition string) string { return job + "/" + partition }
 // spill after that duration, per the paper's application-set TTL on
 // stored intermediate results.
 func (s *Store) AppendSegment(job, partition string, data []byte, ttl time.Duration) {
+	s.AppendTaskSegment(job, partition, "", 0, 0, data, ttl)
+}
+
+// AppendTaskSegment is AppendSegment for a spill attributed to one map
+// task attempt (seq numbers the task's spills into this partition). The
+// attribution makes the write path idempotent under the failure modes a
+// lossy network creates:
+//
+//   - an exact retransmit (same task, attempt, seq) replaces the stored
+//     copy instead of appending a duplicate;
+//   - a re-executed attempt (higher attempt) supersedes every spill of
+//     the task's earlier attempts — a mapper whose success reply was
+//     lost and that is re-dispatched cannot double its output;
+//   - a stale attempt's stragglers (lower attempt) are ignored.
+//
+// task "" skips all tracking and appends unconditionally.
+func (s *Store) AppendTaskSegment(job, partition, task string, attempt, seq int, data []byte, ttl time.Duration) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	seg := segment{data: append([]byte(nil), data...)}
+	seg := segment{data: append([]byte(nil), data...), task: task, attempt: attempt, seq: seq}
 	if ttl > 0 {
 		seg.expires = s.now().Add(ttl)
 	}
 	k := segKey(job, partition)
-	s.segments[k] = append(s.segments[k], seg)
+	segs := s.segments[k]
+	if task != "" {
+		maxAttempt := -1
+		for i := range segs {
+			if segs[i].task == task && segs[i].attempt > maxAttempt {
+				maxAttempt = segs[i].attempt
+			}
+		}
+		if maxAttempt >= 0 && attempt < maxAttempt {
+			return // straggler from a superseded attempt
+		}
+		if attempt > maxAttempt && maxAttempt >= 0 {
+			live := segs[:0]
+			for _, old := range segs {
+				if old.task == task {
+					s.segBytes -= int64(len(old.data))
+					continue
+				}
+				live = append(live, old)
+			}
+			segs = live
+		}
+		for i := range segs {
+			if segs[i].task == task && segs[i].attempt == attempt && segs[i].seq == seq {
+				s.segBytes += int64(len(seg.data)) - int64(len(segs[i].data))
+				segs[i] = seg // idempotent retransmit
+				s.segments[k] = segs
+				return
+			}
+		}
+	}
+	s.segments[k] = append(segs, seg)
 	s.segBytes += int64(len(data))
 }
 
@@ -342,6 +405,81 @@ func (s *Store) ReadSegments(job, partition string) [][]byte {
 		delete(s.segments, k)
 	} else {
 		s.segments[k] = live
+	}
+	return out
+}
+
+// ReadTaggedSegments returns every live spill with its task attribution,
+// for replica union-merges.
+func (s *Store) ReadTaggedSegments(job, partition string) []TaggedSegment {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := segKey(job, partition)
+	now := s.now()
+	segs := s.segments[k]
+	live := segs[:0]
+	var out []TaggedSegment
+	for _, seg := range segs {
+		if !seg.expires.IsZero() && now.After(seg.expires) {
+			s.segBytes -= int64(len(seg.data))
+			continue
+		}
+		live = append(live, seg)
+		out = append(out, TaggedSegment{
+			Task:    seg.task,
+			Attempt: seg.attempt,
+			Seq:     seg.seq,
+			Data:    append([]byte(nil), seg.data...),
+		})
+	}
+	if len(live) == 0 {
+		delete(s.segments, k)
+	} else {
+		s.segments[k] = live
+	}
+	return out
+}
+
+// MergeTaggedSegments unions spills gathered from several replicas into
+// one deduplicated, deterministically ordered payload list: per task only
+// the newest attempt survives, (task, seq) duplicates collapse to one
+// copy, and the result is sorted by (task, seq). Because every spill
+// reached at least one replica, the union over the reachable replicas is
+// the complete intermediate data even when each individual copy is
+// partial.
+func MergeTaggedSegments(segs []TaggedSegment) [][]byte {
+	maxAttempt := make(map[string]int)
+	for _, s := range segs {
+		if a, ok := maxAttempt[s.Task]; !ok || s.Attempt > a {
+			maxAttempt[s.Task] = s.Attempt
+		}
+	}
+	type key struct {
+		task string
+		seq  int
+	}
+	best := make(map[key][]byte)
+	order := make([]key, 0, len(segs))
+	for _, s := range segs {
+		if s.Attempt != maxAttempt[s.Task] {
+			continue
+		}
+		k := key{s.Task, s.Seq}
+		if _, dup := best[k]; dup {
+			continue // identical retransmit on another replica
+		}
+		best[k] = s.Data
+		order = append(order, k)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].task != order[j].task {
+			return order[i].task < order[j].task
+		}
+		return order[i].seq < order[j].seq
+	})
+	out := make([][]byte, 0, len(order))
+	for _, k := range order {
+		out = append(out, best[k])
 	}
 	return out
 }

@@ -1,0 +1,91 @@
+package kde
+
+import (
+	"math/rand"
+	"testing"
+
+	"eclipsemr/internal/hashing"
+)
+
+// fuzzBins is a power of two so a histogram bin spans exactly 2^56 keys
+// and the test's float reconstruction of bin positions is exact.
+const fuzzBins = 256
+
+// interpCDF evaluates the estimator's piecewise-linear CDF at key k, the
+// same interpolation Partition inverts.
+func interpCDF(cdf []float64, k hashing.Key) float64 {
+	pos := float64(uint64(k)) / keySpace * float64(len(cdf))
+	b := int(pos)
+	if b >= len(cdf) {
+		b = len(cdf) - 1
+	}
+	frac := pos - float64(b)
+	var prev float64
+	if b > 0 {
+		prev = cdf[b-1]
+	}
+	return prev + frac*(cdf[b]-prev)
+}
+
+// FuzzPartitionCDF drives Algorithm 1's partitionCDF with arbitrary access
+// patterns and partition counts: the returned bounds must start at key 0,
+// be sorted, have exactly n entries (full key-space coverage), and cut the
+// estimated distribution into equally probable ranges.
+func FuzzPartitionCDF(f *testing.F) {
+	f.Add(int64(1), uint16(0), uint8(4))      // unprimed: uniform CDF
+	f.Add(int64(42), uint16(2000), uint8(5))  // primed, skewed
+	f.Add(int64(7), uint16(300), uint8(1))    // single partition
+	f.Add(int64(99), uint16(4096), uint8(64)) // many partitions
+	f.Fuzz(func(t *testing.T, seed int64, observations uint16, parts uint8) {
+		n := int(parts)%64 + 1
+		e, err := New(Config{Bins: fuzzBins, Bandwidth: 4, Alpha: 0.5, Window: 128})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Mix a uniform stream with a hot range so schedules see skew.
+		hot := hashing.Key(rng.Uint64())
+		for i := 0; i < int(observations); i++ {
+			k := hashing.Key(rng.Uint64())
+			if i%3 == 0 {
+				k = hot + hashing.Key(rng.Uint64()%(1<<40))
+			}
+			e.Add(k)
+		}
+
+		bounds, err := e.Partition(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(bounds) != n {
+			t.Fatalf("len(bounds) = %d, want %d", len(bounds), n)
+		}
+		if bounds[0] != 0 {
+			t.Fatalf("bounds[0] = %d, want 0 (full key-space coverage)", bounds[0])
+		}
+		for i := 1; i < n; i++ {
+			if bounds[i] < bounds[i-1] {
+				t.Fatalf("bounds not monotone at %d: %d < %d", i, bounds[i], bounds[i-1])
+			}
+		}
+
+		// Equal probability: the CDF at boundary i must be i/n. The only
+		// slack needed is for the integer truncation of the boundary key
+		// (≤ 1 key, invisible at 2^56 keys per bin) and float rounding —
+		// except where consecutive targets fall in a zero-mass region and
+		// the clamp snaps a boundary to its predecessor.
+		cdf := e.CDF()
+		const tol = 1e-6
+		for i := 1; i < n; i++ {
+			if bounds[i] == bounds[i-1] {
+				continue // clamped in a zero-mass stretch
+			}
+			got := interpCDF(cdf, bounds[i])
+			want := float64(i) / float64(n)
+			if diff := got - want; diff > tol || diff < -tol {
+				t.Fatalf("CDF(bounds[%d]) = %g, want %g (n=%d, obs=%d)",
+					i, got, want, n, observations)
+			}
+		}
+	})
+}

@@ -3,11 +3,13 @@ package mapreduce
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
 	"eclipsemr/internal/dhtfs"
 	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/metrics"
 	"eclipsemr/internal/scheduler"
 	"eclipsemr/internal/transport"
 )
@@ -31,6 +33,7 @@ type Driver struct {
 	// reduceSlots bounds concurrent reduce tasks per node.
 	reduceSlots int
 	start       time.Time
+	reg         *metrics.Registry
 
 	mu   sync.Mutex
 	jobs map[string]*activeJob
@@ -64,7 +67,7 @@ func NewDriver(self hashing.NodeID, net transport.Network, fs *dhtfs.Service,
 	if reduceSlots <= 0 {
 		reduceSlots = 8
 	}
-	return &Driver{
+	d := &Driver{
 		self:        self,
 		net:         net,
 		fs:          fs,
@@ -72,10 +75,21 @@ func NewDriver(self hashing.NodeID, net transport.Network, fs *dhtfs.Service,
 		ring:        ring,
 		reduceSlots: reduceSlots,
 		start:       time.Now(),
+		reg:         metrics.NewRegistry(),
 		jobs:        make(map[string]*activeJob),
 		wake:        make(chan struct{}, 1),
-	}, nil
+	}
+	// Pre-create so every metrics snapshot shows the recovery counters.
+	for _, name := range []string{
+		"mr.driver.map_retries", "mr.driver.map_failovers", "mr.driver.reduce_failovers",
+	} {
+		d.reg.Counter(name)
+	}
+	return d, nil
 }
+
+// Metrics exposes the driver's retry and failover counters.
+func (d *Driver) Metrics() *metrics.Registry { return d.reg }
 
 // since returns the driver's monotonic time, the clock fed to the
 // scheduling policy.
@@ -88,6 +102,11 @@ type marker struct {
 	Servers   []hashing.NodeID
 	Bounds    []hashing.Key
 	PartBytes []int64
+	// Replicas, when the job replicates intermediates, names each
+	// partition owner's ring successor at job start; recording it here
+	// keeps the spill-target table stable even if the ring changes
+	// mid-job.
+	Replicas []hashing.NodeID
 	// Expires invalidates the marker (and with it reuse of the stored
 	// intermediates) once the job's IntermediateTTL lapses; zero means no
 	// TTL.
@@ -132,6 +151,15 @@ func (d *Driver) Run(spec JobSpec) (Result, error) {
 		mk.Servers = table.Servers()
 		mk.Bounds = table.Bounds()
 		mk.PartBytes = make([]int64, table.Len())
+		if spec.ReplicateIntermediates {
+			mk.Replicas = make([]hashing.NodeID, len(mk.Servers))
+			ring := d.ring()
+			for i, owner := range mk.Servers {
+				if succ, err := ring.Successor(owner); err == nil && succ != owner {
+					mk.Replicas[i] = succ
+				}
+			}
+		}
 
 		tasks, err := d.mapTasks(spec)
 		if err != nil {
@@ -283,22 +311,53 @@ func (d *Driver) dispatchLoop() {
 	}
 }
 
-// runMapTask executes one assignment against its worker and accounts the
-// completion.
-func (d *Driver) runMapTask(j *activeJob, a scheduler.Assignment) {
-	req := RunMapReq{
+// mapReq builds the RunMapReq for one execution attempt of a map task.
+func (d *Driver) mapReq(j *activeJob, t scheduler.Task, attempt int) RunMapReq {
+	return RunMapReq{
 		Job:            j.spec.ID,
 		Namespace:      j.ns,
 		App:            j.spec.App,
 		Params:         j.spec.Params,
-		BlockKey:       a.Task.HashKey,
+		BlockKey:       t.HashKey,
+		Task:           t.ID,
+		Attempt:        attempt,
 		ReduceServers:  j.mk.Servers,
 		ReduceBounds:   j.mk.Bounds,
+		ReduceReplicas: j.mk.Replicas,
 		SpillThreshold: j.spec.SpillThreshold,
 		TTL:            j.spec.IntermediateTTL,
 	}
+}
+
+// completeMapLocked accounts one successful map execution. Caller holds
+// d.mu.
+func (d *Driver) completeMapLocked(j *activeJob, resp RunMapResp) {
+	if j.failed {
+		return
+	}
+	for i, b := range resp.PartBytes {
+		j.mk.PartBytes[i] += b
+	}
+	j.res.ShuffleBytes += sum(resp.PartBytes)
+	if resp.CacheHit {
+		j.res.CacheHits++
+	} else {
+		j.res.CacheMisses++
+	}
+	j.remaining--
+	if j.remaining == 0 {
+		j.done <- nil
+	}
+}
+
+// runMapTask executes one assignment against its worker and accounts the
+// completion.
+func (d *Driver) runMapTask(j *activeJob, a scheduler.Assignment) {
+	d.mu.Lock()
+	attempt := j.attempts[a.Task.ID]
+	d.mu.Unlock()
 	var resp RunMapResp
-	err := d.call(a.Node, MethodRunMap, req, &resp)
+	err := d.call(a.Node, MethodRunMap, d.mapReq(j, a.Task, attempt), &resp)
 
 	maxAttempts := j.spec.MaxAttempts
 	if maxAttempts <= 0 {
@@ -312,22 +371,7 @@ func (d *Driver) runMapTask(j *activeJob, a scheduler.Assignment) {
 	}()
 	if err == nil {
 		d.sched.Release(a.Node)
-		if j.failed {
-			return
-		}
-		for i, b := range resp.PartBytes {
-			j.mk.PartBytes[i] += b
-		}
-		j.res.ShuffleBytes += sum(resp.PartBytes)
-		if resp.CacheHit {
-			j.res.CacheHits++
-		} else {
-			j.res.CacheMisses++
-		}
-		j.remaining--
-		if j.remaining == 0 {
-			j.done <- nil
-		}
+		d.completeMapLocked(j, resp)
 		return
 	}
 	// Failure handling: unreachable workers leave the pool; application
@@ -342,12 +386,57 @@ func (d *Driver) runMapTask(j *activeJob, a scheduler.Assignment) {
 	}
 	j.attempts[a.Task.ID]++
 	if j.attempts[a.Task.ID] >= maxAttempts {
-		j.failed = true
-		j.done <- fmt.Errorf("mapreduce: task %s failed %d times, last error: %w",
-			a.Task.ID, j.attempts[a.Task.ID], err)
+		// The scheduler's retry budget is spent. Fall back to the paper's
+		// recovery rule: hand the task straight to the replica set of its
+		// input's hash key — the successor that takes over a faulty
+		// server's range also holds the block's replica.
+		d.reg.Counter("mr.driver.map_failovers").Inc()
+		go d.failoverMapTask(j, j.taskByID[a.Task.ID], a.Node, err)
 		return
 	}
+	d.reg.Counter("mr.driver.map_retries").Inc()
 	d.sched.Submit(j.taskByID[a.Task.ID], d.since())
+}
+
+// failoverMapTask dispatches a map task directly (off the scheduler) to
+// the members of its hash key's replica set, excluding the node that just
+// failed it. The job fails only when every candidate has failed too.
+func (d *Driver) failoverMapTask(j *activeJob, t scheduler.Task, exclude hashing.NodeID, lastErr error) {
+	candidates, _ := d.ring().ReplicaSet(t.HashKey, 3)
+	for _, cand := range candidates {
+		if cand == exclude {
+			continue
+		}
+		d.mu.Lock()
+		if j.failed {
+			d.mu.Unlock()
+			return
+		}
+		attempt := j.attempts[t.ID]
+		j.attempts[t.ID]++
+		d.mu.Unlock()
+		var resp RunMapResp
+		err := d.call(cand, MethodRunMap, d.mapReq(j, t, attempt), &resp)
+		if err == nil {
+			d.mu.Lock()
+			d.completeMapLocked(j, resp)
+			d.mu.Unlock()
+			d.signal()
+			return
+		}
+		lastErr = err
+	}
+	d.mu.Lock()
+	defer func() {
+		d.mu.Unlock()
+		d.signal()
+	}()
+	if j.failed {
+		return
+	}
+	j.failed = true
+	j.done <- fmt.Errorf("mapreduce: task %s failed %d times (failover exhausted), last error: %w",
+		t.ID, j.attempts[t.ID], lastErr)
 }
 
 // Close stops the dispatcher goroutine. Intended for process shutdown;
@@ -376,13 +465,18 @@ func (d *Driver) Close() {
 // reduceSlots.
 func (d *Driver) runReducePhase(spec JobSpec, ns string, mk marker, res *Result) error {
 	type reduceTask struct {
-		part  int
-		owner hashing.NodeID
+		part    int
+		owner   hashing.NodeID
+		replica hashing.NodeID
 	}
 	var tasks []reduceTask
 	for part, bytes := range mk.PartBytes {
 		if bytes > 0 {
-			tasks = append(tasks, reduceTask{part: part, owner: mk.Servers[part]})
+			t := reduceTask{part: part, owner: mk.Servers[part]}
+			if part < len(mk.Replicas) {
+				t.replica = mk.Replicas[part]
+			}
+			tasks = append(tasks, t)
 		}
 	}
 	res.ReduceTasks = len(tasks)
@@ -420,14 +514,26 @@ func (d *Driver) runReducePhase(spec JobSpec, ns string, mk marker, res *Result)
 				TTL:                spec.IntermediateTTL,
 				User:               spec.User,
 			}
+			if t.replica != "" {
+				req.SegmentReplicas = []hashing.NodeID{t.owner, t.replica}
+			}
 			var resp RunReduceResp
 			err := d.call(t.owner, MethodRunReduce, req, &resp)
 			if err != nil && errors.Is(err, transport.ErrUnreachable) {
-				// Segment owner died. Its successor holds no segments (the
-				// paper leaves intermediates unreplicated by default), so
-				// surface the failure: the caller restarts the job.
-				err = fmt.Errorf("mapreduce: reduce partition %d lost with node %s: %w",
-					t.part, t.owner, err)
+				if t.replica != "" {
+					// The owner died, but the job replicated its spills:
+					// re-run the reduce at the replica, which unions the
+					// surviving copies.
+					d.reg.Counter("mr.driver.reduce_failovers").Inc()
+					err = d.call(t.replica, MethodRunReduce, req, &resp)
+				} else {
+					// Segment owner died. Its successor holds no segments
+					// (the paper leaves intermediates unreplicated by
+					// default), so surface the failure: the caller restarts
+					// the job.
+					err = fmt.Errorf("mapreduce: reduce partition %d lost with node %s: %w",
+						t.part, t.owner, err)
+				}
 			}
 			mu.Lock()
 			defer mu.Unlock()
@@ -446,6 +552,10 @@ func (d *Driver) runReducePhase(spec JobSpec, ns string, mk marker, res *Result)
 		}(t)
 	}
 	wg.Wait()
+	// Completion order is scheduling-dependent; sort (lexicographic =
+	// partition order under the fixed-width partition naming) so results
+	// are deterministic run to run.
+	sort.Strings(res.OutputFiles)
 	return firstErr
 }
 

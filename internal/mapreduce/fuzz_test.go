@@ -1,0 +1,45 @@
+package mapreduce
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeKVs exercises the spill codec on arbitrary byte streams: the
+// decoder must never panic, and any stream it accepts must re-encode to
+// the identical bytes (the format is canonical — this is what makes
+// segment append-concatenation sound).
+func FuzzDecodeKVs(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(EncodeKVs([]KV{{Key: "a", Value: []byte("1")}}))
+	f.Add(EncodeKVs([]KV{
+		{Key: "", Value: nil},
+		{Key: "hello", Value: []byte("world")},
+		{Key: "hello", Value: bytes.Repeat([]byte{0xff}, 100)},
+	}))
+	f.Add([]byte{0, 0, 0, 1, 'k'})             // truncated value length
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'}) // absurd key length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		kvs, err := DecodeKVs(data)
+		if err != nil {
+			return // rejected streams just need to not panic
+		}
+		round := EncodeKVs(kvs)
+		if !bytes.Equal(round, data) {
+			t.Fatalf("accepted stream is not canonical: %x re-encodes to %x", data, round)
+		}
+		// A second decode of the re-encoding must agree.
+		again, err := DecodeKVs(round)
+		if err != nil {
+			t.Fatalf("re-encoded stream rejected: %v", err)
+		}
+		if len(again) != len(kvs) {
+			t.Fatalf("round trip changed pair count: %d -> %d", len(kvs), len(again))
+		}
+		for i := range kvs {
+			if again[i].Key != kvs[i].Key || !bytes.Equal(again[i].Value, kvs[i].Value) {
+				t.Fatalf("pair %d changed: %+v -> %+v", i, kvs[i], again[i])
+			}
+		}
+	})
+}

@@ -138,6 +138,12 @@ type JobSpec struct {
 	IntermediateTTL time.Duration
 	// MaxAttempts bounds per-task retries; zero selects 3.
 	MaxAttempts int
+	// ReplicateIntermediates pushes every shuffle spill to the partition
+	// owner's ring successor as well, so a reduce task can still assemble
+	// its complete input when the owner crashes mid-job. The paper leaves
+	// intermediates unreplicated (lost spills force map re-execution);
+	// this opt-in trades shuffle bandwidth for crash tolerance.
+	ReplicateIntermediates bool
 }
 
 // DefaultSpillThreshold matches the paper's 32 MB payload buffer.

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"errors"
 	"fmt"
 	"time"
 
@@ -21,11 +22,21 @@ type (
 		Params    Params
 		// BlockKey identifies the input block in the DHT file system.
 		BlockKey hashing.Key
+		// Task names the map task and Attempt counts its executions
+		// (0-based), so spills from retried or re-dispatched attempts
+		// supersede rather than duplicate earlier ones. An empty Task
+		// selects the legacy untracked append path.
+		Task    string
+		Attempt int
 		// ReduceServers / ReduceBounds describe the reduce partition
 		// table fixed at job start (partition i is owned by
 		// ReduceServers[i]).
-		ReduceServers  []hashing.NodeID
-		ReduceBounds   []hashing.Key
+		ReduceServers []hashing.NodeID
+		ReduceBounds  []hashing.Key
+		// ReduceReplicas, when parallel to ReduceServers, names a second
+		// spill target per partition (the owner's ring successor at job
+		// start) for crash-tolerant intermediates.
+		ReduceReplicas []hashing.NodeID
 		SpillThreshold int
 		TTL            time.Duration
 	}
@@ -47,7 +58,11 @@ type (
 		Partition int
 		// SegmentOwner is the node holding the partition's spills.
 		SegmentOwner hashing.NodeID
-		OutputFile   string
+		// SegmentReplicas, when set, lists every node that may hold part
+		// of the partition's spills (owner plus replicas); the reduce then
+		// unions the attempt-tagged segments from all reachable members.
+		SegmentReplicas []hashing.NodeID
+		OutputFile      string
 		// OutputBlockSize sizes the DHT-FS blocks of the output file.
 		OutputBlockSize    int
 		CacheIntermediates bool
@@ -181,6 +196,7 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 	resp := RunMapResp{PartBytes: make([]int64, nParts), CacheHit: cacheHit, RemoteRead: remote}
 	buffers := make([][]KV, nParts)
 	bufBytes := make([]int, nParts)
+	seq := make([]int, nParts)
 
 	spill := func(part int) error {
 		if len(buffers[part]) == 0 {
@@ -195,9 +211,10 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 		}
 		data := EncodeKVs(kvs)
 		partition := partitionName(part)
-		if err := w.fs.PushSegment(req.ReduceServers[part], req.Namespace, partition, data, req.TTL); err != nil {
-			return fmt.Errorf("mapreduce: spill partition %d to %s: %w", part, req.ReduceServers[part], err)
+		if err := w.pushSpill(req, part, partition, seq[part], data); err != nil {
+			return err
 		}
+		seq[part]++
 		resp.PartBytes[part] += int64(len(data))
 		w.reg.Counter("mr.shuffle.spills").Inc()
 		w.reg.Counter("mr.shuffle.bytes").Add(int64(len(data)))
@@ -229,6 +246,48 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 	return resp, nil
 }
 
+// pushSpill delivers one spill to the partition owner and, when the job
+// replicates intermediates, the owner's replica. Unreachable targets are
+// skipped — the reduce side unions the surviving copies — but at least one
+// target must accept the spill, and any non-structural failure (a retry
+// budget exhausted by message loss, an application error) fails the map
+// attempt so the driver can re-dispatch it.
+func (w *Worker) pushSpill(req RunMapReq, part int, partition string, seq int, data []byte) error {
+	targets := []hashing.NodeID{req.ReduceServers[part]}
+	if len(req.ReduceReplicas) == len(req.ReduceServers) {
+		if r := req.ReduceReplicas[part]; r != "" && r != targets[0] {
+			targets = append(targets, r)
+		}
+	}
+	stored := 0
+	var lastErr error
+	for i, t := range targets {
+		var err error
+		if req.Task != "" {
+			tag := dhtfs.SegTag{Task: req.Task, Attempt: req.Attempt, Seq: seq}
+			err = w.fs.PushTaggedSegment(t, req.Namespace, partition, tag, data, req.TTL)
+		} else {
+			err = w.fs.PushSegment(t, req.Namespace, partition, data, req.TTL)
+		}
+		if err == nil {
+			stored++
+			if i > 0 {
+				w.reg.Counter("mr.shuffle.replica_spills").Inc()
+			}
+			continue
+		}
+		if errors.Is(err, transport.ErrUnreachable) {
+			lastErr = err
+			continue
+		}
+		return fmt.Errorf("mapreduce: spill partition %d to %s: %w", part, t, err)
+	}
+	if stored == 0 {
+		return fmt.Errorf("mapreduce: spill partition %d: no reachable target: %w", part, lastErr)
+	}
+	return nil
+}
+
 // combine applies the map-side combiner to a buffered spill.
 func combine(fn ReduceFunc, params Params, kvs []KV) ([]KV, error) {
 	var out []KV
@@ -250,6 +309,38 @@ func partitionName(part int) string { return fmt.Sprintf("p%04d", part) }
 // mergedTag is the oCache data ID of a partition's merged reduce input.
 func mergedTag(part int) string { return "merged:" + partitionName(part) }
 
+// gatherReplicatedSegments unions the attempt-tagged spills of a partition
+// from every reachable replica. Each spill reached at least one member of
+// the set (pushSpill's invariant), so the union over the reachable members
+// is complete as long as at least one answers; duplicates and superseded
+// attempts are resolved by dhtfs.MergeTaggedSegments.
+func (w *Worker) gatherReplicatedSegments(req RunReduceReq) ([][]byte, error) {
+	partition := partitionName(req.Partition)
+	var tagged []dhtfs.TaggedSegment
+	reached := 0
+	var lastErr error
+	for _, t := range req.SegmentReplicas {
+		var segs []dhtfs.TaggedSegment
+		var err error
+		if t == w.self {
+			segs = w.fs.Store().ReadTaggedSegments(req.Namespace, partition)
+		} else {
+			segs, err = w.fs.FetchTaggedSegments(t, req.Namespace, partition)
+		}
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		reached++
+		tagged = append(tagged, segs...)
+	}
+	if reached == 0 {
+		return nil, fmt.Errorf("mapreduce: partition %d: no segment replica reachable: %w",
+			req.Partition, lastErr)
+	}
+	return dhtfs.MergeTaggedSegments(tagged), nil
+}
+
 // runReduce executes one reduce task: gather the partition's intermediate
 // data (oCache, local segments, or a remote fetch if scheduled off the
 // segment owner), group by key, reduce, and persist the output to the DHT
@@ -266,7 +357,12 @@ func (w *Worker) runReduce(req RunReduceReq) (RunReduceResp, error) {
 		resp.InputCached = true
 	} else {
 		var segments [][]byte
-		if req.SegmentOwner == w.self {
+		if len(req.SegmentReplicas) > 0 {
+			segments, err = w.gatherReplicatedSegments(req)
+			if err != nil {
+				return RunReduceResp{}, err
+			}
+		} else if req.SegmentOwner == w.self {
 			segments = w.fs.Store().ReadSegments(req.Namespace, partitionName(req.Partition))
 		} else {
 			segments, err = w.fs.FetchSegments(req.SegmentOwner, req.Namespace, partitionName(req.Partition))

@@ -1,6 +1,8 @@
 package scheduler
 
 import (
+	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,6 +21,12 @@ type Fair struct {
 	stats Stats
 	// rrOffset rotates the job that leads each dispatch round.
 	rrOffset int
+	// rnd breaks ties between equally loaded servers. Picking by node ID
+	// instead would make placement mirror itself across identical job
+	// runs, silently granting the locality-unaware baseline warm caches.
+	// The fixed seed keeps the scheduler deterministic as a whole while
+	// the stream position still separates one dispatch from the next.
+	rnd *rand.Rand
 }
 
 var _ Scheduler = (*Fair)(nil)
@@ -30,7 +38,11 @@ func NewFair(ring *hashing.Ring) (*Fair, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Fair{table: table, free: make(map[hashing.NodeID]int)}, nil
+	return &Fair{
+		table: table,
+		free:  make(map[hashing.NodeID]int),
+		rnd:   rand.New(rand.NewSource(1)),
+	}, nil
 }
 
 // AddNode registers a worker with the given slot count.
@@ -85,14 +97,23 @@ func (s *Fair) Dispatch(now time.Duration) []Assignment {
 }
 
 func (s *Fair) mostFreeLocked() (hashing.NodeID, bool) {
-	var best hashing.NodeID
 	bestFree := 0
+	var ties []hashing.NodeID
 	for id, f := range s.free {
-		if f > bestFree || (f == bestFree && f > 0 && id < best) {
-			best, bestFree = id, f
+		switch {
+		case f > bestFree:
+			bestFree = f
+			ties = ties[:0]
+			ties = append(ties, id)
+		case f == bestFree && f > 0:
+			ties = append(ties, id)
 		}
 	}
-	return best, bestFree > 0
+	if bestFree == 0 {
+		return "", false
+	}
+	sort.Slice(ties, func(i, j int) bool { return ties[i] < ties[j] })
+	return ties[s.rnd.Intn(len(ties))], true
 }
 
 // Release returns a slot to the node.

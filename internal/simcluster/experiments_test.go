@@ -8,6 +8,21 @@ import (
 // wins, by roughly what factor, where crossovers fall — not absolute
 // numbers (the substrate is a simulator, not the authors' testbed).
 
+// skipIfExpensive gates the figure sweeps that take >10 s even without
+// instrumentation. The simulations are deterministic, so skipping them
+// under -short or -race loses no assertion diversity per run; the model's
+// event-queue concurrency stays race-checked by the fast Model* tests and
+// the Fig5/6a/8 sweeps that still run.
+func skipIfExpensive(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("expensive figure sweep: skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("expensive figure sweep: ~20x slower under -race")
+	}
+}
+
 func TestFig5Shapes(t *testing.T) {
 	a, b, err := Fig5(nil)
 	if err != nil {
@@ -63,6 +78,7 @@ func TestFig6aLAFBeatsDelay(t *testing.T) {
 }
 
 func TestFig6bIterative(t *testing.T) {
+	skipIfExpensive(t)
 	rows, err := Fig6b()
 	if err != nil {
 		t.Fatal(err)
@@ -95,6 +111,7 @@ func TestFig6bIterative(t *testing.T) {
 }
 
 func TestFig7SkewTradeoffs(t *testing.T) {
+	skipIfExpensive(t)
 	rows, err := Fig7(nil)
 	if err != nil {
 		t.Fatal(err)
@@ -173,6 +190,7 @@ func TestFig8ConcurrentJobs(t *testing.T) {
 }
 
 func TestFig9FrameworkComparison(t *testing.T) {
+	skipIfExpensive(t)
 	rows, err := Fig9()
 	if err != nil {
 		t.Fatal(err)
@@ -221,6 +239,7 @@ func TestFig9FrameworkComparison(t *testing.T) {
 }
 
 func TestFig10IterationShapes(t *testing.T) {
+	skipIfExpensive(t)
 	figs, err := Fig10()
 	if err != nil {
 		t.Fatal(err)

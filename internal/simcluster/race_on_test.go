@@ -1,0 +1,5 @@
+//go:build race
+
+package simcluster
+
+const raceEnabled = true

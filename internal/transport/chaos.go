@@ -1,0 +1,268 @@
+package transport
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"time"
+
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/metrics"
+)
+
+// ChaosConfig parameterizes fault injection. The zero value injects
+// nothing; the decorated network behaves exactly like the inner one.
+type ChaosConfig struct {
+	// Seed makes the failure schedule reproducible: the drop/latency
+	// decision for the n-th call on a given (from, to) link is a pure
+	// function of (Seed, from, to, n), so the same seed and the same
+	// per-link call sequence replay the same faults regardless of how
+	// calls on *different* links interleave.
+	Seed int64
+	// Drop is the per-message loss probability in [0, 1]. Half the losses
+	// hit the request (the handler never runs), half hit the reply (the
+	// handler runs but the caller sees ErrDropped) — exercising both the
+	// at-most-once and the at-least-once failure mode.
+	Drop float64
+	// Latency is added to every delivered call.
+	Latency time.Duration
+	// Jitter adds a uniform extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Logf, when set, receives one line per injected fault, carrying the
+	// link, call index and seed needed to reproduce the schedule
+	// (t.Logf in tests).
+	Logf func(format string, args ...any)
+}
+
+// linkKey identifies a directed link; an empty from means the caller did
+// not use an origin facet.
+type linkKey struct {
+	from, to hashing.NodeID
+}
+
+// linkRule overrides the global config for one directed link.
+type linkRule struct {
+	drop       float64
+	hasDrop    bool
+	latency    time.Duration
+	jitter     time.Duration
+	hasLatency bool
+	cut        bool
+}
+
+// Chaos decorates a Network with seeded fault injection: per-link message
+// drop, latency and jitter, asymmetric partitions, and crash-stop of
+// whole nodes. It is the adversarial substrate the robustness tests run
+// the full cluster under; consumers survive it through the Retry layer,
+// driver task re-dispatch and dhtfs replica failover.
+type Chaos struct {
+	inner Network
+	reg   *metrics.Registry
+
+	mu      sync.Mutex
+	cfg     ChaosConfig
+	links   map[linkKey]linkRule
+	crashed map[hashing.NodeID]bool
+	counts  map[linkKey]uint64
+}
+
+// NewChaos wraps a network with fault injection.
+func NewChaos(inner Network, cfg ChaosConfig) *Chaos {
+	c := &Chaos{
+		inner:   inner,
+		reg:     metrics.NewRegistry(),
+		cfg:     cfg,
+		links:   make(map[linkKey]linkRule),
+		crashed: make(map[hashing.NodeID]bool),
+		counts:  make(map[linkKey]uint64),
+	}
+	// Pre-create the counters so a fault-free run still exposes them.
+	for _, name := range []string{
+		"chaos.calls", "chaos.drops", "chaos.drops.request",
+		"chaos.drops.reply", "chaos.blocked",
+	} {
+		c.reg.Counter(name)
+	}
+	return c
+}
+
+// SetDrop replaces the global drop probability (enable or quiesce chaos
+// at a test phase boundary, e.g. after a fault-free upload).
+func (c *Chaos) SetDrop(p float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.cfg.Drop = p
+}
+
+// SetLink overrides drop and latency for one directed link. An empty from
+// matches calls made without an origin facet as well as any facet, so
+// ("", to) approximates "anyone → to".
+func (c *Chaos) SetLink(from, to hashing.NodeID, drop float64, latency, jitter time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.links[linkKey{from, to}]
+	r.drop, r.hasDrop = drop, true
+	r.latency, r.jitter, r.hasLatency = latency, jitter, true
+	c.links[linkKey{from, to}] = r
+}
+
+// Partition cuts (or heals) the directed link from → to. Cutting only one
+// direction yields an asymmetric partition: from cannot reach to, while
+// to still reaches from.
+func (c *Chaos) Partition(from, to hashing.NodeID, cut bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := c.links[linkKey{from, to}]
+	r.cut = cut
+	c.links[linkKey{from, to}] = r
+}
+
+// Crash makes a node fail-stop at the transport level: every call to it
+// and — via origin facets — from it returns ErrUnreachable, including
+// replies to calls already in flight. The node's goroutines keep running
+// (as a real crashed machine's peers cannot tell), but nothing it does is
+// observable.
+func (c *Chaos) Crash(id hashing.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.crashed[id] = true
+}
+
+// Revive heals a crashed node.
+func (c *Chaos) Revive(id hashing.NodeID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.crashed, id)
+}
+
+// Listen delegates to the inner network.
+func (c *Chaos) Listen(id hashing.NodeID, h Handler) error { return c.inner.Listen(id, h) }
+
+// Unlisten delegates to the inner network.
+func (c *Chaos) Unlisten(id hashing.NodeID) { c.inner.Unlisten(id) }
+
+// Close delegates to the inner network.
+func (c *Chaos) Close() error { return c.inner.Close() }
+
+// Call invokes a method with fault injection, with no origin identity.
+func (c *Chaos) Call(to hashing.NodeID, method string, body []byte) ([]byte, error) {
+	return c.call("", to, method, body)
+}
+
+// From returns an origin-stamped facet.
+func (c *Chaos) From(id hashing.NodeID) Network { return chaosFacet{c: c, from: id} }
+
+// Unwrap exposes the inner network (metrics aggregation walks the chain).
+func (c *Chaos) Unwrap() Network { return c.inner }
+
+// NetMetrics exposes the injection counters.
+func (c *Chaos) NetMetrics() *metrics.Registry { return c.reg }
+
+type chaosFacet struct {
+	c    *Chaos
+	from hashing.NodeID
+}
+
+func (f chaosFacet) Listen(id hashing.NodeID, h Handler) error { return f.c.Listen(id, h) }
+func (f chaosFacet) Unlisten(id hashing.NodeID)                { f.c.Unlisten(id) }
+func (f chaosFacet) Close() error                              { return f.c.Close() }
+func (f chaosFacet) Call(to hashing.NodeID, method string, body []byte) ([]byte, error) {
+	return f.c.call(f.from, to, method, body)
+}
+
+// splitmix64 is the per-call pseudo-random mixer; a fixed, portable
+// function keeps failure schedules identical across platforms and runs.
+func splitmix64(z uint64) uint64 {
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// linkHash folds a directed link into the schedule seed.
+func linkHash(from, to hashing.NodeID) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(from))
+	h.Write([]byte{0})
+	h.Write([]byte(to))
+	return h.Sum64()
+}
+
+// uniform derives the k-th uniform [0,1) variate of call n on a link.
+func uniform(seed int64, link uint64, n uint64, k uint64) float64 {
+	u := splitmix64(uint64(seed) ^ splitmix64(link+k*0x632be59bd9b4e019) ^ splitmix64(n))
+	return float64(u>>11) / float64(1<<53)
+}
+
+// call runs the fault schedule for one message.
+func (c *Chaos) call(from, to hashing.NodeID, method string, body []byte) ([]byte, error) {
+	c.mu.Lock()
+	cfg := c.cfg
+	drop, latency, jitter := cfg.Drop, cfg.Latency, cfg.Jitter
+	cut := false
+	// Exact link first, then "anyone → to".
+	for _, k := range []linkKey{{from, to}, {"", to}} {
+		if r, ok := c.links[k]; ok {
+			if r.hasDrop {
+				drop = r.drop
+			}
+			if r.hasLatency {
+				latency, jitter = r.latency, r.jitter
+			}
+			cut = cut || r.cut
+			break
+		}
+	}
+	dead := c.crashed[to] || (from != "" && c.crashed[from])
+	link := linkKey{from, to}
+	n := c.counts[link]
+	c.counts[link] = n + 1
+	c.mu.Unlock()
+
+	c.reg.Counter("chaos.calls").Inc()
+	if dead || cut {
+		c.reg.Counter("chaos.blocked").Inc()
+		return nil, fmt.Errorf("%w: %s (chaos: link %s->%s blocked)", ErrUnreachable, to, from, to)
+	}
+
+	lh := linkHash(from, to)
+	uDrop := uniform(cfg.Seed, lh, n, 0)
+	if d := latency + time.Duration(float64(jitter)*uniform(cfg.Seed, lh, n, 1)); d > 0 {
+		time.Sleep(d)
+	}
+	if uDrop < drop/2 {
+		c.reg.Counter("chaos.drops").Inc()
+		c.reg.Counter("chaos.drops.request").Inc()
+		c.logf("chaos: drop request link=%s->%s method=%s n=%d seed=%d", from, to, method, n, cfg.Seed)
+		return nil, fmt.Errorf("%w: request %s to %s (chaos n=%d)", ErrDropped, method, to, n)
+	}
+	out, err := c.inner.Call(to, method, body)
+	if uDrop < drop {
+		c.reg.Counter("chaos.drops").Inc()
+		c.reg.Counter("chaos.drops.reply").Inc()
+		c.logf("chaos: drop reply link=%s->%s method=%s n=%d seed=%d", from, to, method, n, cfg.Seed)
+		return nil, fmt.Errorf("%w: reply %s from %s (chaos n=%d)", ErrDropped, method, to, n)
+	}
+	// Crash-stop must also swallow replies to calls that were in flight
+	// when the node died.
+	c.mu.Lock()
+	dead = c.crashed[to] || (from != "" && c.crashed[from])
+	c.mu.Unlock()
+	if dead {
+		c.reg.Counter("chaos.blocked").Inc()
+		return nil, fmt.Errorf("%w: %s (chaos: crashed mid-call)", ErrUnreachable, to)
+	}
+	return out, err
+}
+
+func (c *Chaos) logf(format string, args ...any) {
+	c.mu.Lock()
+	logf := c.cfg.Logf
+	c.mu.Unlock()
+	if logf != nil {
+		logf(format, args...)
+	}
+}
+
+var _ OriginNetwork = (*Chaos)(nil)
+var _ MetricsSource = (*Chaos)(nil)

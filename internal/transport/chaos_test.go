@@ -1,0 +1,195 @@
+package transport
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"eclipsemr/internal/hashing"
+)
+
+// chaosPattern replays n sequential calls on one link and records the
+// outcome of each as a single character (success, dropped, unreachable).
+func chaosPattern(c *Chaos, from, to hashing.NodeID, n int) string {
+	var sb strings.Builder
+	caller := c.From(from)
+	for i := 0; i < n; i++ {
+		_, err := caller.Call(to, "echo", []byte("hi"))
+		switch {
+		case err == nil:
+			sb.WriteByte('o')
+		case errors.Is(err, ErrDropped):
+			sb.WriteByte('d')
+		case errors.Is(err, ErrUnreachable):
+			sb.WriteByte('u')
+		default:
+			sb.WriteByte('?')
+		}
+	}
+	return sb.String()
+}
+
+// TestChaosDeterministicSchedule asserts the acceptance property: the same
+// seed produces the same failure schedule, and a different seed produces a
+// different one.
+func TestChaosDeterministicSchedule(t *testing.T) {
+	build := func(seed int64) *Chaos {
+		inner := NewLocal()
+		t.Cleanup(func() { inner.Close() })
+		c := NewChaos(inner, ChaosConfig{Seed: seed, Drop: 0.3})
+		if err := c.Listen("a", echoHandler); err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	const calls = 200
+	first := chaosPattern(build(42), "x", "a", calls)
+	second := chaosPattern(build(42), "x", "a", calls)
+	if first != second {
+		t.Fatalf("same seed, different schedules:\n%s\n%s", first, second)
+	}
+	if !strings.Contains(first, "d") || !strings.Contains(first, "o") {
+		t.Fatalf("schedule at drop=0.3 should mix drops and successes: %s", first)
+	}
+	other := chaosPattern(build(43), "x", "a", calls)
+	if first == other {
+		t.Fatalf("different seeds produced the identical %d-call schedule", calls)
+	}
+}
+
+func TestChaosDropAllAndCounters(t *testing.T) {
+	inner := NewLocal()
+	defer inner.Close()
+	c := NewChaos(inner, ChaosConfig{Seed: 1, Drop: 1.0})
+	c.Listen("a", echoHandler)
+	const calls = 20
+	for i := 0; i < calls; i++ {
+		_, err := c.Call("a", "m", nil)
+		if !errors.Is(err, ErrDropped) {
+			t.Fatalf("call %d: err = %v, want ErrDropped", i, err)
+		}
+		if !IsTransient(err) {
+			t.Fatalf("dropped error not transient: %v", err)
+		}
+	}
+	snap := c.NetMetrics().Snapshot()
+	if snap["chaos.drops"] != calls {
+		t.Fatalf("chaos.drops = %d, want %d", snap["chaos.drops"], calls)
+	}
+	if snap["chaos.drops.request"]+snap["chaos.drops.reply"] != calls {
+		t.Fatalf("request+reply drops = %d+%d, want %d",
+			snap["chaos.drops.request"], snap["chaos.drops.reply"], calls)
+	}
+	// Drop schedules must exercise both failure modes.
+	if snap["chaos.drops.request"] == 0 || snap["chaos.drops.reply"] == 0 {
+		t.Fatalf("one-sided drop split: request=%d reply=%d",
+			snap["chaos.drops.request"], snap["chaos.drops.reply"])
+	}
+}
+
+func TestChaosReplyDropRunsHandler(t *testing.T) {
+	inner := NewLocal()
+	defer inner.Close()
+	c := NewChaos(inner, ChaosConfig{Seed: 1, Drop: 1.0})
+	handled := 0
+	c.Listen("a", func(method string, body []byte) ([]byte, error) {
+		handled++
+		return nil, nil
+	})
+	for i := 0; i < 40; i++ {
+		c.Call("a", "m", nil)
+	}
+	// At drop=1 half the losses are reply drops, for which the handler
+	// must have run (the at-least-once failure mode).
+	if handled == 0 {
+		t.Fatal("no reply-dropped call reached the handler")
+	}
+	if handled == 40 {
+		t.Fatal("no request drop prevented handler execution")
+	}
+}
+
+func TestChaosLatency(t *testing.T) {
+	inner := NewLocal()
+	defer inner.Close()
+	c := NewChaos(inner, ChaosConfig{Seed: 1, Latency: 20 * time.Millisecond})
+	c.Listen("a", echoHandler)
+	start := time.Now()
+	if _, err := c.Call("a", "m", nil); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("call took %v, want >= 20ms injected latency", d)
+	}
+}
+
+func TestChaosAsymmetricPartition(t *testing.T) {
+	inner := NewLocal()
+	defer inner.Close()
+	c := NewChaos(inner, ChaosConfig{Seed: 1})
+	c.Listen("a", echoHandler)
+	c.Listen("b", echoHandler)
+	c.Partition("a", "b", true)
+	if _, err := c.From("a").Call("b", "m", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("a->b err = %v, want ErrUnreachable", err)
+	}
+	if _, err := c.From("b").Call("a", "m", nil); err != nil {
+		t.Fatalf("b->a should still work: %v", err)
+	}
+	c.Partition("a", "b", false)
+	if _, err := c.From("a").Call("b", "m", nil); err != nil {
+		t.Fatalf("healed a->b: %v", err)
+	}
+}
+
+func TestChaosCrashRevive(t *testing.T) {
+	inner := NewLocal()
+	defer inner.Close()
+	c := NewChaos(inner, ChaosConfig{Seed: 1})
+	c.Listen("a", echoHandler)
+	c.Listen("b", echoHandler)
+	c.Crash("a")
+	if _, err := c.From("b").Call("a", "m", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call to crashed node: err = %v", err)
+	}
+	// Crash-stop is bidirectional: the dead node's own calls go nowhere.
+	if _, err := c.From("a").Call("b", "m", nil); !errors.Is(err, ErrUnreachable) {
+		t.Fatalf("call from crashed node: err = %v", err)
+	}
+	c.Revive("a")
+	if _, err := c.From("b").Call("a", "m", nil); err != nil {
+		t.Fatalf("call after revive: %v", err)
+	}
+}
+
+func TestChaosPerLinkOverride(t *testing.T) {
+	inner := NewLocal()
+	defer inner.Close()
+	c := NewChaos(inner, ChaosConfig{Seed: 1}) // global drop 0
+	c.Listen("a", echoHandler)
+	c.Listen("b", echoHandler)
+	c.SetLink("x", "a", 1.0, 0, 0)
+	if _, err := c.From("x").Call("a", "m", nil); !errors.Is(err, ErrDropped) {
+		t.Fatalf("overridden link should drop: %v", err)
+	}
+	if _, err := c.From("x").Call("b", "m", nil); err != nil {
+		t.Fatalf("other link affected by override: %v", err)
+	}
+	if _, err := c.From("y").Call("a", "m", nil); err != nil {
+		t.Fatalf("other origin affected by override: %v", err)
+	}
+}
+
+func TestChaosZeroConfigIsTransparent(t *testing.T) {
+	inner := NewLocal()
+	defer inner.Close()
+	c := NewChaos(inner, ChaosConfig{})
+	c.Listen("a", echoHandler)
+	for i := 0; i < 50; i++ {
+		reply, err := c.Call("a", "echo", []byte("hi"))
+		if err != nil || string(reply) != "echo:hi" {
+			t.Fatalf("zero-config chaos altered behavior: %q, %v", reply, err)
+		}
+	}
+}

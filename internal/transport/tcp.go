@@ -236,14 +236,23 @@ func (t *TCP) Close() error {
 	t.closed = true
 	servers := t.servers
 	conns := t.conns
+	accepted := t.accepted
 	t.servers = map[hashing.NodeID]net.Listener{}
 	t.conns = map[hashing.NodeID]*tcpConn{}
+	t.accepted = map[hashing.NodeID]map[net.Conn]struct{}{}
 	t.mu.Unlock()
 	for _, ln := range servers {
 		ln.Close()
 	}
 	for _, c := range conns {
 		c.close(errors.New("transport: network closed"))
+	}
+	// Accepted server-side connections must be torn down too, or wg.Wait
+	// blocks until every remote peer hangs up on its own.
+	for _, set := range accepted {
+		for conn := range set {
+			conn.Close()
+		}
 	}
 	t.wg.Wait()
 	return nil
@@ -335,7 +344,7 @@ func (c *tcpConn) roundTrip(method string, body []byte, timeout time.Duration) (
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
-		return nil, fmt.Errorf("transport: call %s timed out after %v", method, timeout)
+		return nil, fmt.Errorf("%w: %s after %v", ErrTimeout, method, timeout)
 	}
 }
 

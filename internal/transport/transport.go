@@ -19,6 +19,7 @@ import (
 	"sync"
 
 	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/metrics"
 )
 
 // Handler processes one inbound call on a node.
@@ -39,6 +40,43 @@ type Network interface {
 // ErrUnreachable is returned when the destination node is not listening
 // (crashed, partitioned, or never started).
 var ErrUnreachable = errors.New("transport: node unreachable")
+
+// ErrDropped is returned when a message was lost in flight (only the
+// fault-injecting Chaos network produces it). The handler may or may not
+// have executed — a dropped reply looks identical to a dropped request —
+// so callers must treat retried calls as at-least-once.
+var ErrDropped = errors.New("transport: message dropped")
+
+// ErrTimeout is returned when a call did not complete within the
+// transport's per-call timeout. As with ErrDropped, the remote handler
+// may have executed.
+var ErrTimeout = errors.New("transport: call timed out")
+
+// IsTransient reports whether an error is worth retrying on the same
+// destination: lost messages and timeouts are transient, while
+// ErrUnreachable is structural (the node is gone — callers should fail
+// over to a replica instead of hammering a dead address).
+func IsTransient(err error) bool {
+	return errors.Is(err, ErrDropped) || errors.Is(err, ErrTimeout)
+}
+
+// OriginNetwork is implemented by networks that can stamp outbound calls
+// with the calling node's identity. Per-origin facets enable asymmetric
+// fault injection (A can reach B while B cannot reach A) and proper
+// crash-stop semantics (a crashed node's own outbound calls fail too).
+type OriginNetwork interface {
+	Network
+	// From returns a facet of the network whose Calls carry the given
+	// origin. Listen/Unlisten/Close on the facet affect the shared
+	// network.
+	From(id hashing.NodeID) Network
+}
+
+// MetricsSource is implemented by network layers that expose operational
+// counters (retries, injected drops, …).
+type MetricsSource interface {
+	NetMetrics() *metrics.Registry
+}
 
 // RemoteError wraps an error string returned by a remote handler so
 // callers can distinguish transport failures from application failures.
