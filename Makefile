@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check fuzz-smoke fmt
+.PHONY: build test check bench fuzz-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,11 @@ test:
 # Race-detector gate over the whole suite (vet + build + go test -race).
 check:
 	./scripts/check.sh
+
+# Real-engine benchmark harness; writes BENCH_*.json into the repo root.
+# CI runs the same with BENCH_SHORT=1.
+bench:
+	./scripts/bench.sh
 
 # Short bursts of the native fuzz targets; CI runs the same.
 fuzz-smoke:

@@ -7,11 +7,15 @@
 package eclipsemr_test
 
 import (
+	"os"
+	"path/filepath"
+
 	"fmt"
 	"testing"
 
 	"eclipsemr"
 	"eclipsemr/internal/apps"
+	"eclipsemr/internal/benchrun"
 	"eclipsemr/internal/chord"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/kde"
@@ -376,5 +380,45 @@ func BenchmarkAblationVirtualNodes(b *testing.B) {
 		b.ReportMetric(spread(1), "1-token-maxmin")
 		b.ReportMetric(spread(16), "16-token-maxmin")
 		b.ReportMetric(spread(128), "128-token-maxmin")
+	}
+}
+
+// ---------------------------------------------------------------------
+// Harness benchmarks (the BENCH_*.json trajectory)
+// ---------------------------------------------------------------------
+
+// BenchmarkHarnessWordCount and BenchmarkHarnessKMeans run the benchrun
+// harness on the real engine and report the headline numbers. When
+// BENCH_DIR is set (scripts/bench.sh does this), the last run's full
+// report is written to BENCH_<workload>.json so CI records a perf point
+// per PR. BENCH_SHORT=1 (or -short) selects the CI smoke size.
+func BenchmarkHarnessWordCount(b *testing.B) { harnessBench(b, "wordcount") }
+
+func BenchmarkHarnessKMeans(b *testing.B) { harnessBench(b, "kmeans") }
+
+func harnessBench(b *testing.B, workload string) {
+	cfg := benchrun.DefaultConfig()
+	if testing.Short() || os.Getenv("BENCH_SHORT") != "" {
+		cfg = benchrun.ShortConfig()
+	}
+	var rep benchrun.Report
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = benchrun.Run(workload, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(rep.WallMS, "wall-ms")
+	b.ReportMetric(rep.CacheHitRatio*100, "cache-hit-%")
+	if s, ok := rep.Stages["mr.map.read_ns"]; ok {
+		b.ReportMetric(s.P99MS, "map-read-p99-ms")
+	}
+	if dir := os.Getenv("BENCH_DIR"); dir != "" {
+		path := filepath.Join(dir, "BENCH_"+workload+".json")
+		if err := benchrun.WriteJSON(path, rep); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
 	}
 }

@@ -172,27 +172,86 @@ func main() {
 		}
 
 	case "stats":
-		total := map[string]int64{}
-		for id := range hosts {
-			var resp cluster.StatsResp
-			if err := nodecmd.Call(net, id, cluster.MethodStats, struct{}{}, &resp); err != nil {
-				fmt.Fprintf(os.Stderr, "node %s: %v\n", id, err)
-				continue
+		statsCmd := flag.NewFlagSet("stats", flag.ExitOnError)
+		watch := statsCmd.Bool("watch", false, "redraw the merged snapshot periodically")
+		interval := statsCmd.Duration("interval", 2*time.Second, "refresh interval with -watch")
+		if err := statsCmd.Parse(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		for {
+			if *watch {
+				fmt.Print("\x1b[H\x1b[2J") // home + clear, like watch(1)
 			}
-			metrics.Merge(total, resp.Metrics)
-		}
-		names := make([]string, 0, len(total))
-		for n := range total {
-			names = append(names, n)
-		}
-		sort.Strings(names)
-		for _, n := range names {
-			fmt.Printf("%-28s %d\n", n, total[n])
+			printClusterStats(net, hosts)
+			if !*watch {
+				break
+			}
+			time.Sleep(*interval)
 		}
 
 	default:
 		log.Fatalf("eclipse-cli: unknown command %q", cmd)
 	}
+}
+
+// printClusterStats fetches every node's snapshot, merges them (values
+// summed, histogram buckets added) and renders values followed by
+// latency-histogram quantiles.
+func printClusterStats(net transport.Network, hosts map[hashing.NodeID]string) {
+	total := metrics.NewSnapshot()
+	reached := 0
+	for id := range hosts {
+		var resp cluster.StatsResp
+		if err := nodecmd.Call(net, id, cluster.MethodStats, struct{}{}, &resp); err != nil {
+			fmt.Fprintf(os.Stderr, "node %s: %v\n", id, err)
+			continue
+		}
+		reached++
+		metrics.Merge(&total, resp.Metrics)
+	}
+	// Ratios cannot be summed across nodes: recompute the cluster-wide
+	// hit ratio from the merged hit/miss counters, and drop the per-node
+	// partition ratios whose sum is meaningless.
+	if lookups := total.Values["cache.hits"] + total.Values["cache.misses"]; lookups > 0 {
+		total.Values["cache.hit_ratio_bp"] = total.Values["cache.hits"] * 10000 / lookups
+	} else {
+		delete(total.Values, "cache.hit_ratio_bp")
+	}
+	delete(total.Values, "cache.icache.hit_ratio_bp")
+	delete(total.Values, "cache.ocache.hit_ratio_bp")
+
+	fmt.Printf("cluster: %d/%d nodes reporting\n\n", reached, len(hosts))
+	names := make([]string, 0, len(total.Values))
+	for n := range total.Values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("%-32s %d\n", n, total.Values[n])
+	}
+	if len(total.Hists) == 0 {
+		return
+	}
+	fmt.Printf("\n%-32s %8s %10s %10s %10s %10s\n", "latency", "count", "p50", "p90", "p99", "mean")
+	names = names[:0]
+	for n := range total.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := total.Hists[n]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Printf("%-32s %8d %10s %10s %10s %10s\n", n, h.Count(),
+			fmtNs(h.Quantile(0.50)), fmtNs(h.Quantile(0.90)), fmtNs(h.Quantile(0.99)),
+			fmtNs(int64(h.Mean())))
+	}
+}
+
+// fmtNs renders a nanosecond latency with duration units.
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
 }
 
 // paramList collects repeated -param key=value flags.

@@ -35,6 +35,7 @@ import (
 	"eclipsemr/internal/cluster"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/mapreduce"
+	"eclipsemr/internal/metrics"
 	"eclipsemr/internal/nodecmd"
 	"eclipsemr/internal/scheduler"
 	"eclipsemr/internal/transport"
@@ -50,6 +51,7 @@ func main() {
 		cacheMB   = flag.Int64("cache-mb", 256, "in-memory cache per node (MiB)")
 		blockKB   = flag.Int("block-kb", 4096, "file system block size (KiB)")
 		dataDir   = flag.String("data", "", "persist file system blocks under DIR/<id> (empty = in memory)")
+		metricsAt = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090; empty = off)")
 	)
 	flag.Parse()
 	if *id == "" || *hostsPath == "" {
@@ -63,7 +65,9 @@ func main() {
 	if _, ok := hosts[hashing.NodeID(*id)]; !ok {
 		log.Fatalf("eclipse-node: id %q not in hosts file", *id)
 	}
-	net := transport.NewTCP(hosts, 30*time.Second)
+	// Retry wraps TCP so transient network hiccups are absorbed below the
+	// application, and per-RPC latency histograms are recorded per method.
+	net := transport.NewRetry(transport.NewTCP(hosts, 30*time.Second), transport.DefaultRetryPolicy())
 	defer net.Close()
 
 	cfg := cluster.Config{
@@ -99,6 +103,7 @@ func main() {
 		for _, peer := range node.Ring().Members() {
 			sched.AddNode(peer, cfg.MapSlots)
 		}
+		node.AddMetricsSource(sched.Metrics().Snapshot)
 		mgr := node.Manager()
 		if mgr != nil {
 			mgr.OnChange(func(joined, failed []hashing.NodeID) {
@@ -111,9 +116,24 @@ func main() {
 			})
 		}
 		driver, err = mapreduce.NewDriver(node.ID, net, node.FS(), sched, node.Ring, cfg.ReduceSlots)
+		if err == nil {
+			node.AddMetricsSource(driver.Metrics().Snapshot)
+		}
 		return driver, err
 	}
 	node.SetExtraHandler(nodecmd.ClientHandler(node, ensureDriver))
+	node.AddMetricsSource(net.NetMetrics().Snapshot)
+
+	if *metricsAt != "" {
+		addr, stopMetrics, err := nodecmd.ServeMetrics(*metricsAt, func() metrics.Snapshot {
+			return node.MetricsSnapshot()
+		})
+		if err != nil {
+			log.Fatalf("eclipse-node: metrics endpoint: %v", err)
+		}
+		defer stopMetrics()
+		log.Printf("eclipse-node %s metrics on http://%s/metrics (pprof on /debug/pprof/)", *id, addr)
+	}
 
 	if err := node.Start(); err != nil {
 		log.Fatalf("eclipse-node: %v", err)

@@ -1,0 +1,189 @@
+// Package benchrun runs the paper's workloads on the real in-process
+// engine and reduces the cluster-merged metrics snapshot to a compact
+// JSON report (wall time, per-stage latency quantiles, cache hit ratio).
+// scripts/bench.sh and the go test -bench harness both go through this
+// package so every BENCH_*.json is produced the same way and PR-over-PR
+// numbers stay comparable.
+package benchrun
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"eclipsemr/internal/apps"
+	"eclipsemr/internal/cluster"
+	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/mapreduce"
+	"eclipsemr/internal/workloads"
+)
+
+// Config sizes one benchmark run. The zero value is invalid; use
+// DefaultConfig or ShortConfig as a starting point.
+type Config struct {
+	// Nodes is the in-process cluster size.
+	Nodes int `json:"nodes"`
+	// Bytes is the input corpus size (wordcount) or an upper bound used
+	// to derive the point count (kmeans).
+	Bytes int `json:"bytes"`
+	// Jobs is how many times the wordcount job runs over the same input;
+	// runs after the first hit the warm iCache, so Jobs >= 2 makes the
+	// reported cache hit ratio meaningful.
+	Jobs int `json:"jobs"`
+	// Iterations is the number of k-means Lloyd iterations.
+	Iterations int `json:"iterations"`
+	// Seed makes the generated inputs reproducible.
+	Seed int64 `json:"seed"`
+}
+
+// DefaultConfig is the full-size run used for trend tracking.
+func DefaultConfig() Config {
+	return Config{Nodes: 8, Bytes: 4 << 20, Jobs: 3, Iterations: 3, Seed: 1}
+}
+
+// ShortConfig is the CI smoke-test size: a few seconds end to end.
+func ShortConfig() Config {
+	return Config{Nodes: 4, Bytes: 256 << 10, Jobs: 2, Iterations: 2, Seed: 1}
+}
+
+// Stage summarizes one latency histogram from the merged snapshot.
+type Stage struct {
+	Count  int64   `json:"count"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MeanMS float64 `json:"mean_ms"`
+}
+
+// Report is the BENCH_*.json payload.
+type Report struct {
+	Name          string           `json:"name"`
+	GoVersion     string           `json:"go_version"`
+	Config        Config           `json:"config"`
+	WallMS        float64          `json:"wall_ms"`
+	JobMS         []float64        `json:"job_ms"`
+	CacheHitRatio float64          `json:"cache_hit_ratio"`
+	Counters      map[string]int64 `json:"counters"`
+	Stages        map[string]Stage `json:"stages"`
+}
+
+// Run executes the named workload ("wordcount" or "kmeans") on a fresh
+// in-process cluster and returns the report.
+func Run(name string, cfg Config) (Report, error) {
+	c, err := cluster.New(cfg.Nodes, cluster.Options{})
+	if err != nil {
+		return Report{}, err
+	}
+	defer c.Close()
+
+	rep := Report{Name: name, GoVersion: runtime.Version(), Config: cfg}
+	start := time.Now()
+	switch name {
+	case "wordcount":
+		err = runWordCount(c, cfg, &rep)
+	case "kmeans":
+		err = runKMeans(c, cfg, &rep)
+	default:
+		err = fmt.Errorf("benchrun: unknown workload %q (want wordcount or kmeans)", name)
+	}
+	if err != nil {
+		return Report{}, err
+	}
+	rep.WallMS = ms(time.Since(start))
+	rep.CacheHitRatio = c.CacheStats().HitRatio()
+	fillStages(c, &rep)
+	return rep, nil
+}
+
+func runWordCount(c *cluster.Cluster, cfg Config, rep *Report) error {
+	text := workloads.Text(cfg.Seed, cfg.Bytes, 2000)
+	if _, err := c.UploadRecords("bench.txt", "bench", dhtfs.PermPublic, text, '\n'); err != nil {
+		return err
+	}
+	for j := 0; j < cfg.Jobs; j++ {
+		jobStart := time.Now()
+		res, err := c.Run(mapreduce.JobSpec{
+			ID: fmt.Sprintf("bench-wc-%d", j), App: apps.WordCount,
+			Inputs: []string{"bench.txt"}, User: "bench",
+		})
+		if err != nil {
+			return err
+		}
+		if len(res.OutputFiles) == 0 {
+			return fmt.Errorf("benchrun: wordcount job %d produced no output", j)
+		}
+		rep.JobMS = append(rep.JobMS, ms(time.Since(jobStart)))
+	}
+	return nil
+}
+
+func runKMeans(c *cluster.Cluster, cfg Config, rep *Report) error {
+	// ~48 bytes per generated point line keeps Bytes roughly honest.
+	n := cfg.Bytes / 48
+	if n < 64 {
+		n = 64
+	}
+	data, centers := workloads.Points(cfg.Seed, n, 4, 4)
+	if _, err := c.UploadRecords("points.txt", "bench", dhtfs.PermPublic, data, '\n'); err != nil {
+		return err
+	}
+	res, err := apps.RunKMeans(c, "points.txt", "bench", centers, cfg.Iterations, true)
+	if err != nil {
+		return err
+	}
+	for _, d := range res.IterationTimes {
+		rep.JobMS = append(rep.JobMS, ms(d))
+	}
+	return nil
+}
+
+// fillStages reduces the cluster-merged snapshot: every non-empty
+// histogram becomes a Stage row and every counter/gauge is carried
+// through so regressions in, say, retry counts are visible next to the
+// latency shifts they cause.
+func fillStages(c *cluster.Cluster, rep *Report) {
+	snap := c.MetricsSnapshot()
+	rep.Counters = make(map[string]int64, len(snap.Values))
+	for name, v := range snap.Values {
+		rep.Counters[name] = v
+	}
+	rep.Stages = make(map[string]Stage, len(snap.Hists))
+	for name, h := range snap.Hists {
+		n := h.Count()
+		if n == 0 {
+			continue
+		}
+		rep.Stages[name] = Stage{
+			Count:  n,
+			P50MS:  ms(time.Duration(h.Quantile(0.50))),
+			P90MS:  ms(time.Duration(h.Quantile(0.90))),
+			P99MS:  ms(time.Duration(h.Quantile(0.99))),
+			MeanMS: ms(time.Duration(int64(h.Mean()))),
+		}
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+
+// WriteJSON writes the report to path, pretty-printed with sorted keys
+// so reports diff cleanly between PRs.
+func WriteJSON(path string, rep Report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// StageNames returns the report's stage names sorted, for stable output.
+func StageNames(rep Report) []string {
+	names := make([]string, 0, len(rep.Stages))
+	for name := range rep.Stages {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,82 @@
+package benchrun
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestWordCountReport runs the smallest wordcount benchmark end to end
+// and checks the report carries everything BENCH_wordcount.json
+// promises: wall time, per-stage quantiles and a cache hit ratio.
+func TestWordCountReport(t *testing.T) {
+	cfg := ShortConfig()
+	cfg.Nodes, cfg.Bytes, cfg.Jobs = 3, 64<<10, 2
+	rep, err := Run("wordcount", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.WallMS <= 0 {
+		t.Errorf("wall_ms = %v, want > 0", rep.WallMS)
+	}
+	if len(rep.JobMS) != cfg.Jobs {
+		t.Errorf("job_ms has %d entries, want %d", len(rep.JobMS), cfg.Jobs)
+	}
+	// Job 2 reads the same blocks as job 1, so the warm iCache must
+	// register hits.
+	if rep.CacheHitRatio <= 0 {
+		t.Errorf("cache_hit_ratio = %v, want > 0 after a repeated job", rep.CacheHitRatio)
+	}
+	for _, stage := range []string{"mr.map.read_ns", "mr.map.compute_ns", "mr.reduce.compute_ns", "mr.driver.job_ns"} {
+		s, ok := rep.Stages[stage]
+		if !ok {
+			t.Errorf("stage %q missing from report", stage)
+			continue
+		}
+		if s.Count <= 0 || s.P99MS < s.P50MS {
+			t.Errorf("stage %q = %+v, want count > 0 and p99 >= p50", stage, s)
+		}
+	}
+	if rep.Counters["mr.map.tasks"] <= 0 {
+		t.Errorf("counters carry no map tasks: %v", rep.Counters["mr.map.tasks"])
+	}
+
+	path := filepath.Join(t.TempDir(), "BENCH_wordcount.json")
+	if err := WriteJSON(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("BENCH json does not round-trip: %v", err)
+	}
+	if back.Name != "wordcount" || len(back.Stages) != len(rep.Stages) {
+		t.Errorf("round-tripped report differs: name %q, %d stages", back.Name, len(back.Stages))
+	}
+}
+
+// TestKMeansReport exercises the iterative workload path.
+func TestKMeansReport(t *testing.T) {
+	cfg := ShortConfig()
+	cfg.Nodes, cfg.Bytes, cfg.Iterations = 3, 16<<10, 2
+	rep, err := Run("kmeans", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.JobMS) != cfg.Iterations {
+		t.Errorf("job_ms has %d entries, want %d iterations", len(rep.JobMS), cfg.Iterations)
+	}
+	if len(rep.Stages) == 0 {
+		t.Error("kmeans report carries no stage histograms")
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	if _, err := Run("sortish", ShortConfig()); err == nil {
+		t.Fatal("unknown workload did not error")
+	}
+}

@@ -116,7 +116,10 @@ func (c *LRU) Put(e Entry) bool {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if e.Size > c.capacity {
+	// capacity <= 0 means "store nothing": without the explicit check a
+	// zero-size entry would slip past the size comparison and live forever,
+	// because evictOverflow never fires at bytes == capacity == 0.
+	if c.capacity <= 0 || e.Size > c.capacity {
 		return false
 	}
 	if el, ok := c.table[e.Key]; ok {
@@ -189,6 +192,10 @@ func (c *LRU) Peek(key string) (Entry, bool) {
 	}
 	e := el.Value.(*Entry)
 	if !e.Expires.IsZero() && c.now().After(e.Expires) {
+		// Drop the dead entry just like Get: leaving it resident would
+		// hold capacity and let EntriesInRange-style scans see it again.
+		c.removeElement(el)
+		c.stats.Expirations++
 		return Entry{}, false
 	}
 	return *e, true
@@ -232,9 +239,13 @@ func (c *LRU) SweepExpired() int {
 func (c *LRU) EntriesInRange(start, end hashing.Key) []Entry {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.now()
 	var out []Entry
 	for el := c.ll.Front(); el != nil; el = el.Next() {
 		e := el.Value.(*Entry)
+		if !e.Expires.IsZero() && now.After(e.Expires) {
+			continue // dead data must not migrate across the ring
+		}
 		if hashing.InRange(e.HashKey, start, end) {
 			out = append(out, *e)
 		}

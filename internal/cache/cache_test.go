@@ -82,9 +82,18 @@ func TestZeroCapacityCachesNothing(t *testing.T) {
 	if _, ok := c.Get("a"); ok {
 		t.Fatal("zero-capacity cache hit")
 	}
-	// Zero-size entries are permitted even at zero capacity.
-	if !c.Put(Entry{Key: "empty", Size: 0}) {
-		t.Fatal("zero-size entry rejected")
+	// Zero-size entries must be rejected too: a zero-capacity cache that
+	// accepted them would hold them forever (evictOverflow never fires at
+	// bytes == capacity == 0), contradicting "every Get is a miss".
+	if c.Put(Entry{Key: "empty", Size: 0}) {
+		t.Fatal("zero-capacity cache stored a zero-size entry")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len = %d, want 0", c.Len())
+	}
+	neg := NewLRU(-5)
+	if neg.Put(Entry{Key: "x", Size: 0}) {
+		t.Fatal("negative-capacity cache stored an entry")
 	}
 }
 
@@ -129,6 +138,41 @@ func TestTTLExpiry(t *testing.T) {
 	}
 	if _, ok := c.Peek("t"); ok {
 		t.Fatal("Peek served expired entry")
+	}
+}
+
+func TestPeekDropsExpiredEntry(t *testing.T) {
+	c := NewLRU(100)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	c.Put(Entry{Key: "t", Size: 7, Expires: now.Add(time.Second)})
+	now = now.Add(2 * time.Second)
+	if _, ok := c.Peek("t"); ok {
+		t.Fatal("Peek served expired entry")
+	}
+	// The expired entry must be removed, not left resident holding bytes.
+	if c.Len() != 0 || c.Bytes() != 0 {
+		t.Fatalf("expired entry still resident: len=%d bytes=%d", c.Len(), c.Bytes())
+	}
+	if st := c.Stats(); st.Expirations != 1 {
+		t.Fatalf("expirations = %d", st.Expirations)
+	}
+	// Peek still must not count hits or misses.
+	if st := c.Stats(); st.Hits != 0 || st.Misses != 0 {
+		t.Fatalf("Peek counted stats: %+v", st)
+	}
+}
+
+func TestEntriesInRangeSkipsExpired(t *testing.T) {
+	c := NewLRU(1000)
+	now := time.Unix(1000, 0)
+	c.SetClock(func() time.Time { return now })
+	c.Put(Entry{Key: "live", HashKey: 100, Size: 1})
+	c.Put(Entry{Key: "dying", HashKey: 200, Size: 1, Expires: now.Add(time.Second)})
+	now = now.Add(2 * time.Second)
+	got := c.EntriesInRange(0, 500)
+	if len(got) != 1 || got[0].Key != "live" {
+		t.Fatalf("EntriesInRange returned expired entries: %+v", got)
 	}
 }
 

@@ -107,10 +107,10 @@ func TestChaosWordCountSurvivesDropsAndCrash(t *testing.T) {
 	}
 
 	snap := c.MetricsSnapshot()
-	if snap["chaos.drops"] == 0 {
+	if snap.Get("chaos.drops") == 0 {
 		t.Error("chaos.drops = 0: the schedule injected no faults")
 	}
-	if snap["net.retries"] == 0 {
+	if snap.Get("net.retries") == 0 {
 		t.Error("net.retries = 0: the retry layer absorbed nothing")
 	}
 	// The recovery counters must be visible in the snapshot (they are
@@ -118,13 +118,13 @@ func TestChaosWordCountSurvivesDropsAndCrash(t *testing.T) {
 	for _, name := range []string{
 		"mr.driver.map_retries", "mr.driver.map_failovers", "mr.driver.reduce_failovers",
 	} {
-		if _, ok := snap[name]; !ok {
+		if _, ok := snap.Values[name]; !ok {
 			t.Errorf("counter %s missing from metrics snapshot", name)
 		}
 	}
 	t.Logf("chaos run: drops=%d blocked=%d retries=%d map_retries=%d map_failovers=%d reduce_failovers=%d",
-		snap["chaos.drops"], snap["chaos.blocked"], snap["net.retries"],
-		snap["mr.driver.map_retries"], snap["mr.driver.map_failovers"], snap["mr.driver.reduce_failovers"])
+		snap.Get("chaos.drops"), snap.Get("chaos.blocked"), snap.Get("net.retries"),
+		snap.Get("mr.driver.map_retries"), snap.Get("mr.driver.map_failovers"), snap.Get("mr.driver.reduce_failovers"))
 }
 
 // TestChaosDropOnlyJobIsExact runs the job under pure message loss (no
@@ -159,7 +159,7 @@ func TestChaosDropOnlyJobIsExact(t *testing.T) {
 	if got := mapreduce.EncodeKVs(kvs); !bytes.Equal(got, want) {
 		t.Fatalf("drop-only output diverged: %d vs %d bytes", len(got), len(want))
 	}
-	if snap := c.MetricsSnapshot(); snap["chaos.drops"] == 0 {
+	if snap := c.MetricsSnapshot(); snap.Get("chaos.drops") == 0 {
 		t.Error("no drops injected at 15% drop rate")
 	}
 }

@@ -418,21 +418,25 @@ func (c *Cluster) MigrateMisplacedCaches() (int, error) {
 	return total, nil
 }
 
-// MetricsSnapshot aggregates every live node's metrics, the driver's
-// retry/failover counters and the network layers' counters into one map.
-func (c *Cluster) MetricsSnapshot() map[string]int64 {
-	total := make(map[string]int64)
+// MetricsSnapshot aggregates every live node's metrics, the driver's and
+// scheduler's counters and histograms, and the network layers' counters
+// into one snapshot (values summed, histogram buckets merged).
+func (c *Cluster) MetricsSnapshot() metrics.Snapshot {
+	total := metrics.NewSnapshot()
 	for _, n := range c.nodes {
-		metrics.Merge(total, n.MetricsSnapshot())
+		metrics.Merge(&total, n.MetricsSnapshot())
 	}
 	if c.driver != nil {
-		metrics.Merge(total, c.driver.Metrics().Snapshot())
+		metrics.Merge(&total, c.driver.Metrics().Snapshot())
+	}
+	if c.sched != nil {
+		metrics.Merge(&total, c.sched.Metrics().Snapshot())
 	}
 	// Walk the transport decorator chain (Retry, Chaos, ...) and pick up
 	// every layer that exports metrics.
 	for net := c.net; net != nil; {
 		if ms, ok := net.(transport.MetricsSource); ok {
-			metrics.Merge(total, ms.NetMetrics().Snapshot())
+			metrics.Merge(&total, ms.NetMetrics().Snapshot())
 		}
 		u, ok := net.(interface{ Unwrap() transport.Network })
 		if !ok {
@@ -440,6 +444,10 @@ func (c *Cluster) MetricsSnapshot() map[string]int64 {
 		}
 		net = u.Unwrap()
 	}
+	// Cluster-wide hit ratio must come from summed counters, not summed
+	// per-node ratios.
+	cs := c.CacheStats()
+	total.Values["cache.hit_ratio_bp"] = int64(cs.HitRatio() * 10000)
 	return total
 }
 

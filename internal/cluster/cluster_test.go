@@ -339,30 +339,57 @@ func TestMetricsSnapshotReflectsWork(t *testing.T) {
 		"mr.map.tasks", "mr.reduce.tasks", "mr.shuffle.bytes",
 		"fs.blocks.written", "fs.segments.appended", "cache.insertions",
 	} {
-		if snap[key] <= 0 {
-			t.Errorf("metric %s = %d, want > 0 (snapshot: %v)", key, snap[key], snap)
+		if snap.Get(key) <= 0 {
+			t.Errorf("metric %s = %d, want > 0 (snapshot: %v)", key, snap.Get(key), snap.Values)
 		}
 	}
-	if snap["mr.reduce.keys"] != 2 { // alpha, beta
-		t.Errorf("mr.reduce.keys = %d", snap["mr.reduce.keys"])
+	if snap.Get("mr.reduce.keys") != 2 { // alpha, beta
+		t.Errorf("mr.reduce.keys = %d", snap.Get("mr.reduce.keys"))
 	}
-	// Per-node stats are reachable over the control plane too.
-	id := c.Nodes()[0]
-	n, _ := c.Node(id)
-	_ = n
+	// Per-stage latency histograms must be populated by a real job run and
+	// survive the cluster-wide bucket merge.
+	for _, key := range []string{
+		"mr.map.read_ns", "mr.map.compute_ns", "mr.shuffle.send_ns",
+		"mr.reduce.compute_ns", "fs.write_block_ns", "sched.queue_wait_ns",
+		"mr.driver.job_ns",
+	} {
+		h, ok := snap.Hists[key]
+		if !ok || h.Count() == 0 {
+			t.Errorf("histogram %s missing or empty (count=%d)", key, h.Count())
+			continue
+		}
+		if h.Quantile(0.99) < h.Quantile(0.50) {
+			t.Errorf("histogram %s quantiles not monotone", key)
+		}
+	}
+	// The snapshot-level hit ratio must come from the summed counters.
+	wantBP := snap.Get("cache.hits") * 10000 / (snap.Get("cache.hits") + snap.Get("cache.misses"))
+	if got := snap.Get("cache.hit_ratio_bp"); got != wantBP {
+		t.Errorf("cache.hit_ratio_bp = %d, want %d", got, wantBP)
+	}
+	// Per-node stats are reachable over the control plane too, and the
+	// histogram state survives the gob wire format: at least one node ran
+	// a timed stage, so the union over nodes must carry histograms.
 	body, err := transport.Encode(struct{}{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := c.net.Call(id, MethodStats, body)
-	if err != nil {
-		t.Fatal(err)
+	wireHists := 0
+	for _, id := range c.Nodes() {
+		out, err := c.net.Call(id, MethodStats, body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var resp StatsResp
+		if err := transport.Decode(out, &resp); err != nil {
+			t.Fatal(err)
+		}
+		if resp.Node != id || len(resp.Metrics.Values) == 0 {
+			t.Fatalf("stats resp = %+v", resp)
+		}
+		wireHists += len(resp.Metrics.Hists)
 	}
-	var resp StatsResp
-	if err := transport.Decode(out, &resp); err != nil {
-		t.Fatal(err)
-	}
-	if resp.Node != id || len(resp.Metrics) == 0 {
-		t.Fatalf("stats resp = %+v", resp)
+	if wireHists == 0 {
+		t.Fatal("no node's stats carry histograms over the wire")
 	}
 }

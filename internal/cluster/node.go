@@ -100,10 +100,11 @@ type (
 	recoverResp struct {
 		Pushed int
 	}
-	// StatsResp carries one node's metrics snapshot.
+	// StatsResp carries one node's metrics snapshot (flat values plus
+	// latency histograms).
 	StatsResp struct {
 		Node    hashing.NodeID
-		Metrics map[string]int64
+		Metrics metrics.Snapshot
 	}
 	ack struct{}
 )
@@ -143,6 +144,11 @@ type Node struct {
 	// extra, when set, is consulted for methods no built-in service
 	// claims (cmd/eclipse-node mounts its job-submission endpoint here).
 	extra func(method string, body []byte) ([]byte, bool, error)
+
+	// extraMetrics lists additional snapshot sources merged into
+	// MetricsSnapshot (driver, scheduler, transport decorators); guarded
+	// by mu.
+	extraMetrics []func() metrics.Snapshot
 }
 
 // NewNode constructs (but does not start) a node.
@@ -176,17 +182,40 @@ func (n *Node) Cache() *cache.NodeCache { return n.cache }
 // BlockSize returns the node's configured DHT-FS block size.
 func (n *Node) BlockSize() int { return n.cfg.BlockSize }
 
-// MetricsSnapshot merges the node's worker and file system counters with
-// its cache statistics into one flat map.
-func (n *Node) MetricsSnapshot() map[string]int64 {
+// AddMetricsSource registers an additional snapshot source (driver,
+// scheduler, transport decorators) merged into MetricsSnapshot and thus
+// served over cluster.stats and /metrics.
+func (n *Node) AddMetricsSource(src func() metrics.Snapshot) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.extraMetrics = append(n.extraMetrics, src)
+}
+
+// MetricsSnapshot merges the node's worker and file system counters,
+// its cache statistics, and any registered extra sources into one
+// snapshot. Cache hit ratios are refreshed at snapshot time, in basis
+// points (a ratio of 1.0 = 10000) so they survive the int64 wire format;
+// note ratios are per-node values — cluster-wide ratios must be
+// recomputed from the summed hit/miss counters, not by adding these.
+func (n *Node) MetricsSnapshot() metrics.Snapshot {
 	snap := n.worker.Metrics().Snapshot()
-	metrics.Merge(snap, n.fs.Metrics().Snapshot())
+	metrics.Merge(&snap, n.fs.Metrics().Snapshot())
 	cs := n.cache.CombinedStats()
-	snap["cache.hits"] = int64(cs.Hits)
-	snap["cache.misses"] = int64(cs.Misses)
-	snap["cache.insertions"] = int64(cs.Insertions)
-	snap["cache.evictions"] = int64(cs.Evictions)
-	snap["cache.bytes"] = n.cache.ICache.Bytes() + n.cache.OCache.Bytes()
+	snap.Values["cache.hits"] = int64(cs.Hits)
+	snap.Values["cache.misses"] = int64(cs.Misses)
+	snap.Values["cache.insertions"] = int64(cs.Insertions)
+	snap.Values["cache.evictions"] = int64(cs.Evictions)
+	snap.Values["cache.expirations"] = int64(cs.Expirations)
+	snap.Values["cache.bytes"] = n.cache.ICache.Bytes() + n.cache.OCache.Bytes()
+	snap.Values["cache.hit_ratio_bp"] = int64(cs.HitRatio() * 10000)
+	snap.Values["cache.icache.hit_ratio_bp"] = int64(n.cache.ICache.Stats().HitRatio() * 10000)
+	snap.Values["cache.ocache.hit_ratio_bp"] = int64(n.cache.OCache.Stats().HitRatio() * 10000)
+	n.mu.Lock()
+	extra := append([]func() metrics.Snapshot(nil), n.extraMetrics...)
+	n.mu.Unlock()
+	for _, src := range extra {
+		metrics.Merge(&snap, src())
+	}
 	return snap
 }
 

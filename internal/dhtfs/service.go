@@ -350,7 +350,10 @@ func (s *Service) storeFile(name, owner string, perm Perm, data []byte, blockSiz
 			return Metadata{}, err
 		}
 		req := putBlockReq{Key: keys[i], Data: chunk}
-		if err := putAll(MethodPutBlock, req, targets, fmt.Sprintf("block %d", i)); err != nil {
+		t := s.reg.Histogram("fs.write_block_ns").Start()
+		err = putAll(MethodPutBlock, req, targets, fmt.Sprintf("block %d", i))
+		t.Stop()
+		if err != nil {
 			return Metadata{}, err
 		}
 	}
@@ -382,6 +385,7 @@ func (s *Service) storeFile(name, owner string, perm Perm, data []byte, blockSiz
 // user's read permission there, and falling back to replicas if the owner
 // is unreachable.
 func (s *Service) Lookup(name, user string) (Metadata, error) {
+	defer s.reg.Histogram("fs.lookup_ns").Start().Stop()
 	targets, err := s.replicaSet(hashing.KeyOfString(name))
 	if err != nil {
 		return Metadata{}, err
@@ -410,6 +414,7 @@ func (s *Service) Lookup(name, user string) (Metadata, error) {
 // zero-hop routing disabled the request instead travels hop by hop
 // through finger tables.
 func (s *Service) ReadBlock(k hashing.Key) ([]byte, error) {
+	defer s.reg.Histogram("fs.read_block_ns").Start().Stop()
 	if s.zeroHopOff {
 		data, _, err := s.ReadBlockRouted(k)
 		return data, err
@@ -437,6 +442,7 @@ func (s *Service) ReadBlock(k hashing.Key) ([]byte, error) {
 // digest, trying each replica in turn until one passes — a corrupted copy
 // on one server is healed by reading its neighbor's replica.
 func (s *Service) ReadBlockVerified(k hashing.Key, sum [sha1.Size]byte) ([]byte, error) {
+	defer s.reg.Histogram("fs.read_block_ns").Start().Stop()
 	targets, err := s.replicaSet(k)
 	if err != nil {
 		return nil, err

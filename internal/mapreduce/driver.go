@@ -189,6 +189,7 @@ func (d *Driver) Run(spec JobSpec) (Result, error) {
 		return Result{}, err
 	}
 	res.Elapsed = time.Since(began)
+	d.reg.Histogram("mr.driver.job_ns").ObserveDuration(res.Elapsed)
 	return res, nil
 }
 
@@ -357,7 +358,9 @@ func (d *Driver) runMapTask(j *activeJob, a scheduler.Assignment) {
 	attempt := j.attempts[a.Task.ID]
 	d.mu.Unlock()
 	var resp RunMapResp
+	rpcTimer := d.reg.Histogram("mr.driver.map_rpc_ns").Start()
 	err := d.call(a.Node, MethodRunMap, d.mapReq(j, a.Task, attempt), &resp)
+	rpcTimer.Stop()
 
 	maxAttempts := j.spec.MaxAttempts
 	if maxAttempts <= 0 {
@@ -416,7 +419,9 @@ func (d *Driver) failoverMapTask(j *activeJob, t scheduler.Task, exclude hashing
 		j.attempts[t.ID]++
 		d.mu.Unlock()
 		var resp RunMapResp
+		rpcTimer := d.reg.Histogram("mr.driver.map_rpc_ns").Start()
 		err := d.call(cand, MethodRunMap, d.mapReq(j, t, attempt), &resp)
+		rpcTimer.Stop()
 		if err == nil {
 			d.mu.Lock()
 			d.completeMapLocked(j, resp)
@@ -518,7 +523,9 @@ func (d *Driver) runReducePhase(spec JobSpec, ns string, mk marker, res *Result)
 				req.SegmentReplicas = []hashing.NodeID{t.owner, t.replica}
 			}
 			var resp RunReduceResp
+			rpcTimer := d.reg.Histogram("mr.driver.reduce_rpc_ns").Start()
 			err := d.call(t.owner, MethodRunReduce, req, &resp)
+			rpcTimer.Stop()
 			if err != nil && errors.Is(err, transport.ErrUnreachable) {
 				if t.replica != "" {
 					// The owner died, but the job replicated its spills:

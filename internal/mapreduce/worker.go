@@ -175,7 +175,9 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 	if err != nil {
 		return RunMapResp{}, err
 	}
+	readTimer := w.reg.Histogram("mr.map.read_ns").Start()
 	input, cacheHit, remote, err := w.fetchBlock(req.BlockKey)
+	readTimer.Stop()
 	if err != nil {
 		return RunMapResp{}, fmt.Errorf("mapreduce: map input %s: %w", req.BlockKey, err)
 	}
@@ -235,6 +237,9 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 		return nil
 	}
 
+	// Compute time covers the user map function and combiner; inline
+	// spill pushes are timed separately as mr.shuffle.send_ns.
+	computeTimer := w.reg.Histogram("mr.map.compute_ns").Start()
 	if err := app.Map(req.Params, input, emit); err != nil {
 		return RunMapResp{}, fmt.Errorf("mapreduce: map %s on block %s: %w", req.App, req.BlockKey, err)
 	}
@@ -243,6 +248,7 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 			return RunMapResp{}, err
 		}
 	}
+	computeTimer.Stop()
 	return resp, nil
 }
 
@@ -253,6 +259,7 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 // budget exhausted by message loss, an application error) fails the map
 // attempt so the driver can re-dispatch it.
 func (w *Worker) pushSpill(req RunMapReq, part int, partition string, seq int, data []byte) error {
+	defer w.reg.Histogram("mr.shuffle.send_ns").Start().Stop()
 	targets := []hashing.NodeID{req.ReduceServers[part]}
 	if len(req.ReduceReplicas) == len(req.ReduceServers) {
 		if r := req.ReduceReplicas[part]; r != "" && r != targets[0] {
@@ -356,6 +363,7 @@ func (w *Worker) runReduce(req RunReduceReq) (RunReduceResp, error) {
 		merged = data
 		resp.InputCached = true
 	} else {
+		recvTimer := w.reg.Histogram("mr.shuffle.recv_ns").Start()
 		var segments [][]byte
 		if len(req.SegmentReplicas) > 0 {
 			segments, err = w.gatherReplicatedSegments(req)
@@ -374,6 +382,7 @@ func (w *Worker) runReduce(req RunReduceReq) (RunReduceResp, error) {
 		for _, seg := range segments {
 			merged = append(merged, seg...)
 		}
+		recvTimer.Stop()
 		if req.CacheIntermediates && len(merged) > 0 {
 			w.cache.PutTagged(req.Namespace, mergedTag(req.Partition),
 				hashing.KeyOfString(req.Namespace+mergedTag(req.Partition)), merged, req.TTL)
@@ -391,17 +400,22 @@ func (w *Worker) runReduce(req RunReduceReq) (RunReduceResp, error) {
 		output = AppendKV(output, KV{Key: key, Value: value})
 		return nil
 	}
+	computeTimer := w.reg.Histogram("mr.reduce.compute_ns").Start()
 	for _, g := range GroupByKey(kvs) {
 		resp.Keys++
 		if err := app.Reduce(req.Params, g.Key, g.Values, emit); err != nil {
 			return RunReduceResp{}, fmt.Errorf("mapreduce: reduce key %q: %w", g.Key, err)
 		}
 	}
+	computeTimer.Stop()
 	blockSize := req.OutputBlockSize
 	if blockSize <= 0 {
 		blockSize = 1 << 20
 	}
-	if _, err := w.fs.Upload(req.OutputFile, req.User, dhtfs.PermPublic, output, blockSize); err != nil {
+	writeTimer := w.reg.Histogram("mr.reduce.write_ns").Start()
+	_, err = w.fs.Upload(req.OutputFile, req.User, dhtfs.PermPublic, output, blockSize)
+	writeTimer.Stop()
+	if err != nil {
 		return RunReduceResp{}, fmt.Errorf("mapreduce: store output %q: %w", req.OutputFile, err)
 	}
 	if req.CacheOutputs {

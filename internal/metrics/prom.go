@@ -1,0 +1,72 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteProm renders a snapshot in the Prometheus text exposition format
+// (version 0.0.4). Metric names are sanitized (dots and dashes become
+// underscores) and histograms emit the usual cumulative _bucket series
+// with `le` labels plus _sum and _count. Counters and gauges are both
+// emitted untyped since the snapshot no longer distinguishes them; the
+// scrape side treats untyped like gauges, which is the safe default.
+func WriteProm(w io.Writer, snap Snapshot) error {
+	names := make([]string, 0, len(snap.Values))
+	for n := range snap.Values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", promName(n), snap.Values[n]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for n := range snap.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := snap.Hists[n]
+		pn := promName(n)
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+			return err
+		}
+		var cum int64
+		for i, c := range h.Counts {
+			cum += c
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				// Bounds are nanoseconds; Prometheus convention for
+				// latency is seconds.
+				le = fmt.Sprintf("%g", float64(h.Bounds[i])/1e9)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %g\n", pn, float64(h.Sum)/1e9); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count %d\n", pn, cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// promName maps a dotted metric name onto the Prometheus charset.
+func promName(n string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		default:
+			return '_'
+		}
+	}, n)
+}

@@ -1,0 +1,45 @@
+package nodecmd
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"eclipsemr/internal/metrics"
+)
+
+// ServeMetrics starts an HTTP server on addr (e.g. ":9090") exposing the
+// node's operational state for scraping and profiling:
+//
+//	/metrics        Prometheus text exposition of the snapshot
+//	/debug/pprof/*  the standard Go profiling endpoints
+//
+// snapshot is called per scrape, so gauges (store sizes, hit ratios) are
+// fresh. The pprof handlers are mounted on this private mux explicitly —
+// the node does not touch http.DefaultServeMux, so importing this package
+// never leaks profiling endpoints into other servers.
+//
+// It returns the bound address (useful with ":0") and a shutdown
+// function. Errors binding the listener are returned immediately; serve
+// errors after that are ignored (the endpoint is best-effort telemetry).
+func ServeMetrics(addr string, snapshot func() metrics.Snapshot) (boundAddr string, shutdown func(), err error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = metrics.WriteProm(w, snapshot())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), func() { _ = srv.Close() }, nil
+}

@@ -1,0 +1,51 @@
+package nodecmd
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"eclipsemr/internal/metrics"
+)
+
+func TestServeMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("mr.map.tasks").Add(3)
+	reg.Histogram("fs.read_block_ns").Observe(int64(2 * time.Millisecond))
+
+	addr, shutdown, err := ServeMetrics("127.0.0.1:0", reg.Snapshot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics status = %d", code)
+	}
+	for _, want := range []string{
+		"mr_map_tasks 3",
+		"# TYPE fs_read_block_ns histogram",
+		"fs_read_block_ns_count 1",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+}

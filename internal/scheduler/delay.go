@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/metrics"
 )
 
 // DelayConfig parameterizes the delay scheduler.
@@ -30,9 +31,10 @@ type Delay struct {
 	mu    sync.Mutex
 	cfg   DelayConfig
 	table *hashing.RangeTable
-	free  map[hashing.NodeID]int
+	slots slotTable
 	queue []delayTask
 	stats Stats
+	reg   *metrics.Registry
 	// rrOffset rotates the job that leads each dispatch round.
 	rrOffset int
 }
@@ -57,22 +59,24 @@ func NewDelay(cfg DelayConfig, ring *hashing.Ring) (*Delay, error) {
 	return &Delay{
 		cfg:   cfg,
 		table: table,
-		free:  make(map[hashing.NodeID]int),
+		slots: newSlotTable(),
+		reg:   metrics.NewRegistry(),
 	}, nil
 }
 
-// AddNode registers a worker with the given slot count.
+// AddNode registers a worker or updates a known worker's slot capacity;
+// outstanding (in-flight) slots are preserved across re-registration.
 func (s *Delay) AddNode(id hashing.NodeID, slots int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.free[id] = slots
+	s.slots.add(id, slots)
 }
 
 // RemoveNode drops a worker.
 func (s *Delay) RemoveNode(id hashing.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.free, id)
+	s.slots.remove(id)
 }
 
 // Submit enqueues a task.
@@ -98,8 +102,8 @@ func (s *Delay) Dispatch(now time.Duration) []Assignment {
 	for i := range s.queue {
 		p := s.queue[i]
 		owner := s.table.Lookup(p.task.HashKey)
-		if slots, ok := s.free[owner]; ok && slots > 0 {
-			s.free[owner]--
+		if s.slots.known(owner) && s.slots.free(owner) > 0 {
+			s.slots.take(owner)
 			out = append(out, s.assignLocked(p.pendingTask, owner, true, now))
 			continue
 		}
@@ -125,7 +129,7 @@ func (s *Delay) Dispatch(now time.Duration) []Assignment {
 			p.skippedAt = now
 		}
 		if s.cfg.Wait >= 0 && now-p.skippedAt >= s.cfg.Wait {
-			s.free[node]--
+			s.slots.take(node)
 			s.stats.DelayExpired++
 			owner := s.table.Lookup(p.task.HashKey)
 			out = append(out, s.assignLocked(p.pendingTask, node, node == owner, now))
@@ -143,7 +147,8 @@ func (s *Delay) Dispatch(now time.Duration) []Assignment {
 func (s *Delay) mostFreeLocked() (hashing.NodeID, bool) {
 	var best hashing.NodeID
 	bestFree := 0
-	for id, f := range s.free {
+	for id := range s.slots.caps {
+		f := s.slots.free(id)
 		if f > bestFree || (f == bestFree && f > 0 && id < best) {
 			best, bestFree = id, f
 		}
@@ -160,18 +165,21 @@ func (s *Delay) assignLocked(p pendingTask, node hashing.NodeID, local bool, now
 		s.stats.PerNode = make(map[hashing.NodeID]uint64)
 	}
 	s.stats.PerNode[node]++
-	s.stats.TotalWait += now - p.enqueued
-	return Assignment{Task: p.task, Node: node, Local: local, Waited: now - p.enqueued}
+	wait := now - p.enqueued
+	s.stats.TotalWait += wait
+	s.reg.Histogram("sched.queue_wait_ns").Observe(int64(wait))
+	return Assignment{Task: p.task, Node: node, Local: local, Waited: wait}
 }
 
 // Release returns a slot to the node.
 func (s *Delay) Release(node hashing.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.free[node]; ok {
-		s.free[node]++
-	}
+	s.slots.release(node)
 }
+
+// Metrics returns the scheduler's registry.
+func (s *Delay) Metrics() *metrics.Registry { return s.reg }
 
 // NextDeadline returns the earliest instant a skipped task's delay
 // expires, so a virtual-time driver knows when Dispatch could make

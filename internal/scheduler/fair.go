@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/metrics"
 )
 
 // Fair is a locality-unaware least-loaded scheduler resembling Hadoop's
@@ -16,9 +17,10 @@ import (
 type Fair struct {
 	mu    sync.Mutex
 	table *hashing.RangeTable // retained only so locality can be *measured*
-	free  map[hashing.NodeID]int
+	slots slotTable
 	queue []pendingTask
 	stats Stats
+	reg   *metrics.Registry
 	// rrOffset rotates the job that leads each dispatch round.
 	rrOffset int
 	// rnd breaks ties between equally loaded servers. Picking by node ID
@@ -40,23 +42,25 @@ func NewFair(ring *hashing.Ring) (*Fair, error) {
 	}
 	return &Fair{
 		table: table,
-		free:  make(map[hashing.NodeID]int),
+		slots: newSlotTable(),
 		rnd:   rand.New(rand.NewSource(1)),
+		reg:   metrics.NewRegistry(),
 	}, nil
 }
 
-// AddNode registers a worker with the given slot count.
+// AddNode registers a worker or updates a known worker's slot capacity;
+// outstanding (in-flight) slots are preserved across re-registration.
 func (s *Fair) AddNode(id hashing.NodeID, slots int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.free[id] = slots
+	s.slots.add(id, slots)
 }
 
 // RemoveNode drops a worker.
 func (s *Fair) RemoveNode(id hashing.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.free, id)
+	s.slots.remove(id)
 }
 
 // Submit enqueues a task.
@@ -80,7 +84,7 @@ func (s *Fair) Dispatch(now time.Duration) []Assignment {
 		}
 		p := s.queue[0]
 		s.queue = s.queue[1:]
-		s.free[node]--
+		s.slots.take(node)
 		local := s.table.Lookup(p.task.HashKey) == node
 		s.stats.Assigned++
 		if local {
@@ -90,8 +94,10 @@ func (s *Fair) Dispatch(now time.Duration) []Assignment {
 			s.stats.PerNode = make(map[hashing.NodeID]uint64)
 		}
 		s.stats.PerNode[node]++
-		s.stats.TotalWait += now - p.enqueued
-		out = append(out, Assignment{Task: p.task, Node: node, Local: local, Waited: now - p.enqueued})
+		wait := now - p.enqueued
+		s.stats.TotalWait += wait
+		s.reg.Histogram("sched.queue_wait_ns").Observe(int64(wait))
+		out = append(out, Assignment{Task: p.task, Node: node, Local: local, Waited: wait})
 	}
 	return out
 }
@@ -99,7 +105,8 @@ func (s *Fair) Dispatch(now time.Duration) []Assignment {
 func (s *Fair) mostFreeLocked() (hashing.NodeID, bool) {
 	bestFree := 0
 	var ties []hashing.NodeID
-	for id, f := range s.free {
+	for id := range s.slots.caps {
+		f := s.slots.free(id)
 		switch {
 		case f > bestFree:
 			bestFree = f
@@ -120,10 +127,11 @@ func (s *Fair) mostFreeLocked() (hashing.NodeID, bool) {
 func (s *Fair) Release(node hashing.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.free[node]; ok {
-		s.free[node]++
-	}
+	s.slots.release(node)
 }
+
+// Metrics returns the scheduler's registry.
+func (s *Fair) Metrics() *metrics.Registry { return s.reg }
 
 // NextDeadline always reports none.
 func (s *Fair) NextDeadline() (time.Duration, bool) { return 0, false }

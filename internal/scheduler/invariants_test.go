@@ -102,6 +102,53 @@ func TestSlotConservation(t *testing.T) {
 	}
 }
 
+// TestReAddNodeKeepsOutstandingSlots is the regression for the slot
+// accounting bug: re-registering an already-known node (as heartbeat
+// refreshes do) while its tasks are in flight must not reset its free
+// count, or the eventual Release calls inflate capacity and the node
+// over-commits. Every policy is exercised through the same sequence:
+// fill the node, re-AddNode, then release — free slots must never exceed
+// the configured count.
+func TestReAddNodeKeepsOutstandingSlots(t *testing.T) {
+	const slots = 2
+	ring, ids := testRing(t, 1) // one node: every dispatch lands on it
+	id := ids[0]
+	for name, mk := range map[string]func() Scheduler{
+		"laf":   func() Scheduler { s, _ := NewLAF(DefaultLAFConfig(), ring); return s },
+		"delay": func() Scheduler { s, _ := NewDelay(DelayConfig{Wait: 0}, ring); return s },
+		"fair":  func() Scheduler { s, _ := NewFair(ring); return s },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := mk()
+			s.AddNode(id, slots)
+			for i := 0; i < slots+3; i++ {
+				s.Submit(Task{ID: fmt.Sprintf("t%d", i), HashKey: hashing.Key(i) * 1e17}, 0)
+			}
+			if got := len(s.Dispatch(0)); got != slots {
+				t.Fatalf("initial dispatch = %d assignments, want %d", got, slots)
+			}
+			// Heartbeat-style re-registration while both tasks run.
+			s.AddNode(id, slots)
+			if got := len(s.Dispatch(time.Second)); got != 0 {
+				t.Fatalf("re-AddNode minted %d slots while tasks in flight", got)
+			}
+			// Completions give the slots back — exactly slots more, not 2x.
+			s.Release(id)
+			s.Release(id)
+			if got := len(s.Dispatch(2 * time.Second)); got != slots {
+				t.Fatalf("dispatch after releases = %d, want %d", got, slots)
+			}
+			// A spurious extra Release must not create capacity either.
+			s.Release(id)
+			s.Release(id)
+			s.Release(id) // one more than outstanding
+			if got := len(s.Dispatch(3 * time.Second)); got != 1 {
+				t.Fatalf("dispatch after clamped release = %d, want 1", got)
+			}
+		})
+	}
+}
+
 // TestMultiJobFairness verifies the round-robin across jobs: a large job
 // submitted first cannot starve a later small job — both make progress
 // proportionally.

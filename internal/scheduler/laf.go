@@ -6,6 +6,7 @@ import (
 
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/kde"
+	"eclipsemr/internal/metrics"
 )
 
 // LAFConfig parameterizes the locality-aware fair scheduler.
@@ -37,11 +38,12 @@ type LAF struct {
 	// assigned; it follows ring order so range shifts move load between
 	// ring neighbors (enabling the misplaced-cache migration option).
 	order []hashing.NodeID
-	free  map[hashing.NodeID]int
+	slots slotTable
 	queue []pendingTask
 	stats Stats
 	// rrOffset rotates the job that leads each dispatch round.
 	rrOffset int
+	reg      *metrics.Registry
 }
 
 type pendingTask struct {
@@ -69,21 +71,25 @@ func NewLAF(cfg LAFConfig, ring *hashing.Ring) (*LAF, error) {
 		est:   est,
 		table: table,
 		order: table.Servers(),
-		free:  make(map[hashing.NodeID]int),
+		slots: newSlotTable(),
+		reg:   metrics.NewRegistry(),
 	}, nil
 }
 
 // AddNode registers a worker with the given slot count. Nodes unknown to
 // the initial ring are appended to the partition order and the key space
-// re-cut uniformly.
+// re-cut uniformly. Re-registering a known node (heartbeat refresh)
+// updates only its capacity: slots held by in-flight tasks stay
+// outstanding, so their eventual Release cannot push the node past its
+// configured count.
 func (s *LAF) AddNode(id hashing.NodeID, slots int) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.free[id]; ok {
-		s.free[id] = slots
+	if s.slots.known(id) {
+		s.slots.add(id, slots)
 		return
 	}
-	s.free[id] = slots
+	s.slots.add(id, slots)
 	known := false
 	for _, o := range s.order {
 		if o == id {
@@ -103,7 +109,7 @@ func (s *LAF) AddNode(id hashing.NodeID, slots int) {
 func (s *LAF) RemoveNode(id hashing.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	delete(s.free, id)
+	s.slots.remove(id)
 	for i, o := range s.order {
 		if o == id {
 			s.order = append(s.order[:i], s.order[i+1:]...)
@@ -146,8 +152,8 @@ func (s *LAF) Dispatch(now time.Duration) []Assignment {
 	remaining := s.queue[:0]
 	for _, p := range s.queue {
 		owner := s.table.Lookup(p.task.HashKey)
-		if slots, ok := s.free[owner]; ok && slots > 0 {
-			s.free[owner]--
+		if s.slots.known(owner) && s.slots.free(owner) > 0 {
+			s.slots.take(owner)
 			out = append(out, s.assignLocked(p, owner, true, now))
 		} else {
 			remaining = append(remaining, p)
@@ -167,13 +173,18 @@ func (s *LAF) assignLocked(p pendingTask, node hashing.NodeID, local bool, now t
 		s.stats.PerNode = make(map[hashing.NodeID]uint64)
 	}
 	s.stats.PerNode[node]++
-	s.stats.TotalWait += now - p.enqueued
-	return Assignment{Task: p.task, Node: node, Local: local, Waited: now - p.enqueued}
+	wait := now - p.enqueued
+	s.stats.TotalWait += wait
+	s.reg.Histogram("sched.queue_wait_ns").Observe(int64(wait))
+	return Assignment{Task: p.task, Node: node, Local: local, Waited: wait}
 }
 
 // repartitionLocked re-cuts the key space into equally-probable ranges
 // over the current server order. Caller holds s.mu.
 func (s *LAF) repartitionLocked() {
+	t := s.reg.Histogram("sched.repartition_ns").Start()
+	defer t.Stop()
+	s.reg.Counter("sched.repartitions").Inc()
 	bounds, err := s.est.Partition(len(s.order))
 	if err != nil {
 		return // no servers; nothing to schedule onto anyway
@@ -189,10 +200,11 @@ func (s *LAF) repartitionLocked() {
 func (s *LAF) Release(node hashing.NodeID) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.free[node]; ok {
-		s.free[node]++
-	}
+	s.slots.release(node)
 }
+
+// Metrics returns the scheduler's registry.
+func (s *LAF) Metrics() *metrics.Registry { return s.reg }
 
 // NextDeadline always reports none: LAF assignments are unlocked only by
 // slot releases.

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/metrics"
 )
 
 // Task is one schedulable unit of work (a map or reduce task).
@@ -75,6 +76,9 @@ type Scheduler interface {
 	Pending() int
 	// Stats returns a snapshot of scheduling counters.
 	Stats() Stats
+	// Metrics returns the scheduler's registry (queue-wait histogram,
+	// repartition timings) for inclusion in node-level snapshots.
+	Metrics() *metrics.Registry
 }
 
 // Stats captures the load-balance and locality behaviour the paper
@@ -175,6 +179,69 @@ func interleaveByJob[T any](q []T, jobOf func(T) string, rot int) []T {
 		}
 	}
 	return out
+}
+
+// slotTable tracks per-node task slots as capacity plus outstanding
+// (dispatched but not yet released) counts. Keeping the two separate —
+// instead of a single decremented "free" number — makes node
+// re-registration safe: a heartbeat-driven AddNode for an already-known
+// node updates only the capacity, so slots consumed by in-flight tasks
+// are still owed and a later Release cannot inflate the node past its
+// configured count. Callers hold their scheduler's mutex.
+type slotTable struct {
+	caps map[hashing.NodeID]int
+	used map[hashing.NodeID]int
+}
+
+func newSlotTable() slotTable {
+	return slotTable{caps: make(map[hashing.NodeID]int), used: make(map[hashing.NodeID]int)}
+}
+
+// add registers a node or updates a known node's capacity, preserving its
+// outstanding count.
+func (t slotTable) add(id hashing.NodeID, slots int) {
+	t.caps[id] = slots
+}
+
+// known reports whether the node is registered.
+func (t slotTable) known(id hashing.NodeID) bool {
+	_, ok := t.caps[id]
+	return ok
+}
+
+// remove forgets a node entirely, including slots still in flight (the
+// node is presumed dead; its tasks are re-dispatched elsewhere).
+func (t slotTable) remove(id hashing.NodeID) {
+	delete(t.caps, id)
+	delete(t.used, id)
+}
+
+// free returns the node's currently available slots (never negative: a
+// capacity shrink below the outstanding count just blocks new dispatches
+// until releases catch up).
+func (t slotTable) free(id hashing.NodeID) int {
+	f := t.caps[id] - t.used[id]
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// take consumes one slot on the node.
+func (t slotTable) take(id hashing.NodeID) {
+	t.used[id]++
+}
+
+// release returns one slot, clamping at zero outstanding so spurious
+// releases (e.g. a duplicate completion after failover) cannot mint
+// capacity.
+func (t slotTable) release(id hashing.NodeID) {
+	if !t.known(id) {
+		return
+	}
+	if t.used[id] > 0 {
+		t.used[id]--
+	}
 }
 
 // cloneStats deep-copies counters for snapshot returns.

@@ -151,7 +151,7 @@ func TestLAFReleaseUnknownNodeIgnored(t *testing.T) {
 	ring, ids := testRing(t, 2)
 	s := newLAF(t, ring, ids, 1, DefaultLAFConfig())
 	s.Release("nope") // must not panic or create slots
-	if _, ok := s.free["nope"]; ok {
+	if s.slots.known("nope") {
 		t.Fatal("Release created slots for unknown node")
 	}
 }

@@ -74,17 +74,17 @@ func TestChaosDropAllAndCounters(t *testing.T) {
 		}
 	}
 	snap := c.NetMetrics().Snapshot()
-	if snap["chaos.drops"] != calls {
-		t.Fatalf("chaos.drops = %d, want %d", snap["chaos.drops"], calls)
+	if snap.Get("chaos.drops") != calls {
+		t.Fatalf("chaos.drops = %d, want %d", snap.Get("chaos.drops"), calls)
 	}
-	if snap["chaos.drops.request"]+snap["chaos.drops.reply"] != calls {
+	if snap.Get("chaos.drops.request")+snap.Get("chaos.drops.reply") != calls {
 		t.Fatalf("request+reply drops = %d+%d, want %d",
-			snap["chaos.drops.request"], snap["chaos.drops.reply"], calls)
+			snap.Get("chaos.drops.request"), snap.Get("chaos.drops.reply"), calls)
 	}
 	// Drop schedules must exercise both failure modes.
-	if snap["chaos.drops.request"] == 0 || snap["chaos.drops.reply"] == 0 {
+	if snap.Get("chaos.drops.request") == 0 || snap.Get("chaos.drops.reply") == 0 {
 		t.Fatalf("one-sided drop split: request=%d reply=%d",
-			snap["chaos.drops.request"], snap["chaos.drops.reply"])
+			snap.Get("chaos.drops.request"), snap.Get("chaos.drops.reply"))
 	}
 }
 

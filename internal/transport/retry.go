@@ -146,8 +146,13 @@ func (r *Retry) uniform() float64 {
 }
 
 // callOn is the shared retry loop for the base network and its facets.
+// The whole loop is timed into a per-method latency histogram, so the
+// recorded RPC latency includes backoff sleeps and any chaos-injected
+// delay from an inner Chaos network — the latency the caller actually
+// experienced.
 func (r *Retry) callOn(inner Network, to hashing.NodeID, method string, body []byte) ([]byte, error) {
 	r.reg.Counter("net.calls").Inc()
+	defer r.reg.Histogram("net.rpc." + method + "_ns").Start().Stop()
 	var lastErr error
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {

@@ -36,7 +36,7 @@ func TestRetryRecoversTransientFailures(t *testing.T) {
 	if string(out) != "ok" || inner.calls != 3 {
 		t.Fatalf("out = %q after %d inner calls", out, inner.calls)
 	}
-	if got := r.NetMetrics().Snapshot()["net.retries"]; got != 2 {
+	if got := r.NetMetrics().Snapshot().Get("net.retries"); got != 2 {
 		t.Fatalf("net.retries = %d, want 2", got)
 	}
 }
@@ -51,7 +51,7 @@ func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
 	if inner.calls != 3 {
 		t.Fatalf("inner calls = %d, want 3", inner.calls)
 	}
-	if got := r.NetMetrics().Snapshot()["net.retry_exhausted"]; got != 1 {
+	if got := r.NetMetrics().Snapshot().Get("net.retry_exhausted"); got != 1 {
 		t.Fatalf("net.retry_exhausted = %d, want 1", got)
 	}
 }
@@ -103,7 +103,7 @@ func TestRetryOverChaosPreservesOrigins(t *testing.T) {
 		}
 	}
 	snap := r.NetMetrics().Snapshot()
-	if snap["net.retries"] == 0 {
+	if snap.Get("net.retries") == 0 {
 		t.Fatal("no retries recorded at drop=0.4")
 	}
 	// The chaos layer saw origin-stamped traffic even through the retry

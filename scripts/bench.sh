@@ -1,0 +1,21 @@
+#!/bin/sh
+# Runs the engine benchmark harness and writes one BENCH_<workload>.json
+# per workload (wall time, per-stage p50/p90/p99, cache hit ratio) so
+# each PR records a perf point to compare against the previous one.
+#
+# Usage:
+#   scripts/bench.sh [out-dir]      # full size (default out-dir: .)
+#   BENCH_SHORT=1 scripts/bench.sh  # CI smoke size, a few seconds
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-.}"
+mkdir -p "$out"
+BENCH_DIR="$(cd "$out" && pwd)"
+export BENCH_DIR
+
+go test -run '^$' -bench 'BenchmarkHarness(WordCount|KMeans)$' -benchtime 1x .
+
+echo "bench: wrote reports to $BENCH_DIR"
+ls -l "$BENCH_DIR"/BENCH_*.json
