@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test check bench fuzz-smoke fmt
+.PHONY: build test check lint bench fuzz-smoke fmt
 
 build:
 	$(GO) build ./...
@@ -11,6 +11,12 @@ test:
 # Race-detector gate over the whole suite (vet + build + go test -race).
 check:
 	./scripts/check.sh
+
+# Project invariants (ring comparisons, RPC-under-mutex, metric names,
+# sim determinism, dropped I/O errors) plus gofmt cleanliness. CI runs
+# the same; see EXPERIMENTS.md for reading and suppressing findings.
+lint:
+	./scripts/lint.sh
 
 # Real-engine benchmark harness; writes BENCH_*.json into the repo root.
 # CI runs the same with BENCH_SHORT=1.

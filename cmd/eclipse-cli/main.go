@@ -45,7 +45,11 @@ func main() {
 		log.Fatalf("eclipse-cli: %v", err)
 	}
 	net := transport.NewTCP(hosts, 10*time.Minute)
-	defer net.Close()
+	defer func() {
+		if err := net.Close(); err != nil {
+			log.Printf("eclipse-cli: closing transport: %v", err)
+		}
+	}()
 
 	// callAny tries each host in turn: any node can serve DHT requests, so
 	// a dead entry in the hosts file must not fail the whole command.

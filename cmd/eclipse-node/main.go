@@ -68,7 +68,11 @@ func main() {
 	// Retry wraps TCP so transient network hiccups are absorbed below the
 	// application, and per-RPC latency histograms are recorded per method.
 	net := transport.NewRetry(transport.NewTCP(hosts, 30*time.Second), transport.DefaultRetryPolicy())
-	defer net.Close()
+	defer func() {
+		if err := net.Close(); err != nil {
+			log.Printf("eclipse-node: closing transport: %v", err)
+		}
+	}()
 
 	cfg := cluster.Config{
 		Replicas:    *replicas,

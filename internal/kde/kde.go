@@ -223,6 +223,7 @@ func (e *Estimator) Partition(n int) ([]hashing.Key, error) {
 			key = keySpace - 1
 		}
 		bounds[i] = hashing.Key(key)
+		//lint:ignore ringcmp partition bounds are monotone cut points on the linear [0,2^64) axis, not ring arcs
 		if bounds[i] < bounds[i-1] {
 			bounds[i] = bounds[i-1] // clamp: bounds must stay sorted
 		}

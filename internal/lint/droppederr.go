@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// ioBoundaryPackages are the layers whose errors carry data-loss or
+// partition information: dropping one turns a detectable fault into
+// silent corruption (a block write that never happened, a shuffle push
+// that vanished, a cache insert that was rejected).
+var ioBoundaryPackages = map[string]bool{
+	"eclipsemr/internal/transport": true,
+	"eclipsemr/internal/dhtfs":     true,
+	"eclipsemr/internal/cache":     true,
+}
+
+// DroppedErr reports implicitly discarded error results from calls into
+// the transport, dhtfs and cache I/O boundaries — a call used as a bare
+// statement (or go/defer) whose last result is an error.
+//
+// An explicit `_ = f()` assignment is deliberately not flagged: it is
+// visible in review and greppable. The failure mode this analyzer exists
+// for is the invisible one, where a write path looks synchronous and
+// checked but an error return silently falls on the floor.
+func DroppedErr() *Analyzer {
+	return &Analyzer{
+		Name: "droppederr",
+		Doc:  "implicitly discarded errors at transport/dhtfs/cache boundaries",
+		Run:  runDroppedErr,
+	}
+}
+
+var errorType = types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+// returnsError reports whether fn's last result is of type error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Implements(last, errorType) && types.IsInterface(last)
+}
+
+func runDroppedErr(u *Unit) []Finding {
+	var findings []Finding
+	check := func(p *Package, call *ast.CallExpr, how string) {
+		fn := calleeFunc(p.Info, call)
+		if fn == nil || fn.Pkg() == nil || !ioBoundaryPackages[fn.Pkg().Path()] {
+			return
+		}
+		if !returnsError(fn) {
+			return
+		}
+		findings = append(findings, Finding{
+			Pos:      u.Fset.Position(call.Pos()),
+			Analyzer: "droppederr",
+			Message: fmt.Sprintf(
+				"%s discards the error from %s; check it (or assign to _ with a comment if loss is intended)",
+				how, shortFuncName(funcKey(fn))),
+		})
+	}
+	for _, p := range u.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := s.X.(*ast.CallExpr); ok {
+						check(p, call, "statement")
+					}
+				case *ast.GoStmt:
+					check(p, s.Call, "go statement")
+				case *ast.DeferStmt:
+					check(p, s.Call, "defer")
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}

@@ -1,0 +1,280 @@
+// Package lint is eclipse-lint: a stdlib-only static-analysis suite that
+// enforces EclipseMR's project-specific invariants at build time — the
+// properties the compiler cannot check and that PR 1's chaos layer and
+// PR 2's metrics layer only catch at runtime.
+//
+// The suite loads every package under a module (go/parser + go/types with
+// the source importer; no golang.org/x/tools dependency) and runs five
+// analyzers:
+//
+//   - ringcmp:    raw <, <=, >, >= between hashing.Key values outside
+//     internal/hashing. Keys live on a modular ring; ordinal
+//     comparison silently breaks wraparound arcs (§III-A).
+//   - lockedrpc:  transport RPCs issued while a sync.Mutex/RWMutex
+//     acquired in the same function is still held — deadlock and
+//     tail-latency risk in stabilization, replication, heartbeats.
+//   - metricname: metric registrations must use statically known names,
+//     and a name must keep one kind (counter/gauge/histogram)
+//     across the whole module, or cluster-wide Merge corrupts.
+//   - timesource: time.Now/time.Sleep and the global math/rand source
+//     inside internal/sim and internal/simcluster, which must
+//     use the injected clock/seed so figure sweeps reproduce.
+//   - droppederr: implicitly discarded error returns at transport, dhtfs
+//     and cache I/O boundaries.
+//
+// Findings print as "file:line: analyzer: message". A finding is
+// suppressed by a comment on the same line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; an ignore directive without one is itself
+// reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical file:line: analyzer: message
+// form, with the file path made relative to dir when possible.
+func (f Finding) String() string { return f.Render("") }
+
+// Render renders the finding with file paths relative to dir (when
+// non-empty and the path is beneath it).
+func (f Finding) Render(dir string) string {
+	file := f.Pos.Filename
+	if dir != "" {
+		if rel, err := filepath.Rel(dir, file); err == nil && !strings.HasPrefix(rel, "..") {
+			file = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", file, f.Pos.Line, f.Analyzer, f.Message)
+}
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	// Path is the package's import path ("eclipsemr/internal/chord").
+	Path string
+	// Dir is the directory the package was loaded from.
+	Dir string
+	// Files are the parsed non-test source files.
+	Files []*ast.File
+	// Info holds the type-checker's results for Files.
+	Info *types.Info
+	// Types is the checked package.
+	Types *types.Package
+}
+
+// Unit is the whole body of code one lint run analyzes. Analyzers see
+// every package at once so cross-package facts (the transport call graph,
+// the metric-name registry) are visible.
+type Unit struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+}
+
+// An Analyzer checks one invariant over a Unit.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(u *Unit) []Finding
+}
+
+// Analyzers is the ordered suite eclipse-lint runs.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		RingCmp(),
+		LockedRPC(),
+		MetricName(),
+		TimeSource(),
+		DroppedErr(),
+	}
+}
+
+// AnalyzerNames returns the suite's analyzer names in run order.
+func AnalyzerNames() []string {
+	var names []string
+	for _, a := range Analyzers() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// IgnoreDirective is one parsed //lint:ignore comment.
+type IgnoreDirective struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+}
+
+const ignorePrefix = "//lint:ignore"
+
+// parseIgnores collects every //lint:ignore directive in the unit, keyed
+// by (file, line) of the code the directive covers: the directive's own
+// line and the line below it (so both same-line trailing comments and
+// whole-line comments above a statement work).
+//
+// Malformed directives (missing analyzer or reason) are returned as
+// findings so they fail the run instead of silently ignoring nothing.
+func parseIgnores(u *Unit) (map[string]map[int][]IgnoreDirective, []Finding) {
+	known := make(map[string]bool)
+	for _, name := range AnalyzerNames() {
+		known[name] = true
+	}
+	ignores := make(map[string]map[int][]IgnoreDirective)
+	var bad []Finding
+	add := func(file string, line int, d IgnoreDirective) {
+		if ignores[file] == nil {
+			ignores[file] = make(map[int][]IgnoreDirective)
+		}
+		ignores[file][line] = append(ignores[file][line], d)
+	}
+	for _, p := range u.Pkgs {
+		for _, f := range p.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, ignorePrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, ignorePrefix)
+					pos := u.Fset.Position(c.Pos())
+					fields := strings.Fields(rest)
+					if len(fields) < 2 {
+						bad = append(bad, Finding{
+							Pos:      pos,
+							Analyzer: "badignore",
+							Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
+						})
+						continue
+					}
+					name := fields[0]
+					if !known[name] {
+						bad = append(bad, Finding{
+							Pos:      pos,
+							Analyzer: "badignore",
+							Message: fmt.Sprintf("unknown analyzer %q (have %s)",
+								name, strings.Join(AnalyzerNames(), ", ")),
+						})
+						continue
+					}
+					d := IgnoreDirective{Pos: pos, Analyzer: name, Reason: strings.Join(fields[1:], " ")}
+					// Covers the directive's own line (trailing comment)
+					// and the next line (comment above the statement).
+					add(pos.Filename, pos.Line, d)
+					add(pos.Filename, pos.Line+1, d)
+				}
+			}
+		}
+	}
+	return ignores, bad
+}
+
+// Run executes the given analyzers over the unit, applies //lint:ignore
+// suppression, and returns the surviving findings sorted by position.
+func Run(u *Unit, analyzers []*Analyzer) []Finding {
+	ignores, bad := parseIgnores(u)
+	findings := append([]Finding(nil), bad...)
+	for _, a := range analyzers {
+		for _, f := range a.Run(u) {
+			if suppressed(ignores, f) {
+				continue
+			}
+			findings = append(findings, f)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+func suppressed(ignores map[string]map[int][]IgnoreDirective, f Finding) bool {
+	for _, d := range ignores[f.Pos.Filename][f.Pos.Line] {
+		if d.Analyzer == f.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// ---- shared type helpers used by the analyzers ----
+
+// isNamed reports whether t (after pointer indirection) is the named type
+// pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// calleeFunc resolves the function or method a call expression invokes,
+// or nil for indirect calls through function values, type conversions and
+// builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// funcKey returns a stable cross-package identity for a function: its
+// types.Func full name, e.g. "(*eclipsemr/internal/cluster.Node).call".
+// Identity by string survives the same package being type-checked twice
+// (once as a subject, once as a dependency).
+func funcKey(fn *types.Func) string { return fn.FullName() }
+
+// exprString renders a (small) expression for use in messages and as a
+// mutex identity key.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.ParenExpr:
+		return exprString(e.X)
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.CallExpr:
+		return exprString(e.Fun) + "(...)"
+	case *ast.BasicLit:
+		return e.Value
+	default:
+		return "<expr>"
+	}
+}

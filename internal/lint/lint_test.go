@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// loadTestdata loads one golden package under testdata/src.
+func loadTestdata(t *testing.T, name string) *Unit {
+	t.Helper()
+	dir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	unit, err := loader.Load(dir)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", name, err)
+	}
+	if len(unit.Pkgs) != 1 {
+		t.Fatalf("Load(%s): got %d packages, want 1", name, len(unit.Pkgs))
+	}
+	return unit
+}
+
+// wantRe matches the golden expectation comments: // want "substring"
+var wantRe = regexp.MustCompile(`// want "([^"]+)"`)
+
+// expectations parses the want comments of one golden file into line ->
+// required message substring.
+func expectations(t *testing.T, file string) map[int]string {
+	t.Helper()
+	data, err := os.ReadFile(file)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[int]string)
+	for i, line := range strings.Split(string(data), "\n") {
+		if m := wantRe.FindStringSubmatch(line); m != nil {
+			want[i+1] = m[1]
+		}
+	}
+	if len(want) == 0 {
+		t.Fatalf("%s: no // want expectations found", file)
+	}
+	return want
+}
+
+// analyzerByName fetches one analyzer from the suite.
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range Analyzers() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer %q", name)
+	return nil
+}
+
+// TestAnalyzersGolden drives every analyzer over its golden package:
+// trigger.go must produce exactly its want-marked findings, clean.go and
+// ignored.go must produce none (the latter via //lint:ignore).
+func TestAnalyzersGolden(t *testing.T) {
+	for _, name := range AnalyzerNames() {
+		t.Run(name, func(t *testing.T) {
+			unit := loadTestdata(t, name)
+			a := analyzerByName(t, name)
+			findings := Run(unit, []*Analyzer{a})
+
+			pkgDir := unit.Pkgs[0].Dir
+			want := expectations(t, filepath.Join(pkgDir, "trigger.go"))
+
+			matched := make(map[int]bool)
+			for _, f := range findings {
+				if f.Analyzer != a.Name {
+					t.Errorf("unexpected analyzer %q in finding: %s", f.Analyzer, f)
+					continue
+				}
+				base := filepath.Base(f.Pos.Filename)
+				if base != "trigger.go" {
+					t.Errorf("finding outside trigger.go: %s", f)
+					continue
+				}
+				sub, ok := want[f.Pos.Line]
+				if !ok {
+					t.Errorf("finding at unmarked line %d: %s", f.Pos.Line, f)
+					continue
+				}
+				if !strings.Contains(f.Message, sub) {
+					t.Errorf("line %d: message %q does not contain %q", f.Pos.Line, f.Message, sub)
+					continue
+				}
+				matched[f.Pos.Line] = true
+			}
+			for line, sub := range want {
+				if !matched[line] {
+					t.Errorf("trigger.go:%d: expected finding containing %q, got none", line, sub)
+				}
+			}
+		})
+	}
+}
+
+// TestBadIgnoreDirective checks that malformed or unknown-analyzer ignore
+// directives are themselves findings: a suppression that silently ignores
+// nothing is worse than no suppression.
+func TestBadIgnoreDirective(t *testing.T) {
+	unit := loadTestdata(t, "badignore")
+	findings := Run(unit, Analyzers())
+	var badCount int
+	for _, f := range findings {
+		if f.Analyzer == "badignore" {
+			badCount++
+		} else {
+			t.Errorf("unexpected finding: %s", f)
+		}
+	}
+	if badCount != 2 {
+		t.Errorf("got %d badignore findings, want 2 (malformed + unknown analyzer)", badCount)
+	}
+}
+
+// TestSuiteNames pins the advertised analyzer set; docs and CI reference
+// these names.
+func TestSuiteNames(t *testing.T) {
+	got := strings.Join(AnalyzerNames(), ",")
+	want := "ringcmp,lockedrpc,metricname,timesource,droppederr"
+	if got != want {
+		t.Fatalf("AnalyzerNames() = %s, want %s", got, want)
+	}
+}
+
+// TestRepoClean runs the full suite over the whole module: the repo must
+// stay lint-clean (violations either fixed or carrying a reasoned
+// //lint:ignore). This is the same gate scripts/check.sh and CI enforce
+// via cmd/eclipse-lint.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking the full module is slow; covered by make lint in CI")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Run(unit, Analyzers())
+	for _, f := range findings {
+		t.Errorf("%s", f.Render(loader.Root))
+	}
+}

@@ -1,0 +1,304 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Loader discovers, parses and type-checks packages for one lint run.
+// Module-local imports are served from the loader's own checked packages
+// (so every analyzer sees one consistent object identity per package);
+// everything else falls back to the stdlib source importer.
+type Loader struct {
+	// Root is the module root directory (the directory holding go.mod).
+	Root string
+	// Module is the module path from go.mod.
+	Module string
+
+	fset     *token.FileSet
+	fallback types.Importer
+	checked  map[string]*Package // by import path
+	order    []*Package          // in check order
+}
+
+// NewLoader locates the module root at or above dir and prepares a loader.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root := abs
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			return nil, fmt.Errorf("lint: no go.mod at or above %s", abs)
+		}
+		root = parent
+	}
+	module, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Root:     root,
+		Module:   module,
+		fset:     fset,
+		fallback: importer.ForCompiler(fset, "source", nil),
+		checked:  make(map[string]*Package),
+	}, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			if p, err := strconv.Unquote(rest); err == nil {
+				rest = p
+			}
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// Load resolves the given patterns (directories, or dir/... recursive
+// patterns; "./..." is the usual spell) into package directories, then
+// parses and type-checks them all in dependency order. It returns the
+// unit ready for analysis.
+func (l *Loader) Load(patterns ...string) (*Unit, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	// Parse every target dir first so imports can be resolved to parsed
+	// packages before any type-checking starts.
+	parsed := make(map[string]*parsedPkg) // by import path
+	var paths []string
+	for _, dir := range dirs {
+		p, err := l.parseDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if p == nil {
+			continue // no non-test Go files
+		}
+		if _, dup := parsed[p.path]; dup {
+			return nil, fmt.Errorf("lint: duplicate package %s", p.path)
+		}
+		parsed[p.path] = p
+		paths = append(paths, p.path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := l.check(parsed, path, nil); err != nil {
+			return nil, err
+		}
+	}
+	u := &Unit{Fset: l.fset}
+	for _, p := range l.order {
+		if _, isTarget := parsed[p.Path]; isTarget {
+			u.Pkgs = append(u.Pkgs, p)
+		}
+	}
+	return u, nil
+}
+
+// expand turns patterns into a sorted list of package directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) {
+		if !seen[dir] {
+			seen[dir] = true
+			dirs = append(dirs, dir)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") || pat == "..." {
+			recursive = true
+			pat = strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+			if pat == "" {
+				pat = "."
+			}
+		}
+		base := pat
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(l.Root, base)
+		}
+		info, err := os.Stat(base)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		if !info.IsDir() {
+			return nil, fmt.Errorf("lint: %s is not a directory", pat)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			// Same exclusions as the go tool: testdata trees, hidden and
+			// underscore directories are not packages.
+			if path != base && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			add(path)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+type parsedPkg struct {
+	path  string
+	dir   string
+	name  string
+	files []*ast.File
+}
+
+// parseDir parses the non-test Go files of one directory, or returns nil
+// if it holds none.
+func (l *Loader) parseDir(dir string) (*parsedPkg, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	name := ""
+	for _, e := range ents {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasSuffix(fn, ".go") || strings.HasSuffix(fn, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, fn), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			name = f.Name.Name
+		} else if f.Name.Name != name {
+			return nil, fmt.Errorf("lint: %s: mixed packages %s and %s", dir, name, f.Name.Name)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return &parsedPkg{path: l.importPath(dir), dir: dir, name: name, files: files}, nil
+}
+
+// importPath maps a directory beneath the module root to its import path.
+// Directories outside the module (or the root itself) map to the module
+// path plus a relative suffix; callers only ever pass module dirs.
+func (l *Loader) importPath(dir string) string {
+	rel, err := filepath.Rel(l.Root, dir)
+	if err != nil || rel == "." {
+		return l.Module
+	}
+	return l.Module + "/" + filepath.ToSlash(rel)
+}
+
+// check type-checks one parsed package, recursively checking parsed
+// module dependencies first. stack guards against import cycles.
+func (l *Loader) check(parsed map[string]*parsedPkg, path string, stack []string) error {
+	if _, done := l.checked[path]; done {
+		return nil
+	}
+	for _, s := range stack {
+		if s == path {
+			return fmt.Errorf("lint: import cycle: %s", strings.Join(append(stack, path), " -> "))
+		}
+	}
+	p, ok := parsed[path]
+	if !ok {
+		return fmt.Errorf("lint: internal error: %s not parsed", path)
+	}
+	stack = append(stack, path)
+	for _, f := range p.files {
+		for _, imp := range f.Imports {
+			ipath, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if _, isLocal := parsed[ipath]; isLocal {
+				if err := l.check(parsed, ipath, stack); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: &unitImporter{loader: l, parsed: parsed}}
+	pkg, err := conf.Check(path, l.fset, p.files, info)
+	if err != nil {
+		return fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	lp := &Package{Path: path, Dir: p.dir, Files: p.files, Info: info, Types: pkg}
+	l.checked[path] = lp
+	l.order = append(l.order, lp)
+	return nil
+}
+
+// unitImporter serves module-local packages from the loader's checked set
+// and delegates the rest (stdlib and, for packages not selected by the
+// patterns, module packages resolved from source) to the source importer.
+type unitImporter struct {
+	loader *Loader
+	parsed map[string]*parsedPkg
+}
+
+func (ui *unitImporter) Import(path string) (*types.Package, error) {
+	if p, ok := ui.loader.checked[path]; ok {
+		return p.Types, nil
+	}
+	if _, isLocal := ui.parsed[path]; isLocal {
+		// Should have been checked first by the dependency walk; checking
+		// here would recurse without cycle detection.
+		return nil, fmt.Errorf("lint: internal error: %s imported before checked", path)
+	}
+	if from, ok := ui.loader.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, ui.loader.Root, 0)
+	}
+	return ui.loader.fallback.Import(path)
+}

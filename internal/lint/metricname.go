@@ -1,0 +1,174 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"sort"
+)
+
+const metricsPath = "eclipsemr/internal/metrics"
+
+// MetricName enforces two rules over metrics.Registry registrations
+// (Counter, Gauge, Histogram, HistogramWith):
+//
+//  1. The metric name must be statically known: a constant expression, or
+//     the range variable of a loop over a slice literal of constant
+//     strings (the registries' pre-create idiom). Dynamic names defeat
+//     both this analyzer's cross-checking and dashboard stability.
+//  2. One name, one kind. Node snapshots from every subsystem registry
+//     are merged cluster-wide; registering "x" as a counter in one
+//     package and a gauge in another is a runtime panic in
+//     Registry.checkKind at best and silent Merge corruption at worst.
+//     The analyzer reports the collision at build time instead.
+func MetricName() *Analyzer {
+	return &Analyzer{
+		Name: "metricname",
+		Doc:  "metric registrations use constant names with one kind per name",
+		Run:  runMetricName,
+	}
+}
+
+// metricKindOf maps a Registry method name to the metric kind it
+// registers, or "" for non-registration methods.
+func metricKindOf(method string) string {
+	switch method {
+	case "Counter":
+		return "counter"
+	case "Gauge":
+		return "gauge"
+	case "Histogram", "HistogramWith":
+		return "histogram"
+	}
+	return ""
+}
+
+type metricReg struct {
+	name string
+	kind string
+	pkg  string
+	pos  ast.Node
+}
+
+func runMetricName(u *Unit) []Finding {
+	var findings []Finding
+	var regs []metricReg
+	for _, p := range u.Pkgs {
+		if p.Path == metricsPath {
+			continue // the registry implementation passes names through parameters
+		}
+		rangeConsts := constRangeVars(p)
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				kind := metricKindOf(sel.Sel.Name)
+				if kind == "" || len(call.Args) == 0 {
+					return true
+				}
+				fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != metricsPath {
+					return true
+				}
+				recv := fn.Type().(*types.Signature).Recv()
+				if recv == nil || !isNamed(recv.Type(), metricsPath, "Registry") {
+					return true
+				}
+				arg := ast.Unparen(call.Args[0])
+				if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					regs = append(regs, metricReg{name: constant.StringVal(tv.Value), kind: kind, pkg: p.Path, pos: call})
+					return true
+				}
+				if id, ok := arg.(*ast.Ident); ok {
+					if names, ok := rangeConsts[p.Info.Uses[id]]; ok {
+						for _, name := range names {
+							regs = append(regs, metricReg{name: name, kind: kind, pkg: p.Path, pos: call})
+						}
+						return true
+					}
+				}
+				findings = append(findings, Finding{
+					Pos:      u.Fset.Position(arg.Pos()),
+					Analyzer: "metricname",
+					Message: fmt.Sprintf(
+						"metric name passed to Registry.%s is not statically known; use a constant (or a range over a []string literal of constants)",
+						sel.Sel.Name),
+				})
+				return true
+			})
+		}
+	}
+	findings = append(findings, metricKindCollisions(u, regs)...)
+	return findings
+}
+
+// constRangeVars maps range-variable objects to the constant string lists
+// they iterate, for loops of the shape
+//
+//	for _, name := range []string{"a", "b"} { ... }
+func constRangeVars(p *Package) map[types.Object][]string {
+	vars := make(map[types.Object][]string)
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || rs.Value == nil {
+				return true
+			}
+			id, ok := rs.Value.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			lit, ok := ast.Unparen(rs.X).(*ast.CompositeLit)
+			if !ok {
+				return true
+			}
+			var names []string
+			for _, el := range lit.Elts {
+				tv, ok := p.Info.Types[el]
+				if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+					return true // a non-constant element disqualifies the loop
+				}
+				names = append(names, constant.StringVal(tv.Value))
+			}
+			if obj := p.Info.Defs[id]; obj != nil {
+				vars[obj] = names
+			}
+			return true
+		})
+	}
+	return vars
+}
+
+// metricKindCollisions cross-checks every statically known registration:
+// the same name registered with different kinds anywhere in the module is
+// an error at each conflicting site.
+func metricKindCollisions(u *Unit, regs []metricReg) []Finding {
+	sort.SliceStable(regs, func(i, j int) bool { return regs[i].pos.Pos() < regs[j].pos.Pos() })
+	first := make(map[string]metricReg)
+	var findings []Finding
+	for _, r := range regs {
+		prev, seen := first[r.name]
+		if !seen {
+			first[r.name] = r
+			continue
+		}
+		if prev.kind == r.kind {
+			continue
+		}
+		findings = append(findings, Finding{
+			Pos:      u.Fset.Position(r.pos.Pos()),
+			Analyzer: "metricname",
+			Message: fmt.Sprintf(
+				"metric %q registered as %s here but as %s in %s (line %d); one name must keep one kind or cluster Merge corrupts",
+				r.name, r.kind, prev.kind, prev.pkg, u.Fset.Position(prev.pos.Pos()).Line),
+		})
+	}
+	return findings
+}

@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+const hashingPath = "eclipsemr/internal/hashing"
+
+// RingCmp reports ordinal comparisons (<, <=, >, >=) between hashing.Key
+// values outside internal/hashing itself.
+//
+// Keys live on a modular ring: arithmetic wraps at 2^64 and ownership is
+// defined by clockwise arcs (§III-A of the paper). A raw ordinal
+// comparison is only correct when the arc does not cross zero, so `a < k`
+// silently misroutes exactly the keys that wrap — the same bucket-
+// arithmetic trap the jump-hash paper warns about. All arc membership
+// must go through hashing.Between / hashing.InRange, and relative order
+// through hashing.Distance. Equality (==, !=) is always well defined and
+// is not flagged.
+func RingCmp() *Analyzer {
+	return &Analyzer{
+		Name: "ringcmp",
+		Doc:  "ordinal comparison of hashing.Key values outside internal/hashing",
+		Run:  runRingCmp,
+	}
+}
+
+func runRingCmp(u *Unit) []Finding {
+	var findings []Finding
+	for _, p := range u.Pkgs {
+		if p.Path == hashingPath {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				be, ok := n.(*ast.BinaryExpr)
+				if !ok {
+					return true
+				}
+				switch be.Op {
+				case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				default:
+					return true
+				}
+				xt, yt := p.Info.Types[be.X], p.Info.Types[be.Y]
+				if !isNamed(xt.Type, hashingPath, "Key") && !isNamed(yt.Type, hashingPath, "Key") {
+					return true
+				}
+				findings = append(findings, Finding{
+					Pos:      u.Fset.Position(be.OpPos),
+					Analyzer: "ringcmp",
+					Message: fmt.Sprintf(
+						"raw %s between hashing.Key values ignores ring wraparound; use hashing.Between, hashing.InRange or hashing.Distance",
+						be.Op),
+				})
+				return true
+			})
+		}
+	}
+	return findings
+}

@@ -1,0 +1,9 @@
+// Package badignore holds malformed suppression directives; each must be
+// reported rather than silently ignoring nothing.
+package badignore
+
+//lint:ignore ringcmp
+func missingReason() {}
+
+//lint:ignore nosuchanalyzer the analyzer name is wrong
+func unknownAnalyzer() {}

@@ -1,0 +1,26 @@
+package droppederr
+
+import (
+	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/transport"
+)
+
+// checked handles the error; nothing to report.
+func checked(net transport.Network, to hashing.NodeID) error {
+	if _, err := net.Call(to, "ping", nil); err != nil {
+		return err
+	}
+	return nil
+}
+
+// explicitDiscard is visible in review and greppable, so it is allowed:
+// the analyzer only hunts the invisible drops.
+func explicitDiscard(store *dhtfs.Store, k hashing.Key, data []byte) {
+	_ = store.PutBlock(k, data) // best-effort prewarm; owner re-replicates
+}
+
+// noError calls a boundary function with no error result.
+func noError(store *dhtfs.Store, k hashing.Key) bool {
+	return store.HasBlock(k)
+}

@@ -1,0 +1,12 @@
+package droppederr
+
+import (
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/transport"
+)
+
+// bestEffortNotify documents why the drop is safe instead of checking.
+func bestEffortNotify(net transport.Network, to hashing.NodeID) {
+	//lint:ignore droppederr best-effort wakeup; receiver polls on a timer anyway
+	net.Call(to, "wake", nil)
+}

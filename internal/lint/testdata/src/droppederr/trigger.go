@@ -1,0 +1,31 @@
+// Package droppederr is golden input for the droppederr analyzer.
+package droppederr
+
+import (
+	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/transport"
+)
+
+// fireAndForget drops a transport reply and error on the floor: the
+// caller cannot tell a delivered request from a partitioned one.
+func fireAndForget(net transport.Network, to hashing.NodeID) {
+	net.Call(to, "ping", nil) // want "discards the error"
+}
+
+// storeWrite loses a block-write failure: the block looks durable but
+// was never stored.
+func storeWrite(store *dhtfs.Store, k hashing.Key, data []byte) {
+	store.PutBlock(k, data) // want "discards the error"
+}
+
+// deferredClose is the classic shutdown leak: a Close error on a
+// buffered connection is the last chance to learn a flush failed.
+func deferredClose(net transport.Network) {
+	defer net.Close() // want "defer discards the error"
+}
+
+// asyncSend loses the error in a goroutine nobody joins.
+func asyncSend(net transport.Network, to hashing.NodeID) {
+	go net.Call(to, "push", nil) // want "go statement discards the error"
+}

@@ -1,0 +1,34 @@
+package lockedrpc
+
+// unlockFirst is the sanctioned shape: snapshot state under the lock,
+// release, then do network I/O.
+func unlockFirst(s *srv) {
+	s.mu.Lock()
+	succ := s.succ
+	s.mu.Unlock()
+	if _, err := s.net.Call(succ, "ping", nil); err != nil {
+		return
+	}
+}
+
+// goroutineBody runs in its own lock context: the spawn site holds the
+// mutex, the RPC does not.
+func goroutineBody(s *srv) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	go func() {
+		if _, err := s.net.Call(s.succ, "ping", nil); err != nil {
+			return
+		}
+	}()
+}
+
+// lockAfter acquires the mutex only after the RPC returns.
+func lockAfter(s *srv) {
+	if _, err := s.net.Call(s.succ, "ping", nil); err != nil {
+		return
+	}
+	s.mu.Lock()
+	s.succ = ""
+	s.mu.Unlock()
+}

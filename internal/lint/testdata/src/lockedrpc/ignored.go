@@ -1,0 +1,11 @@
+package lockedrpc
+
+// bootstrapBroadcast is a deliberate exception: during single-threaded
+// bootstrap no other goroutine can contend, and the suppression records
+// that argument.
+func bootstrapBroadcast(s *srv) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//lint:ignore lockedrpc bootstrap runs single-threaded before Start, nothing can contend
+	s.net.Call(s.succ, "view", nil)
+}

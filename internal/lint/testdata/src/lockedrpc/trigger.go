@@ -1,0 +1,47 @@
+// Package lockedrpc is golden input for the lockedrpc analyzer.
+package lockedrpc
+
+import (
+	"sync"
+
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/transport"
+)
+
+type srv struct {
+	mu   sync.Mutex
+	rwmu sync.RWMutex
+	net  transport.Network
+	succ hashing.NodeID
+}
+
+// direct holds the mutex across a raw transport call.
+func direct(s *srv) {
+	s.mu.Lock()
+	s.net.Call(s.succ, "ping", nil) // want "transport RPC"
+	s.mu.Unlock()
+}
+
+// viaDefer holds the mutex for the whole function via defer.
+func viaDefer(s *srv) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.rpc() // want "reaches"
+}
+
+// readLocked: an RLock held across an RPC still starves writers for as
+// long as the remote side takes to answer.
+func readLocked(s *srv) {
+	s.rwmu.RLock()
+	defer s.rwmu.RUnlock()
+	s.net.Call(s.succ, "ping", nil) // want "transport RPC"
+}
+
+// rpc is a typed helper: blocking by propagation, so callers holding a
+// lock are flagged even though no transport symbol appears at the call
+// site.
+func (s *srv) rpc() {
+	if _, err := s.net.Call(s.succ, "ping", nil); err != nil {
+		return
+	}
+}

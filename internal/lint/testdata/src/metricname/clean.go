@@ -1,0 +1,24 @@
+package metricname
+
+import "eclipsemr/internal/metrics"
+
+const opsName = "clean.ops"
+
+// constant names in any constant form are fine, as is re-registering the
+// same name with the same kind.
+func constants(reg *metrics.Registry) {
+	reg.Counter(opsName).Inc()
+	reg.Counter("clean." + "concat").Inc()
+	reg.Gauge("clean.depth").Set(3)
+	reg.Histogram("clean.wait_ns").Observe(1)
+	reg.Counter(opsName).Inc()
+}
+
+// preCreate is the registries' idiom for making counters visible before
+// first increment; a range over a literal of constants is statically
+// known.
+func preCreate(reg *metrics.Registry) {
+	for _, name := range []string{"clean.a", "clean.b", "clean.c"} {
+		reg.Counter(name)
+	}
+}

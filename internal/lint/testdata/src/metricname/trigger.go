@@ -1,0 +1,17 @@
+// Package metricname is golden input for the metricname analyzer.
+package metricname
+
+import "eclipsemr/internal/metrics"
+
+// dynamic builds a metric name at runtime, which defeats both duplicate
+// checking and dashboard stability.
+func dynamic(reg *metrics.Registry, shard string) {
+	reg.Counter("shard." + shard + ".ops").Inc() // want "not statically known"
+}
+
+// collide registers one name with two kinds; the second site is the
+// error (the first fixes the kind).
+func collide(reg *metrics.Registry) {
+	reg.Counter("dup.metric").Inc()
+	reg.Gauge("dup.metric").Set(1) // want "registered as gauge here but as counter"
+}

@@ -1,0 +1,19 @@
+package ringcmp
+
+import "eclipsemr/internal/hashing"
+
+// ownsClean is the sanctioned form: arc membership through the hashing
+// helpers, relative order through Distance (a uint64, not a Key).
+func ownsClean(k, start, end hashing.Key) bool {
+	return hashing.Between(k, start, end)
+}
+
+func closerClean(a, b, target hashing.Key) bool {
+	return hashing.Distance(a, target) < hashing.Distance(b, target)
+}
+
+// equality on keys is always well defined and not flagged.
+func same(a, b hashing.Key) bool { return a == b }
+
+// comparisons between plain integers are none of ringcmp's business.
+func plain(a, b uint64) bool { return a < b }

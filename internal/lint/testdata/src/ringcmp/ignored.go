@@ -1,0 +1,14 @@
+package ringcmp
+
+import "eclipsemr/internal/hashing"
+
+// sortKeys orders keys for a deterministic dump, where ordinal order is
+// the point; the suppression keeps the file finding-free.
+func sortKeys(a, b hashing.Key) bool {
+	//lint:ignore ringcmp ordinal order is intentional for a stable debug dump
+	return a < b
+}
+
+func sortKeysTrailing(a, b hashing.Key) bool {
+	return a < b //lint:ignore ringcmp same-line suppression form
+}

@@ -1,0 +1,19 @@
+// Package ringcmp is golden input for the ringcmp analyzer: every line
+// marked `want` must produce a diagnostic.
+package ringcmp
+
+import "eclipsemr/internal/hashing"
+
+// owns is the classic broken ownership test: correct only when the arc
+// does not wrap past zero.
+func owns(k, start, end hashing.Key) bool {
+	return start < k && k <= end // want "between hashing.Key values ignores ring wraparound"
+}
+
+func closer(a, b, target hashing.Key) bool {
+	return target-a >= target-b // want "raw >= between hashing.Key"
+}
+
+func mixed(k hashing.Key) bool {
+	return k > hashing.KeyOfString("pivot") // want "raw > between hashing.Key"
+}

@@ -1,0 +1,10 @@
+package sim
+
+import "time"
+
+// wallProgress is a deliberate exception: a progress log line for humans
+// watching a long sweep, never fed back into the model.
+func wallProgress() time.Time {
+	//lint:ignore timesource wall time only feeds a human progress log, not the model
+	return time.Now()
+}

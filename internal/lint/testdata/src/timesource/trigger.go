@@ -1,0 +1,21 @@
+// Package sim is golden input for the timesource analyzer (the analyzer
+// matches the simulator packages by name as well as import path).
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// tick leaks the wall clock into what must be virtual time.
+func tick() time.Duration {
+	start := time.Now()         // want "time.Now reads the wall clock"
+	time.Sleep(time.Nanosecond) // want "time.Sleep reads the wall clock"
+	return time.Since(start)    // want "time.Since reads the wall clock"
+}
+
+// draw uses the process-global rand source, whose sequence depends on
+// every other caller in the binary.
+func draw() int {
+	return rand.Intn(10) // want "rand.Intn draws from the global source"
+}

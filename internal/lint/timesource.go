@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// simPackages are the deterministic-model packages: everything in them
+// must draw time from the injected clock and randomness from an
+// explicitly seeded generator, or the paper-figure sweeps stop being
+// reproducible run to run.
+var simPackages = map[string]bool{
+	"eclipsemr/internal/sim":        true,
+	"eclipsemr/internal/simcluster": true,
+}
+
+// isSimPackage matches the deterministic simulators by import path, and
+// by package name as a fallback so relocated or vendored copies (and the
+// analyzer's own testdata) stay covered.
+func isSimPackage(p *Package) bool {
+	return simPackages[p.Path] || p.Types.Name() == "sim" || p.Types.Name() == "simcluster"
+}
+
+// wallClockFuncs are the time package entry points that read or depend on
+// the wall clock.
+var wallClockFuncs = map[string]bool{
+	"Now":   true,
+	"Sleep": true,
+	"Since": true,
+	"Until": true,
+	"After": true,
+	"Tick":  true,
+}
+
+// seededRandFuncs are the math/rand package-level functions that are fine
+// in sim code because they construct explicitly seeded state rather than
+// draw from the global source.
+var seededRandFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+}
+
+// TimeSource reports wall-clock reads (time.Now, time.Sleep, ...) and
+// global math/rand draws inside internal/sim and internal/simcluster.
+//
+// Those packages are the figure harness: every experiment in
+// EXPERIMENTS.md assumes a sweep re-run reproduces byte-identical CSVs.
+// The simulators model time as an explicit variable and take seeds in
+// their params, so any leak of real time or of the process-global rand
+// source silently breaks determinism. rand.New(rand.NewSource(seed)) is
+// allowed; rand.Intn and friends (the global source) are not.
+func TimeSource() *Analyzer {
+	return &Analyzer{
+		Name: "timesource",
+		Doc:  "wall clock or global math/rand use inside the deterministic simulators",
+		Run:  runTimeSource,
+	}
+}
+
+func runTimeSource(u *Unit) []Finding {
+	var findings []Finding
+	for _, p := range u.Pkgs {
+		if !isSimPackage(p) {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				sig, _ := fn.Type().(*types.Signature)
+				isMethod := sig != nil && sig.Recv() != nil
+				switch fn.Pkg().Path() {
+				case "time":
+					if !isMethod && wallClockFuncs[fn.Name()] {
+						findings = append(findings, Finding{
+							Pos:      u.Fset.Position(call.Pos()),
+							Analyzer: "timesource",
+							Message: fmt.Sprintf(
+								"time.%s reads the wall clock inside the deterministic simulator; use the model's virtual clock",
+								fn.Name()),
+						})
+					}
+				case "math/rand", "math/rand/v2":
+					if !isMethod && !seededRandFuncs[fn.Name()] {
+						findings = append(findings, Finding{
+							Pos:      u.Fset.Position(call.Pos()),
+							Analyzer: "timesource",
+							Message: fmt.Sprintf(
+								"rand.%s draws from the global source inside the deterministic simulator; use a seeded *rand.Rand from the experiment params",
+								fn.Name()),
+						})
+					}
+				}
+				return true
+			})
+		}
+	}
+	return findings
+}

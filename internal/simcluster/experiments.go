@@ -201,6 +201,7 @@ func fig7Workload(blockSize int64) [][]hashing.Key {
 	)
 	uni := workloads.UniformKeys(11, universe)
 	sorted := append([]hashing.Key(nil), uni...)
+	//lint:ignore ringcmp ordinal sort backs a successor search; the idx==len reset below supplies the wraparound
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 	// Sample two-normal positions and snap to the nearest universe block,
 	// so access frequency is skewed over real stored blocks.
@@ -208,6 +209,7 @@ func fig7Workload(blockSize int64) [][]hashing.Key {
 	perJob := maps / jobsN
 	jobs := make([][]hashing.Key, jobsN)
 	for i, s := range samples {
+		//lint:ignore ringcmp successor search over the ordinal-sorted universe; idx==len wraps to slot 0
 		idx := sort.Search(len(sorted), func(k int) bool { return sorted[k] >= s })
 		if idx == len(sorted) {
 			idx = 0

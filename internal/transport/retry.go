@@ -152,6 +152,7 @@ func (r *Retry) uniform() float64 {
 // experienced.
 func (r *Retry) callOn(inner Network, to hashing.NodeID, method string, body []byte) ([]byte, error) {
 	r.reg.Counter("net.calls").Inc()
+	//lint:ignore metricname per-RPC-method histogram family; the name space is bounded by the cluster's fixed method set
 	defer r.reg.Histogram("net.rpc." + method + "_ns").Start().Stop()
 	var lastErr error
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {

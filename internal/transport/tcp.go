@@ -141,11 +141,17 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 			reply, herr := h(method, body)
 			wmu.Lock()
 			defer wmu.Unlock()
+			status, payload := byte(0), reply
 			if herr != nil {
-				writeResponse(conn, reqID, 1, []byte(herr.Error()))
-				return
+				status, payload = byte(1), []byte(herr.Error())
 			}
-			writeResponse(conn, reqID, 0, reply)
+			if err := writeResponse(conn, reqID, status, payload); err != nil {
+				// A failed — possibly partial — response write desyncs the
+				// framing for every later reply multiplexed on this
+				// connection. Tear it down so the peer fails fast and
+				// redials instead of decoding garbage lengths.
+				conn.Close()
+			}
 		}()
 	}
 }

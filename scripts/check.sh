@@ -10,6 +10,9 @@ cd "$(dirname "$0")/.."
 echo "== go vet ./..."
 go vet ./...
 
+echo "== lint (gofmt + eclipse-lint)"
+./scripts/lint.sh
+
 echo "== go build ./..."
 go build ./...
 

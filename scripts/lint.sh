@@ -1,0 +1,22 @@
+#!/bin/sh
+# Static-analysis gate: the project's eclipse-lint suite (ring-comparison
+# safety, no RPCs under node mutexes, constant single-kind metric names,
+# simulator determinism, checked I/O-boundary errors) plus a gofmt
+# cleanliness check. Findings print as file:line: analyzer: message; see
+# EXPERIMENTS.md for the //lint:ignore suppression syntax.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== eclipse-lint ./..."
+go run ./cmd/eclipse-lint ./...
+
+echo "lint: OK"
