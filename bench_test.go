@@ -20,6 +20,7 @@ import (
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/kde"
 	"eclipsemr/internal/simcluster"
+	"eclipsemr/internal/trace"
 	"eclipsemr/internal/workloads"
 )
 
@@ -420,5 +421,49 @@ func harnessBench(b *testing.B, workload string) {
 			b.Fatal(err)
 		}
 		b.Logf("wrote %s", path)
+	}
+}
+
+// BenchmarkHarnessTraceOverhead runs wordcount untraced and traced on
+// the same config and reports the wall-time cost of span recording. The
+// traced run's Chrome export is schema-validated and, when BENCH_DIR is
+// set, written to trace.json (the CI artifact — load it in Perfetto)
+// next to BENCH_trace_overhead.json.
+func BenchmarkHarnessTraceOverhead(b *testing.B) {
+	cfg := benchrun.DefaultConfig()
+	if testing.Short() || os.Getenv("BENCH_SHORT") != "" {
+		cfg = benchrun.ShortConfig()
+	}
+	var (
+		rep    benchrun.OverheadReport
+		chrome []byte
+	)
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, chrome, err = benchrun.Overhead("wordcount", cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if rep.Traced.TraceSpans == 0 {
+		b.Fatal("traced run recorded no spans")
+	}
+	if err := trace.ValidateChrome(chrome); err != nil {
+		b.Fatalf("traced run exported invalid Chrome trace: %v", err)
+	}
+	b.ReportMetric(rep.Untraced.WallMS, "untraced-ms")
+	b.ReportMetric(rep.Traced.WallMS, "traced-ms")
+	b.ReportMetric(rep.DeltaPct, "overhead-%")
+	b.ReportMetric(float64(rep.Traced.TraceSpans), "spans")
+	if dir := os.Getenv("BENCH_DIR"); dir != "" {
+		path := filepath.Join(dir, "BENCH_trace_overhead.json")
+		if err := benchrun.WriteJSON(path, rep); err != nil {
+			b.Fatal(err)
+		}
+		tracePath := filepath.Join(dir, "trace.json")
+		if err := os.WriteFile(tracePath, chrome, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s and %s", path, tracePath)
 	}
 }

@@ -9,6 +9,8 @@
 //	eclipse-cli -hosts hosts.txt run -app grep -inputs logs.txt -param pattern=ERROR
 //	eclipse-cli -hosts hosts.txt cat dht:corpus.txt
 //	eclipse-cli -hosts hosts.txt apps
+//	eclipse-cli -hosts hosts.txt stats -watch
+//	eclipse-cli -hosts hosts.txt trace -o trace.json wordcount-123
 package main
 
 import (
@@ -27,6 +29,7 @@ import (
 	"eclipsemr/internal/mapreduce"
 	"eclipsemr/internal/metrics"
 	"eclipsemr/internal/nodecmd"
+	"eclipsemr/internal/trace"
 	"eclipsemr/internal/transport"
 )
 
@@ -37,7 +40,7 @@ func main() {
 	)
 	flag.Parse()
 	if *hostsPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: eclipse-cli -hosts FILE {upload|cat|ls|run|apps|stats} ...")
+		fmt.Fprintln(os.Stderr, "usage: eclipse-cli -hosts FILE {upload|cat|ls|run|apps|stats|trace} ...")
 		os.Exit(2)
 	}
 	hosts, err := nodecmd.ReadHosts(*hostsPath)
@@ -54,13 +57,8 @@ func main() {
 	// callAny tries each host in turn: any node can serve DHT requests, so
 	// a dead entry in the hosts file must not fail the whole command.
 	callAny := func(method string, req, resp interface{}) error {
-		ids := make([]hashing.NodeID, 0, len(hosts))
-		for id := range hosts {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		var lastErr error
-		for _, id := range ids {
+		for _, id := range sortedIDs(hosts) {
 			err := nodecmd.Call(net, id, method, req, resp)
 			if err == nil {
 				return nil
@@ -152,7 +150,7 @@ func main() {
 
 	case "ls":
 		seen := map[string]bool{}
-		for id := range hosts {
+		for _, id := range sortedIDs(hosts) {
 			var resp nodecmd.ListResp
 			if err := nodecmd.Call(net, id, nodecmd.MethodList, nodecmd.ListReq{User: *user}, &resp); err != nil {
 				continue // partial listings are fine: metadata is replicated
@@ -193,6 +191,58 @@ func main() {
 			time.Sleep(*interval)
 		}
 
+	case "trace":
+		traceCmd := flag.NewFlagSet("trace", flag.ExitOnError)
+		out := traceCmd.String("o", "", "write Chrome trace-event JSON to this file")
+		if err := traceCmd.Parse(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		if traceCmd.NArg() != 1 {
+			log.Fatal("usage: trace [-o trace.json] <job-id>")
+		}
+		jobID := traceCmd.Arg(0)
+
+		// Every node keeps its own span ring; collect them all and merge.
+		// The driver re-emits spans for tasks it dispatched, so Dedupe
+		// collapses duplicates by span ID.
+		var (
+			spans   []trace.Span
+			dropped int64
+			reached int
+		)
+		for _, id := range sortedIDs(hosts) {
+			var resp cluster.SpansResp
+			err := nodecmd.Call(net, id, cluster.MethodSpans, cluster.SpansReq{Trace: jobID}, &resp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "node %s: %v\n", id, err)
+				continue
+			}
+			reached++
+			spans = append(spans, resp.Spans...)
+			dropped += resp.Dropped
+		}
+		if reached == 0 {
+			log.Fatal("eclipse-cli: trace: no node reachable")
+		}
+		spans = trace.Dedupe(spans)
+		if len(spans) == 0 {
+			log.Fatalf("eclipse-cli: trace: no spans for job %q (was the cluster started with tracing enabled?)", jobID)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d spans overwritten in node rings; the trace is incomplete\n", dropped)
+		}
+		fmt.Print(trace.RenderTimeline(spans))
+		if *out != "" {
+			data, err := trace.ChromeTrace(spans)
+			if err != nil {
+				log.Fatalf("eclipse-cli: trace: %v", err)
+			}
+			if err := os.WriteFile(*out, data, 0o644); err != nil {
+				log.Fatalf("eclipse-cli: trace: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %d spans to %s (load in Perfetto or chrome://tracing)\n", len(spans), *out)
+		}
+
 	default:
 		log.Fatalf("eclipse-cli: unknown command %q", cmd)
 	}
@@ -204,7 +254,7 @@ func main() {
 func printClusterStats(net transport.Network, hosts map[hashing.NodeID]string) {
 	total := metrics.NewSnapshot()
 	reached := 0
-	for id := range hosts {
+	for _, id := range sortedIDs(hosts) {
 		var resp cluster.StatsResp
 		if err := nodecmd.Call(net, id, cluster.MethodStats, struct{}{}, &resp); err != nil {
 			fmt.Fprintf(os.Stderr, "node %s: %v\n", id, err)
@@ -224,38 +274,7 @@ func printClusterStats(net transport.Network, hosts map[hashing.NodeID]string) {
 	delete(total.Values, "cache.icache.hit_ratio_bp")
 	delete(total.Values, "cache.ocache.hit_ratio_bp")
 
-	fmt.Printf("cluster: %d/%d nodes reporting\n\n", reached, len(hosts))
-	names := make([]string, 0, len(total.Values))
-	for n := range total.Values {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		fmt.Printf("%-32s %d\n", n, total.Values[n])
-	}
-	if len(total.Hists) == 0 {
-		return
-	}
-	fmt.Printf("\n%-32s %8s %10s %10s %10s %10s\n", "latency", "count", "p50", "p90", "p99", "mean")
-	names = names[:0]
-	for n := range total.Hists {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		h := total.Hists[n]
-		if h.Count() == 0 {
-			continue
-		}
-		fmt.Printf("%-32s %8d %10s %10s %10s %10s\n", n, h.Count(),
-			fmtNs(h.Quantile(0.50)), fmtNs(h.Quantile(0.90)), fmtNs(h.Quantile(0.99)),
-			fmtNs(int64(h.Mean())))
-	}
-}
-
-// fmtNs renders a nanosecond latency with duration units.
-func fmtNs(ns int64) string {
-	return time.Duration(ns).Round(time.Microsecond).String()
+	renderStats(os.Stdout, total, reached, len(hosts))
 }
 
 // paramList collects repeated -param key=value flags.

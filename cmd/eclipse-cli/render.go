@@ -1,0 +1,63 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/metrics"
+)
+
+// sortedIDs returns the hosts-file node IDs in sorted order. Every
+// cluster-wide iteration in the CLI goes through this so output (tables,
+// error lines, collection order) is stable between invocations — map
+// iteration order would make -watch refreshes jitter.
+func sortedIDs(hosts map[hashing.NodeID]string) []hashing.NodeID {
+	ids := make([]hashing.NodeID, 0, len(hosts))
+	for id := range hosts {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// renderStats writes the merged cluster snapshot as the stats table:
+// counters and gauges sorted by metric name, then latency-histogram
+// quantiles sorted by name. Rendering the same snapshot twice produces
+// identical bytes.
+func renderStats(w io.Writer, total metrics.Snapshot, reached, hosts int) {
+	fmt.Fprintf(w, "cluster: %d/%d nodes reporting\n\n", reached, hosts)
+	names := make([]string, 0, len(total.Values))
+	for n := range total.Values {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(w, "%-32s %d\n", n, total.Values[n])
+	}
+	if len(total.Hists) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\n%-32s %8s %10s %10s %10s %10s\n", "latency", "count", "p50", "p90", "p99", "mean")
+	names = names[:0]
+	for n := range total.Hists {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := total.Hists[n]
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-32s %8d %10s %10s %10s %10s\n", n, h.Count(),
+			fmtNs(h.Quantile(0.50)), fmtNs(h.Quantile(0.90)), fmtNs(h.Quantile(0.99)),
+			fmtNs(int64(h.Mean())))
+	}
+}
+
+// fmtNs renders a nanosecond latency with duration units.
+func fmtNs(ns int64) string {
+	return time.Duration(ns).Round(time.Microsecond).String()
+}

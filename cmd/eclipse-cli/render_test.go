@@ -1,0 +1,103 @@
+package main
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/metrics"
+)
+
+// TestSortedIDs pins the iteration order every cluster-wide CLI loop
+// uses: sorted by node ID regardless of map insertion order.
+func TestSortedIDs(t *testing.T) {
+	hosts := map[hashing.NodeID]string{
+		"node-02": "b:1", "node-00": "a:1", "node-03": "d:1", "node-01": "c:1",
+	}
+	got := sortedIDs(hosts)
+	want := []hashing.NodeID{"node-00", "node-01", "node-02", "node-03"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d ids, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ids[%d] = %s, want %s (full: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+// TestRenderStatsStable is the regression test for the stats table: the
+// same snapshot must render to identical bytes every time, with metric
+// and histogram rows in sorted name order. Before renderStats existed
+// the table was assembled while ranging over the hosts map, so repeated
+// invocations (and -watch refreshes) reshuffled output.
+func TestRenderStatsStable(t *testing.T) {
+	snap := metrics.Snapshot{
+		Values: map[string]int64{
+			"sched.tasks_total": 40,
+			"cache.hits":        31,
+			"fs.blocks_written": 12,
+			"cache.misses":      9,
+		},
+		Hists: map[string]metrics.HistSnapshot{
+			"rpc.latency_ns": {
+				Bounds: []int64{1000, 10000, 100000},
+				Counts: []int64{5, 3, 1, 0},
+				Sum:    42000,
+			},
+			"map.compute_ns": {
+				Bounds: []int64{1000, 10000, 100000},
+				Counts: []int64{0, 8, 2, 0},
+				Sum:    90000,
+			},
+			"empty.hist_ns": { // zero-count histograms are suppressed
+				Bounds: []int64{1000},
+				Counts: []int64{0, 0},
+			},
+		},
+	}
+
+	var a, b bytes.Buffer
+	renderStats(&a, snap, 3, 4)
+	renderStats(&b, snap, 3, 4)
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("two renders of the same snapshot differ:\n--- a\n%s--- b\n%s", a.String(), b.String())
+	}
+
+	out := a.String()
+	if !strings.HasPrefix(out, "cluster: 3/4 nodes reporting\n") {
+		t.Fatalf("missing reporting header:\n%s", out)
+	}
+	if strings.Contains(out, "empty.hist_ns") {
+		t.Errorf("zero-count histogram rendered:\n%s", out)
+	}
+
+	// Both table sections must list rows in sorted metric-name order.
+	var valueRows, histRows []string
+	inHists := false
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 || strings.HasPrefix(line, "cluster:") {
+			continue
+		}
+		if fields[0] == "latency" {
+			inHists = true
+			continue
+		}
+		if inHists {
+			histRows = append(histRows, fields[0])
+		} else {
+			valueRows = append(valueRows, fields[0])
+		}
+	}
+	wantValues := []string{"cache.hits", "cache.misses", "fs.blocks_written", "sched.tasks_total"}
+	wantHists := []string{"map.compute_ns", "rpc.latency_ns"}
+	if !sort.StringsAreSorted(valueRows) || strings.Join(valueRows, ",") != strings.Join(wantValues, ",") {
+		t.Errorf("value rows = %v, want %v", valueRows, wantValues)
+	}
+	if !sort.StringsAreSorted(histRows) || strings.Join(histRows, ",") != strings.Join(wantHists, ",") {
+		t.Errorf("histogram rows = %v, want %v", histRows, wantHists)
+	}
+}

@@ -52,6 +52,7 @@ func main() {
 		blockKB   = flag.Int("block-kb", 4096, "file system block size (KiB)")
 		dataDir   = flag.String("data", "", "persist file system blocks under DIR/<id> (empty = in memory)")
 		metricsAt = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090; empty = off)")
+		traceOn   = flag.Bool("trace", false, "record per-job spans (collect with eclipse-cli trace <job-id>)")
 	)
 	flag.Parse()
 	if *id == "" || *hostsPath == "" {
@@ -86,6 +87,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("eclipse-node: %v", err)
 	}
+	node.Tracer().SetEnabled(*traceOn)
 
 	var (
 		mu     sync.Mutex
@@ -121,6 +123,10 @@ func main() {
 		}
 		driver, err = mapreduce.NewDriver(node.ID, net, node.FS(), sched, node.Ring, cfg.ReduceSlots)
 		if err == nil {
+			// The manager's driver shares the node tracer so driver-side
+			// spans (dispatch, per-task RPCs) land in the same ring that
+			// eclipse-cli trace collects.
+			driver.SetTracer(node.Tracer())
 			node.AddMetricsSource(driver.Metrics().Snapshot)
 		}
 		return driver, err

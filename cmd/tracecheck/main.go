@@ -1,0 +1,34 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by eclipse-cli trace -o or the bench harness: well-formed JSON, the
+// fields Perfetto requires, monotone timestamps and parents finishing
+// no earlier than their children. CI runs it against the traced bench
+// artifact so a malformed export fails the build, not the person who
+// later tries to load it.
+//
+// Usage: tracecheck trace.json [more.json...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"eclipsemr/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [more.json...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("tracecheck: %v", err)
+		}
+		if err := trace.ValidateChrome(data); err != nil {
+			log.Fatalf("tracecheck: %s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (%d bytes)\n", path, len(data))
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"eclipsemr/internal/cluster"
 	"eclipsemr/internal/dhtfs"
 	"eclipsemr/internal/mapreduce"
+	"eclipsemr/internal/trace"
 	"eclipsemr/internal/workloads"
 )
 
@@ -37,6 +38,10 @@ type Config struct {
 	Iterations int `json:"iterations"`
 	// Seed makes the generated inputs reproducible.
 	Seed int64 `json:"seed"`
+	// Trace enables per-job span recording on every node for the run, so
+	// the report carries the tracing overhead and the final job's trace
+	// can be exported (see Overhead and TracedRun).
+	Trace bool `json:"trace,omitempty"`
 }
 
 // DefaultConfig is the full-size run used for trend tracking.
@@ -68,16 +73,34 @@ type Report struct {
 	CacheHitRatio float64          `json:"cache_hit_ratio"`
 	Counters      map[string]int64 `json:"counters"`
 	Stages        map[string]Stage `json:"stages"`
+	// TraceSpans is how many spans the run recorded (0 untraced) and
+	// TraceDropped how many were overwritten before collection.
+	TraceSpans   int   `json:"trace_spans,omitempty"`
+	TraceDropped int64 `json:"trace_dropped,omitempty"`
 }
 
 // Run executes the named workload ("wordcount" or "kmeans") on a fresh
 // in-process cluster and returns the report.
 func Run(name string, cfg Config) (Report, error) {
+	rep, _, err := run(name, cfg)
+	return rep, err
+}
+
+// TracedRun executes the workload with tracing forced on and also
+// returns the Chrome trace-event export of every recorded span, for the
+// CI artifact and for loading a bench run into Perfetto.
+func TracedRun(name string, cfg Config) (Report, []byte, error) {
+	cfg.Trace = true
+	return run(name, cfg)
+}
+
+func run(name string, cfg Config) (Report, []byte, error) {
 	c, err := cluster.New(cfg.Nodes, cluster.Options{})
 	if err != nil {
-		return Report{}, err
+		return Report{}, nil, err
 	}
 	defer c.Close()
+	c.SetTracing(cfg.Trace)
 
 	rep := Report{Name: name, GoVersion: runtime.Version(), Config: cfg}
 	start := time.Now()
@@ -90,12 +113,52 @@ func Run(name string, cfg Config) (Report, error) {
 		err = fmt.Errorf("benchrun: unknown workload %q (want wordcount or kmeans)", name)
 	}
 	if err != nil {
-		return Report{}, err
+		return Report{}, nil, err
 	}
 	rep.WallMS = ms(time.Since(start))
 	rep.CacheHitRatio = c.CacheStats().HitRatio()
 	fillStages(c, &rep)
-	return rep, nil
+
+	var chrome []byte
+	if cfg.Trace {
+		spans, dropped, err := c.TraceSpans("") // every job of the run
+		if err != nil {
+			return Report{}, nil, err
+		}
+		rep.TraceSpans = len(spans)
+		rep.TraceDropped = dropped
+		if chrome, err = trace.ChromeTrace(spans); err != nil {
+			return Report{}, nil, err
+		}
+	}
+	return rep, chrome, nil
+}
+
+// Overhead runs the same workload untraced and traced on identical
+// configs and reports the wall-time cost of tracing in percent. The
+// traced run's Chrome export rides along so one call produces both the
+// EXPERIMENTS.md delta and the trace.json artifact.
+type OverheadReport struct {
+	Untraced Report  `json:"untraced"`
+	Traced   Report  `json:"traced"`
+	DeltaPct float64 `json:"delta_pct"`
+}
+
+func Overhead(name string, cfg Config) (OverheadReport, []byte, error) {
+	cfg.Trace = false
+	untraced, _, err := run(name, cfg)
+	if err != nil {
+		return OverheadReport{}, nil, err
+	}
+	traced, chrome, err := TracedRun(name, cfg)
+	if err != nil {
+		return OverheadReport{}, nil, err
+	}
+	rep := OverheadReport{Untraced: untraced, Traced: traced}
+	if untraced.WallMS > 0 {
+		rep.DeltaPct = (traced.WallMS - untraced.WallMS) / untraced.WallMS * 100
+	}
+	return rep, chrome, nil
 }
 
 func runWordCount(c *cluster.Cluster, cfg Config, rep *Report) error {
@@ -168,9 +231,9 @@ func fillStages(c *cluster.Cluster, rep *Report) {
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
 
-// WriteJSON writes the report to path, pretty-printed with sorted keys
-// so reports diff cleanly between PRs.
-func WriteJSON(path string, rep Report) error {
+// WriteJSON writes a report (Report or OverheadReport) to path,
+// pretty-printed with sorted keys so reports diff cleanly between PRs.
+func WriteJSON(path string, rep interface{}) error {
 	data, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -11,6 +12,7 @@ import (
 	"eclipsemr/internal/mapreduce"
 	"eclipsemr/internal/metrics"
 	"eclipsemr/internal/scheduler"
+	"eclipsemr/internal/trace"
 	"eclipsemr/internal/transport"
 )
 
@@ -218,6 +220,9 @@ func (c *Cluster) rebindDriver() error {
 	if err != nil {
 		return err
 	}
+	// The driver's spans record on the manager node's tracer, so one
+	// cluster.spans sweep collects driver and worker spans alike.
+	driver.SetTracer(mgrNode.tracer)
 	// The old driver's dispatcher must stop before the new one pumps the
 	// shared scheduler, or the two loops would steal each other's
 	// assignments.
@@ -290,7 +295,7 @@ func (c *Cluster) Upload(name, owner string, perm dhtfs.Perm, data []byte) (dhtf
 	if err != nil {
 		return dhtfs.Metadata{}, err
 	}
-	return n.fs.Upload(name, owner, perm, data, c.opts.BlockSize)
+	return n.fs.Upload(context.Background(), name, owner, perm, data, c.opts.BlockSize)
 }
 
 // UploadRecords stores a line-oriented file with record-aligned blocks.
@@ -299,7 +304,7 @@ func (c *Cluster) UploadRecords(name, owner string, perm dhtfs.Perm, data []byte
 	if err != nil {
 		return dhtfs.Metadata{}, err
 	}
-	return n.fs.UploadRecords(name, owner, perm, data, c.opts.BlockSize, delim)
+	return n.fs.UploadRecords(context.Background(), name, owner, perm, data, c.opts.BlockSize, delim)
 }
 
 // ReadFile fetches a file from the DHT file system.
@@ -308,7 +313,7 @@ func (c *Cluster) ReadFile(name, user string) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return n.fs.ReadFile(name, user)
+	return n.fs.ReadFile(context.Background(), name, user)
 }
 
 // DeleteFile removes a file (owner only) from the DHT file system.
@@ -317,7 +322,7 @@ func (c *Cluster) DeleteFile(name, user string) error {
 	if err != nil {
 		return err
 	}
-	return n.fs.Delete(name, user)
+	return n.fs.Delete(context.Background(), name, user)
 }
 
 // Run executes a MapReduce job to completion.
@@ -333,14 +338,49 @@ func (c *Cluster) Collect(res mapreduce.Result, user string) ([]mapreduce.KV, er
 	if err := c.rebindDriver(); err != nil {
 		return nil, err
 	}
-	return c.driver.Collect(res, user)
+	return c.driver.Collect(context.Background(), res, user)
 }
 
 // DropIntermediates deletes a job's shuffle data cluster-wide.
 func (c *Cluster) DropIntermediates(spec mapreduce.JobSpec) {
 	if err := c.rebindDriver(); err == nil {
-		c.driver.DropIntermediates(spec)
+		c.driver.DropIntermediates(context.Background(), spec)
 	}
+}
+
+// SetTracing turns span recording on or off on every live node. The
+// driver records through the manager node's tracer, so it is covered too.
+func (c *Cluster) SetTracing(on bool) {
+	for _, n := range c.nodes {
+		n.tracer.SetEnabled(on)
+	}
+}
+
+// TraceSpans collects the retained spans of one trace (the job ID; empty
+// selects everything) from every live node over the cluster.spans RPC,
+// returning them deduped in canonical order plus the total number of
+// spans nodes dropped before collection. Unreachable nodes are skipped —
+// a trace survives node failures with a hole, not an error.
+func (c *Cluster) TraceSpans(jobID string) ([]trace.Span, int64, error) {
+	body, err := transport.Encode(SpansReq{Trace: jobID})
+	if err != nil {
+		return nil, 0, err
+	}
+	var all []trace.Span
+	var dropped int64
+	for _, id := range c.Nodes() {
+		out, err := c.net.Call(context.Background(), id, MethodSpans, body)
+		if err != nil {
+			continue
+		}
+		var resp SpansResp
+		if err := transport.Decode(out, &resp); err != nil {
+			return nil, dropped, err
+		}
+		all = append(all, resp.Spans...)
+		dropped += resp.Dropped
+	}
+	return trace.Dedupe(all), dropped, nil
 }
 
 // Kill crashes a node without any cleanup handshake: it simply vanishes
@@ -405,7 +445,7 @@ func (c *Cluster) MigrateMisplacedCaches() (int, error) {
 		if err != nil {
 			return total, err
 		}
-		out, err := c.net.Call(id, mapreduce.MethodAdoptRange, body)
+		out, err := c.net.Call(context.Background(), id, mapreduce.MethodAdoptRange, body)
 		if err != nil {
 			return total, err
 		}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"bytes"
+	"context"
 	"strconv"
 	"strings"
 	"testing"
@@ -376,7 +377,7 @@ func TestMetricsSnapshotReflectsWork(t *testing.T) {
 	}
 	wireHists := 0
 	for _, id := range c.Nodes() {
-		out, err := c.net.Call(id, MethodStats, body)
+		out, err := c.net.Call(context.Background(), id, MethodStats, body)
 		if err != nil {
 			t.Fatal(err)
 		}

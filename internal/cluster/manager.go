@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"context"
 	"sync"
 
 	"eclipsemr/internal/chord"
@@ -147,7 +148,7 @@ func (m *Manager) directRecovery() {
 	v := m.view()
 	for id := range v.Members {
 		if id == m.node.ID {
-			_, _ = m.node.fs.ReReplicate()
+			_, _ = m.node.fs.ReReplicate(context.Background())
 			continue
 		}
 		var resp recoverResp

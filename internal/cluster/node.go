@@ -9,6 +9,7 @@
 package cluster
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"path/filepath"
@@ -21,6 +22,7 @@ import (
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/mapreduce"
 	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/trace"
 	"eclipsemr/internal/transport"
 )
 
@@ -49,6 +51,10 @@ type Config struct {
 	// DataDir/<node-id>/ (a restarted node recovers its shard); empty
 	// keeps blocks in memory.
 	DataDir string
+	// Trace configures the node's tracer (clock, seed, span-ring capacity,
+	// sampling). Tracing always starts disabled; enable it through
+	// Node.Tracer().SetEnabled or Cluster.SetTracing.
+	Trace trace.Options
 }
 
 // withDefaults fills zero fields.
@@ -119,6 +125,24 @@ const (
 	methodRecover     = "cluster.recover"
 	// MethodStats returns the node's merged metrics snapshot.
 	MethodStats = "cluster.stats"
+	// MethodSpans returns the node's retained trace spans for one trace.
+	MethodSpans = "cluster.spans"
+)
+
+// Span-collection wire messages.
+type (
+	// SpansReq asks a node for its retained spans of one trace (job ID);
+	// an empty Trace selects every retained span.
+	SpansReq struct {
+		Trace string
+	}
+	// SpansResp carries one node's spans plus how many finished spans its
+	// ring buffer has overwritten before collection.
+	SpansResp struct {
+		Node    hashing.NodeID
+		Spans   []trace.Span
+		Dropped int64
+	}
 )
 
 // Node is one EclipseMR worker server.
@@ -130,6 +154,7 @@ type Node struct {
 	fs     *dhtfs.Service
 	cache  *cache.NodeCache
 	worker *mapreduce.Worker
+	tracer *trace.Tracer
 
 	mu      sync.Mutex
 	view    chord.View
@@ -170,8 +195,14 @@ func NewNode(id hashing.NodeID, net transport.Network, cfg Config) (*Node, error
 	n.fs = fs
 	n.cache = cache.NewShared(cfg.CacheBytes)
 	n.worker = mapreduce.NewWorker(id, fs, n.cache, net)
+	n.tracer = trace.New(string(id), cfg.Trace)
+	n.fs.SetTracer(n.tracer)
+	n.worker.SetTracer(n.tracer)
 	return n, nil
 }
+
+// Tracer exposes the node's span recorder (disabled until SetEnabled).
+func (n *Node) Tracer() *trace.Tracer { return n.tracer }
 
 // FS exposes the node's DHT file system service.
 func (n *Node) FS() *dhtfs.Service { return n.fs }
@@ -332,11 +363,11 @@ func (n *Node) adoptView(v chord.View, manager hashing.NodeID) bool {
 
 // handle dispatches inbound calls: MapReduce worker methods first, then
 // file system methods, then the control plane.
-func (n *Node) handle(method string, body []byte) ([]byte, error) {
-	if out, ok, err := n.worker.Handle(method, body); ok {
+func (n *Node) handle(ctx context.Context, method string, body []byte) ([]byte, error) {
+	if out, ok, err := n.worker.Handle(ctx, method, body); ok {
 		return out, err
 	}
-	if out, ok, err := n.fs.Handle(method, body); ok {
+	if out, ok, err := n.fs.Handle(ctx, method, body); ok {
 		return out, err
 	}
 	switch method {
@@ -385,13 +416,21 @@ func (n *Node) handle(method string, body []byte) ([]byte, error) {
 		n.adoptView(msg.View, msg.Manager)
 		return transport.Encode(ack{})
 	case methodRecover:
-		pushed, err := n.fs.ReReplicate()
+		pushed, err := n.fs.ReReplicate(ctx)
 		if err != nil {
 			return nil, err
 		}
 		return transport.Encode(recoverResp{Pushed: pushed})
 	case MethodStats:
 		return transport.Encode(StatsResp{Node: n.ID, Metrics: n.MetricsSnapshot()})
+	case MethodSpans:
+		var req SpansReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return transport.Encode(SpansResp{
+			Node: n.ID, Spans: n.tracer.Spans(req.Trace), Dropped: n.tracer.Dropped(),
+		})
 	}
 	if n.extra != nil {
 		if out, ok, err := n.extra(method, body); ok {
@@ -401,13 +440,14 @@ func (n *Node) handle(method string, body []byte) ([]byte, error) {
 	return nil, fmt.Errorf("cluster: unknown method %q", method)
 }
 
-// call is the node's typed RPC helper.
+// call is the node's typed RPC helper. Control-plane calls are untraced
+// (they belong to no job), so the context is a fresh background one.
 func (n *Node) call(to hashing.NodeID, method string, req, resp any) error {
 	body, err := transport.Encode(req)
 	if err != nil {
 		return err
 	}
-	out, err := n.net.Call(to, method, body)
+	out, err := n.net.Call(context.Background(), to, method, body)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package dhtfs
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -47,8 +48,8 @@ func newTestCluster(t *testing.T, n, replicas int) *testCluster {
 		tc.services[id] = svc
 		tc.ids = append(tc.ids, id)
 		handler := func(s *Service) transport.Handler {
-			return func(method string, body []byte) ([]byte, error) {
-				out, ok, err := s.Handle(method, body)
+			return func(ctx context.Context, method string, body []byte) ([]byte, error) {
+				out, ok, err := s.Handle(ctx, method, body)
 				if !ok {
 					return nil, fmt.Errorf("unknown method %s", method)
 				}
@@ -205,7 +206,7 @@ func TestUploadAndReadFile(t *testing.T) {
 	tc := newTestCluster(t, 6, 3)
 	svc := tc.any()
 	data := randomData(10_000, 1)
-	meta, err := svc.Upload("input.dat", "alice", PermPublic, data, 1024)
+	meta, err := svc.Upload(context.Background(), "input.dat", "alice", PermPublic, data, 1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestUploadAndReadFile(t *testing.T) {
 	}
 	// Read back from a different node.
 	other := tc.services[tc.ids[3]]
-	got, err := other.ReadFile("input.dat", "bob")
+	got, err := other.ReadFile(context.Background(), "input.dat", "bob")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +228,7 @@ func TestBlockPlacementFollowsRing(t *testing.T) {
 	tc := newTestCluster(t, 6, 3)
 	svc := tc.any()
 	data := randomData(8192, 2)
-	meta, err := svc.Upload("placed.dat", "alice", PermPublic, data, 512)
+	meta, err := svc.Upload(context.Background(), "placed.dat", "alice", PermPublic, data, 512)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,13 +262,13 @@ func TestBlockPlacementFollowsRing(t *testing.T) {
 func TestLookupPermissionDenied(t *testing.T) {
 	tc := newTestCluster(t, 4, 2)
 	svc := tc.any()
-	if _, err := svc.Upload("secret.dat", "alice", PermPrivate, []byte("x"), 4); err != nil {
+	if _, err := svc.Upload(context.Background(), "secret.dat", "alice", PermPrivate, []byte("x"), 4); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Lookup("secret.dat", "alice"); err != nil {
+	if _, err := svc.Lookup(context.Background(), "secret.dat", "alice"); err != nil {
 		t.Fatalf("owner denied: %v", err)
 	}
-	_, err := svc.Lookup("secret.dat", "eve")
+	_, err := svc.Lookup(context.Background(), "secret.dat", "eve")
 	if err == nil || !IsPermission(err) {
 		t.Fatalf("expected permission error, got %v", err)
 	}
@@ -275,7 +276,7 @@ func TestLookupPermissionDenied(t *testing.T) {
 
 func TestLookupMissingFile(t *testing.T) {
 	tc := newTestCluster(t, 4, 2)
-	_, err := tc.any().Lookup("nope.dat", "x")
+	_, err := tc.any().Lookup(context.Background(), "nope.dat", "x")
 	if err == nil || !IsNotFound(err) {
 		t.Fatalf("err = %v", err)
 	}
@@ -285,12 +286,12 @@ func TestReadSurvivesSingleFailure(t *testing.T) {
 	tc := newTestCluster(t, 6, 3)
 	svc := tc.services[tc.ids[0]]
 	data := randomData(4096, 3)
-	if _, err := svc.Upload("ft.dat", "alice", PermPublic, data, 256); err != nil {
+	if _, err := svc.Upload(context.Background(), "ft.dat", "alice", PermPublic, data, 256); err != nil {
 		t.Fatal(err)
 	}
 	// Kill a node that holds data (not the reader).
 	tc.fail(tc.ids[4])
-	got, err := svc.ReadFile("ft.dat", "alice")
+	got, err := svc.ReadFile(context.Background(), "ft.dat", "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -303,7 +304,7 @@ func TestReReplicateRestoresInvariant(t *testing.T) {
 	tc := newTestCluster(t, 6, 3)
 	svc := tc.services[tc.ids[0]]
 	data := randomData(8192, 4)
-	meta, err := svc.Upload("rec.dat", "alice", PermPublic, data, 256)
+	meta, err := svc.Upload(context.Background(), "rec.dat", "alice", PermPublic, data, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +313,7 @@ func TestReReplicateRestoresInvariant(t *testing.T) {
 	// Every survivor runs re-replication, as the resource manager directs
 	// after detecting a failure.
 	for _, s := range tc.services {
-		if _, err := s.ReReplicate(); err != nil {
+		if _, err := s.ReReplicate(context.Background()); err != nil {
 			t.Fatalf("ReReplicate: %v", err)
 		}
 	}
@@ -327,7 +328,7 @@ func TestReReplicateRestoresInvariant(t *testing.T) {
 	}
 	// And a second failure of any single node still leaves data readable.
 	tc.fail(tc.ids[5])
-	got, err := svc.ReadFile("rec.dat", "alice")
+	got, err := svc.ReadFile(context.Background(), "rec.dat", "alice")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,13 +340,13 @@ func TestReReplicateRestoresInvariant(t *testing.T) {
 func TestSegmentsPushFetchDrop(t *testing.T) {
 	tc := newTestCluster(t, 4, 2)
 	a, b := tc.services[tc.ids[0]], tc.services[tc.ids[1]]
-	if err := a.PushSegment(tc.ids[1], "job9", "r0", []byte("spill-1"), 0); err != nil {
+	if err := a.PushSegment(context.Background(), tc.ids[1], "job9", "r0", []byte("spill-1"), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := a.PushSegment(tc.ids[1], "job9", "r0", []byte("spill-2"), 0); err != nil {
+	if err := a.PushSegment(context.Background(), tc.ids[1], "job9", "r0", []byte("spill-2"), 0); err != nil {
 		t.Fatal(err)
 	}
-	segs, err := b.FetchSegments(tc.ids[1], "job9", "r0")
+	segs, err := b.FetchSegments(context.Background(), tc.ids[1], "job9", "r0")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,12 +354,12 @@ func TestSegmentsPushFetchDrop(t *testing.T) {
 		t.Fatalf("segments = %q", segs)
 	}
 	// Fetch across the network too.
-	segs, err = a.FetchSegments(tc.ids[1], "job9", "r0")
+	segs, err = a.FetchSegments(context.Background(), tc.ids[1], "job9", "r0")
 	if err != nil || len(segs) != 2 {
 		t.Fatalf("remote fetch = %d, %v", len(segs), err)
 	}
-	a.DropJob("job9")
-	segs, _ = a.FetchSegments(tc.ids[1], "job9", "r0")
+	a.DropJob(context.Background(), "job9")
+	segs, _ = a.FetchSegments(context.Background(), tc.ids[1], "job9", "r0")
 	if len(segs) != 0 {
 		t.Fatal("DropJob left segments")
 	}
@@ -378,10 +379,10 @@ func TestUploadSmallRingFewerReplicas(t *testing.T) {
 	tc := newTestCluster(t, 2, 3) // fewer nodes than replicas
 	svc := tc.any()
 	data := randomData(1000, 5)
-	if _, err := svc.Upload("small.dat", "a", PermPublic, data, 100); err != nil {
+	if _, err := svc.Upload(context.Background(), "small.dat", "a", PermPublic, data, 100); err != nil {
 		t.Fatal(err)
 	}
-	got, err := svc.ReadFile("small.dat", "a")
+	got, err := svc.ReadFile(context.Background(), "small.dat", "a")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("read = %d bytes, %v", len(got), err)
 	}
@@ -398,11 +399,11 @@ func TestConcurrentUploadsAndReads(t *testing.T) {
 			svc := tc.services[tc.ids[i%len(tc.ids)]]
 			name := fmt.Sprintf("file-%d", i)
 			data := randomData(2048, int64(i))
-			if _, err := svc.Upload(name, "u", PermPublic, data, 256); err != nil {
+			if _, err := svc.Upload(context.Background(), name, "u", PermPublic, data, 256); err != nil {
 				errs <- err
 				return
 			}
-			got, err := svc.ReadFile(name, "u")
+			got, err := svc.ReadFile(context.Background(), name, "u")
 			if err != nil {
 				errs <- err
 				return
@@ -467,14 +468,14 @@ func TestUploadRecordsRoundTrip(t *testing.T) {
 	for i := 0; i < 200; i++ {
 		data = append(data, []byte(fmt.Sprintf("line number %d with some text\n", i))...)
 	}
-	meta, err := svc.UploadRecords("lines.txt", "u", PermPublic, data, 256, '\n')
+	meta, err := svc.UploadRecords(context.Background(), "lines.txt", "u", PermPublic, data, 256, '\n')
 	if err != nil {
 		t.Fatal(err)
 	}
 	if meta.Blocks() < 2 {
 		t.Fatalf("blocks = %d", meta.Blocks())
 	}
-	got, err := svc.ReadFile("lines.txt", "u")
+	got, err := svc.ReadFile(context.Background(), "lines.txt", "u")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("round trip failed: %v", err)
 	}
@@ -513,18 +514,18 @@ func TestDeleteRemovesBlocksAndMetadata(t *testing.T) {
 	tc := newTestCluster(t, 5, 3)
 	svc := tc.any()
 	data := randomData(4096, 9)
-	meta, err := svc.Upload("del.dat", "alice", PermPublic, data, 512)
+	meta, err := svc.Upload(context.Background(), "del.dat", "alice", PermPublic, data, 512)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// A non-owner cannot delete, even with read permission.
-	if err := tc.services[tc.ids[1]].Delete("del.dat", "bob"); !IsPermission(err) {
+	if err := tc.services[tc.ids[1]].Delete(context.Background(), "del.dat", "bob"); !IsPermission(err) {
 		t.Fatalf("non-owner delete err = %v", err)
 	}
-	if err := svc.Delete("del.dat", "alice"); err != nil {
+	if err := svc.Delete(context.Background(), "del.dat", "alice"); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc.Lookup("del.dat", "alice"); !IsNotFound(err) {
+	if _, err := svc.Lookup(context.Background(), "del.dat", "alice"); !IsNotFound(err) {
 		t.Fatalf("lookup after delete err = %v", err)
 	}
 	for id, s := range tc.services {
@@ -538,7 +539,7 @@ func TestDeleteRemovesBlocksAndMetadata(t *testing.T) {
 		}
 	}
 	// Deleting a missing file reports not-found.
-	if err := svc.Delete("ghost.dat", "alice"); !IsNotFound(err) {
+	if err := svc.Delete(context.Background(), "ghost.dat", "alice"); !IsNotFound(err) {
 		t.Fatalf("delete missing err = %v", err)
 	}
 }
@@ -547,17 +548,17 @@ func TestRoutedReadMatchesDirect(t *testing.T) {
 	tc := newTestCluster(t, 8, 1) // replicas=1 so routing must find the one owner
 	svc := tc.services[tc.ids[0]]
 	data := randomData(2048, 12)
-	meta, err := svc.Upload("routed.dat", "u", PermPublic, data, 256)
+	meta, err := svc.Upload(context.Background(), "routed.dat", "u", PermPublic, data, 256)
 	if err != nil {
 		t.Fatal(err)
 	}
 	maxHops := 0
 	for _, k := range meta.BlockKeys {
-		got, hops, err := svc.ReadBlockRouted(k)
+		got, hops, err := svc.ReadBlockRouted(context.Background(), k)
 		if err != nil {
 			t.Fatalf("routed read %s: %v", k, err)
 		}
-		direct, err := svc.ReadBlock(k)
+		direct, err := svc.ReadBlock(context.Background(), k)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -578,11 +579,11 @@ func TestZeroHopToggleRoutesReads(t *testing.T) {
 	tc := newTestCluster(t, 6, 1)
 	svc := tc.services[tc.ids[0]]
 	data := randomData(1024, 13)
-	if _, err := svc.Upload("zh.dat", "u", PermPublic, data, 256); err != nil {
+	if _, err := svc.Upload(context.Background(), "zh.dat", "u", PermPublic, data, 256); err != nil {
 		t.Fatal(err)
 	}
 	svc.SetZeroHop(false)
-	got, err := svc.ReadFile("zh.dat", "u")
+	got, err := svc.ReadFile(context.Background(), "zh.dat", "u")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -595,7 +596,7 @@ func TestZeroHopToggleRoutesReads(t *testing.T) {
 func TestRoutedReadMissingBlock(t *testing.T) {
 	tc := newTestCluster(t, 4, 1)
 	svc := tc.any()
-	if _, _, err := svc.ReadBlockRouted(hashing.KeyOfString("never-stored")); !IsNotFound(err) {
+	if _, _, err := svc.ReadBlockRouted(context.Background(), hashing.KeyOfString("never-stored")); !IsNotFound(err) {
 		t.Fatalf("err = %v", err)
 	}
 }
@@ -604,7 +605,7 @@ func TestReadRecoversFromCorruptReplica(t *testing.T) {
 	tc := newTestCluster(t, 5, 3)
 	svc := tc.any()
 	data := randomData(3000, 14)
-	meta, err := svc.Upload("sum.dat", "u", PermPublic, data, 500)
+	meta, err := svc.Upload(context.Background(), "sum.dat", "u", PermPublic, data, 500)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -622,7 +623,7 @@ func TestReadRecoversFromCorruptReplica(t *testing.T) {
 		blk[0] ^= 0xFF
 		store.PutBlock(k, blk)
 	}
-	got, err := svc.ReadFile("sum.dat", "u")
+	got, err := svc.ReadFile(context.Background(), "sum.dat", "u")
 	if err != nil {
 		t.Fatalf("read with corrupt primaries: %v", err)
 	}
@@ -638,7 +639,7 @@ func TestReadRecoversFromCorruptReplica(t *testing.T) {
 		garbage := make([]byte, len(blk)) // definitely not the original
 		store.PutBlock(k, garbage)
 	}
-	_, err = svc.ReadFile("sum.dat", "u")
+	_, err = svc.ReadFile(context.Background(), "sum.dat", "u")
 	if err == nil || !strings.Contains(err.Error(), ErrCorrupt.Error()) {
 		t.Fatalf("err = %v", err)
 	}

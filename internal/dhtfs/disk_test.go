@@ -2,6 +2,7 @@ package dhtfs
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -120,10 +121,10 @@ func TestDiskBackedServiceEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	data := randomData(4096, 31)
-	if _, err := svc.Upload("disk.dat", "u", PermPublic, data, 512); err != nil {
+	if _, err := svc.Upload(context.Background(), "disk.dat", "u", PermPublic, data, 512); err != nil {
 		t.Fatal(err)
 	}
-	got, err := svc.ReadFile("disk.dat", "u")
+	got, err := svc.ReadFile(context.Background(), "disk.dat", "u")
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("disk-backed round trip: %v", err)
 	}
@@ -157,7 +158,7 @@ func TestClusterRestartRecoversFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := svc1.Upload("persist.dat", "u", PermPublic, data, 512); err != nil {
+	if _, err := svc1.Upload(context.Background(), "persist.dat", "u", PermPublic, data, 512); err != nil {
 		t.Fatal(err)
 	}
 
@@ -170,7 +171,7 @@ func TestClusterRestartRecoversFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := svc2.ReadFile("persist.dat", "u")
+	got, err := svc2.ReadFile(context.Background(), "persist.dat", "u")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestClusterRestartRecoversFiles(t *testing.T) {
 		t.Fatal("file corrupted across restart")
 	}
 	// Deletion persists too.
-	if err := svc2.Delete("persist.dat", "u"); err != nil {
+	if err := svc2.Delete(context.Background(), "persist.dat", "u"); err != nil {
 		t.Fatal(err)
 	}
 	store3, err := NewStoreAt(dir)

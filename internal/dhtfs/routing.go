@@ -1,6 +1,7 @@
 package dhtfs
 
 import (
+	"context"
 	"fmt"
 
 	"eclipsemr/internal/chord"
@@ -43,7 +44,7 @@ func (s *Service) SetZeroHop(enabled bool) { s.zeroHopOff = !enabled }
 // handleRoutedGet serves one hop of a routed block fetch: answer from the
 // local shard if the block is here, otherwise forward to the next hop
 // from this node's finger table.
-func (s *Service) handleRoutedGet(body []byte) ([]byte, error) {
+func (s *Service) handleRoutedGet(ctx context.Context, body []byte) ([]byte, error) {
 	var req routedGetReq
 	if err := transport.Decode(body, &req); err != nil {
 		return nil, err
@@ -64,7 +65,7 @@ func (s *Service) handleRoutedGet(body []byte) ([]byte, error) {
 		return nil, err
 	}
 	var resp routedGetResp
-	if err := s.call(next, MethodRoutedGet, routedGetReq{Key: req.Key, Hops: req.Hops + 1}, &resp); err != nil {
+	if err := s.call(ctx, next, MethodRoutedGet, routedGetReq{Key: req.Key, Hops: req.Hops + 1}, &resp); err != nil {
 		return nil, err
 	}
 	return transport.Encode(resp)
@@ -87,7 +88,7 @@ func (s *Service) nextHop(ring *hashing.Ring, k hashing.Key) (hashing.NodeID, er
 
 // ReadBlockRouted fetches a block via classic DHT routing, returning the
 // data and the number of hops taken.
-func (s *Service) ReadBlockRouted(k hashing.Key) ([]byte, int, error) {
+func (s *Service) ReadBlockRouted(ctx context.Context, k hashing.Key) ([]byte, int, error) {
 	// Serve locally when possible (hop zero).
 	if data, err := s.store.GetBlock(k); err == nil {
 		return data, 0, nil
@@ -101,7 +102,7 @@ func (s *Service) ReadBlockRouted(k hashing.Key) ([]byte, int, error) {
 		return nil, 0, err
 	}
 	var resp routedGetResp
-	if err := s.call(next, MethodRoutedGet, routedGetReq{Key: k, Hops: 1}, &resp); err != nil {
+	if err := s.call(ctx, next, MethodRoutedGet, routedGetReq{Key: k, Hops: 1}, &resp); err != nil {
 		return nil, 0, err
 	}
 	return resp.Data, resp.Hops, nil

@@ -1,6 +1,7 @@
 package dhtfs
 
 import (
+	"context"
 	"crypto/sha1"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/trace"
 	"eclipsemr/internal/transport"
 )
 
@@ -100,6 +102,7 @@ type Service struct {
 	// instead of the paper's default one-hop direct access (§II-A).
 	zeroHopOff bool
 	reg        *metrics.Registry
+	tracer     *trace.Tracer // nil or disabled = no spans
 }
 
 // NewService builds a Service with an in-memory shard. ring supplies the
@@ -150,6 +153,10 @@ func (s *Service) Metrics() *metrics.Registry {
 	return s.reg
 }
 
+// SetTracer attaches the node's tracer so block IO and lookups record
+// spans (nil is fine: spans become no-ops).
+func (s *Service) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
 // SetClock overrides the metadata timestamp and segment-TTL time source.
 func (s *Service) SetClock(now func() time.Time) {
 	s.now = now
@@ -158,7 +165,7 @@ func (s *Service) SetClock(now func() time.Time) {
 
 // Handle serves one inbound fs.* call. The second return value reports
 // whether the method belongs to this service.
-func (s *Service) Handle(method string, body []byte) ([]byte, bool, error) {
+func (s *Service) Handle(ctx context.Context, method string, body []byte) ([]byte, bool, error) {
 	switch method {
 	case MethodPutBlock:
 		var req putBlockReq
@@ -257,7 +264,7 @@ func (s *Service) Handle(method string, body []byte) ([]byte, bool, error) {
 		out, err := transport.Encode(empty{})
 		return out, true, err
 	case MethodRoutedGet:
-		out, err := s.handleRoutedGet(body)
+		out, err := s.handleRoutedGet(ctx, body)
 		return out, true, err
 	case MethodDeleteMeta:
 		var req deleteMetaReq
@@ -273,16 +280,16 @@ func (s *Service) Handle(method string, body []byte) ([]byte, bool, error) {
 
 // call invokes an fs.* method, short-circuiting to the local store when
 // the destination is this node (zero-hop fast path).
-func (s *Service) call(to hashing.NodeID, method string, req, resp any) error {
+func (s *Service) call(ctx context.Context, to hashing.NodeID, method string, req, resp any) error {
 	body, err := transport.Encode(req)
 	if err != nil {
 		return err
 	}
 	var out []byte
 	if to == s.self {
-		out, _, err = s.Handle(method, body)
+		out, _, err = s.Handle(ctx, method, body)
 	} else {
-		out, err = s.net.Call(to, method, body)
+		out, err = s.net.Call(ctx, to, method, body)
 	}
 	if err != nil {
 		return err
@@ -302,34 +309,34 @@ func (s *Service) replicaSet(k hashing.Key) ([]hashing.NodeID, error) {
 // Upload splits a file into blocks, distributes the blocks (and replicas)
 // across the ring by hash key, and stores the metadata at the file-name
 // owner (and replicas). It returns the stored metadata.
-func (s *Service) Upload(name, owner string, perm Perm, data []byte, blockSize int) (Metadata, error) {
+func (s *Service) Upload(ctx context.Context, name, owner string, perm Perm, data []byte, blockSize int) (Metadata, error) {
 	chunks, keys, err := Split(name, data, blockSize)
 	if err != nil {
 		return Metadata{}, err
 	}
-	return s.storeFile(name, owner, perm, data, blockSize, chunks, keys)
+	return s.storeFile(ctx, name, owner, perm, data, blockSize, chunks, keys)
 }
 
 // UploadRecords is Upload with record-aligned block boundaries: blocks are
 // cut only after delim so line-oriented map tasks never see a torn record.
-func (s *Service) UploadRecords(name, owner string, perm Perm, data []byte, blockSize int, delim byte) (Metadata, error) {
+func (s *Service) UploadRecords(ctx context.Context, name, owner string, perm Perm, data []byte, blockSize int, delim byte) (Metadata, error) {
 	chunks, keys, err := SplitRecords(name, data, blockSize, delim)
 	if err != nil {
 		return Metadata{}, err
 	}
-	return s.storeFile(name, owner, perm, data, blockSize, chunks, keys)
+	return s.storeFile(ctx, name, owner, perm, data, blockSize, chunks, keys)
 }
 
 // storeFile distributes pre-split chunks and their metadata. A replica
 // target that is unreachable (crashed but not yet evicted from the ring)
 // is skipped as long as at least one copy lands; re-replication restores
 // the invariant once the membership settles.
-func (s *Service) storeFile(name, owner string, perm Perm, data []byte, blockSize int, chunks [][]byte, keys []hashing.Key) (Metadata, error) {
-	putAll := func(method string, req interface{}, targets []hashing.NodeID, what string) error {
+func (s *Service) storeFile(ctx context.Context, name, owner string, perm Perm, data []byte, blockSize int, chunks [][]byte, keys []hashing.Key) (Metadata, error) {
+	putAll := func(ctx context.Context, method string, req interface{}, targets []hashing.NodeID, what string) error {
 		stored := 0
 		var lastErr error
 		for _, t := range targets {
-			if err := s.call(t, method, req, nil); err != nil {
+			if err := s.call(ctx, t, method, req, nil); err != nil {
 				if errors.Is(err, transport.ErrUnreachable) {
 					s.reg.Counter("fs.store.skipped").Inc()
 					lastErr = err
@@ -350,9 +357,11 @@ func (s *Service) storeFile(name, owner string, perm Perm, data []byte, blockSiz
 			return Metadata{}, err
 		}
 		req := putBlockReq{Key: keys[i], Data: chunk}
+		bctx, sp := s.tracer.StartSpan(ctx, "fs.write_block")
 		t := s.reg.Histogram("fs.write_block_ns").Start()
-		err = putAll(MethodPutBlock, req, targets, fmt.Sprintf("block %d", i))
+		err = putAll(bctx, MethodPutBlock, req, targets, fmt.Sprintf("block %d", i))
 		t.Stop()
+		sp.End()
 		if err != nil {
 			return Metadata{}, err
 		}
@@ -375,7 +384,7 @@ func (s *Service) storeFile(name, owner string, perm Perm, data []byte, blockSiz
 	if err != nil {
 		return Metadata{}, err
 	}
-	if err := putAll(MethodPutMeta, putMetaReq{Meta: meta}, targets, "metadata"); err != nil {
+	if err := putAll(ctx, MethodPutMeta, putMetaReq{Meta: meta}, targets, "metadata"); err != nil {
 		return Metadata{}, err
 	}
 	return meta, nil
@@ -384,7 +393,10 @@ func (s *Service) storeFile(name, owner string, perm Perm, data []byte, blockSiz
 // Lookup fetches a file's metadata from its metadata owner, checking the
 // user's read permission there, and falling back to replicas if the owner
 // is unreachable.
-func (s *Service) Lookup(name, user string) (Metadata, error) {
+func (s *Service) Lookup(ctx context.Context, name, user string) (Metadata, error) {
+	ctx, sp := s.tracer.StartSpan(ctx, "fs.lookup")
+	defer sp.End()
+	sp.Annotate("file", name)
 	defer s.reg.Histogram("fs.lookup_ns").Start().Stop()
 	targets, err := s.replicaSet(hashing.KeyOfString(name))
 	if err != nil {
@@ -393,7 +405,7 @@ func (s *Service) Lookup(name, user string) (Metadata, error) {
 	var lastErr error
 	for _, t := range targets {
 		var resp getMetaResp
-		err := s.call(t, MethodGetMeta, getMetaReq{Name: name, User: user}, &resp)
+		err := s.call(ctx, t, MethodGetMeta, getMetaReq{Name: name, User: user}, &resp)
 		if err == nil {
 			return resp.Meta, nil
 		}
@@ -413,10 +425,12 @@ func (s *Service) Lookup(name, user string) (Metadata, error) {
 // replicas if the owner is unreachable or missing the block. With
 // zero-hop routing disabled the request instead travels hop by hop
 // through finger tables.
-func (s *Service) ReadBlock(k hashing.Key) ([]byte, error) {
+func (s *Service) ReadBlock(ctx context.Context, k hashing.Key) ([]byte, error) {
+	ctx, sp := s.tracer.StartSpan(ctx, "fs.read_block")
+	defer sp.End()
 	defer s.reg.Histogram("fs.read_block_ns").Start().Stop()
 	if s.zeroHopOff {
-		data, _, err := s.ReadBlockRouted(k)
+		data, _, err := s.ReadBlockRouted(ctx, k)
 		return data, err
 	}
 	targets, err := s.replicaSet(k)
@@ -426,9 +440,10 @@ func (s *Service) ReadBlock(k hashing.Key) ([]byte, error) {
 	var lastErr error
 	for i, t := range targets {
 		var resp getBlockResp
-		if err := s.call(t, MethodGetBlock, getBlockReq{Key: k}, &resp); err == nil {
+		if err := s.call(ctx, t, MethodGetBlock, getBlockReq{Key: k}, &resp); err == nil {
 			if i > 0 {
 				s.reg.Counter("fs.read.failover").Inc()
+				sp.Annotate("failover", string(t))
 			}
 			return resp.Data, nil
 		} else {
@@ -441,7 +456,9 @@ func (s *Service) ReadBlock(k hashing.Key) ([]byte, error) {
 // ReadBlockVerified fetches a block and checks it against the expected
 // digest, trying each replica in turn until one passes — a corrupted copy
 // on one server is healed by reading its neighbor's replica.
-func (s *Service) ReadBlockVerified(k hashing.Key, sum [sha1.Size]byte) ([]byte, error) {
+func (s *Service) ReadBlockVerified(ctx context.Context, k hashing.Key, sum [sha1.Size]byte) ([]byte, error) {
+	ctx, sp := s.tracer.StartSpan(ctx, "fs.read_block")
+	defer sp.End()
 	defer s.reg.Histogram("fs.read_block_ns").Start().Stop()
 	targets, err := s.replicaSet(k)
 	if err != nil {
@@ -451,7 +468,7 @@ func (s *Service) ReadBlockVerified(k hashing.Key, sum [sha1.Size]byte) ([]byte,
 	var lastErr error
 	for i, t := range targets {
 		var resp getBlockResp
-		if err := s.call(t, MethodGetBlock, getBlockReq{Key: k}, &resp); err != nil {
+		if err := s.call(ctx, t, MethodGetBlock, getBlockReq{Key: k}, &resp); err != nil {
 			lastErr = err
 			continue
 		}
@@ -473,8 +490,8 @@ func (s *Service) ReadBlockVerified(k hashing.Key, sum [sha1.Size]byte) ([]byte,
 // ReadFile fetches metadata and then all blocks, reassembling the file.
 // Blocks are integrity-checked against the metadata digests (files
 // uploaded by older stores without digests skip the check).
-func (s *Service) ReadFile(name, user string) ([]byte, error) {
-	meta, err := s.Lookup(name, user)
+func (s *Service) ReadFile(ctx context.Context, name, user string) ([]byte, error) {
+	meta, err := s.Lookup(ctx, name, user)
 	if err != nil {
 		return nil, err
 	}
@@ -482,9 +499,9 @@ func (s *Service) ReadFile(name, user string) ([]byte, error) {
 	for i, k := range meta.BlockKeys {
 		var block []byte
 		if i < len(meta.BlockSums) {
-			block, err = s.ReadBlockVerified(k, meta.BlockSums[i])
+			block, err = s.ReadBlockVerified(ctx, k, meta.BlockSums[i])
 		} else {
-			block, err = s.ReadBlock(k)
+			block, err = s.ReadBlock(ctx, k)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("dhtfs: file %q block %d: %w", name, i, err)
@@ -501,8 +518,8 @@ func (s *Service) ReadFile(name, user string) ([]byte, error) {
 // PushSegment appends intermediate-result data for a job partition on the
 // node owning the partition key (the proactive-shuffle write). A positive
 // ttl invalidates the data after that duration.
-func (s *Service) PushSegment(to hashing.NodeID, job, partition string, data []byte, ttl time.Duration) error {
-	return s.call(to, MethodAppendSeg, appendSegReq{Job: job, Partition: partition, Data: data, TTL: ttl}, nil)
+func (s *Service) PushSegment(ctx context.Context, to hashing.NodeID, job, partition string, data []byte, ttl time.Duration) error {
+	return s.call(ctx, to, MethodAppendSeg, appendSegReq{Job: job, Partition: partition, Data: data, TTL: ttl}, nil)
 }
 
 // SegTag attributes a spill to one map-task attempt (see
@@ -515,8 +532,8 @@ type SegTag struct {
 
 // PushTaggedSegment is PushSegment with task attribution, the idempotent
 // write path retried and re-executed mappers must use.
-func (s *Service) PushTaggedSegment(to hashing.NodeID, job, partition string, tag SegTag, data []byte, ttl time.Duration) error {
-	return s.call(to, MethodAppendSeg, appendSegReq{
+func (s *Service) PushTaggedSegment(ctx context.Context, to hashing.NodeID, job, partition string, tag SegTag, data []byte, ttl time.Duration) error {
+	return s.call(ctx, to, MethodAppendSeg, appendSegReq{
 		Job: job, Partition: partition, Data: data, TTL: ttl,
 		Task: tag.Task, Attempt: tag.Attempt, Seq: tag.Seq,
 	}, nil)
@@ -524,9 +541,9 @@ func (s *Service) PushTaggedSegment(to hashing.NodeID, job, partition string, ta
 
 // FetchSegments reads all intermediate-result spills for a job partition
 // from the given node.
-func (s *Service) FetchSegments(from hashing.NodeID, job, partition string) ([][]byte, error) {
+func (s *Service) FetchSegments(ctx context.Context, from hashing.NodeID, job, partition string) ([][]byte, error) {
 	var resp readSegResp
-	if err := s.call(from, MethodReadSeg, readSegReq{Job: job, Partition: partition}, &resp); err != nil {
+	if err := s.call(ctx, from, MethodReadSeg, readSegReq{Job: job, Partition: partition}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Segments, nil
@@ -534,18 +551,18 @@ func (s *Service) FetchSegments(from hashing.NodeID, job, partition string) ([][
 
 // FetchTaggedSegments reads all spills with task attribution from the
 // given node (the replica union-merge read path).
-func (s *Service) FetchTaggedSegments(from hashing.NodeID, job, partition string) ([]TaggedSegment, error) {
+func (s *Service) FetchTaggedSegments(ctx context.Context, from hashing.NodeID, job, partition string) ([]TaggedSegment, error) {
 	var resp readTaggedSegResp
-	if err := s.call(from, MethodReadSegTag, readSegReq{Job: job, Partition: partition}, &resp); err != nil {
+	if err := s.call(ctx, from, MethodReadSegTag, readSegReq{Job: job, Partition: partition}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Segments, nil
 }
 
 // DropJob removes a job's intermediate data across the whole ring.
-func (s *Service) DropJob(job string) {
+func (s *Service) DropJob(ctx context.Context, job string) {
 	for _, id := range s.ring().Members() {
-		_ = s.call(id, MethodDropSeg, dropSegReq{Job: job}, nil) // best effort
+		_ = s.call(ctx, id, MethodDropSeg, dropSegReq{Job: job}, nil) // best effort
 	}
 }
 
@@ -553,8 +570,8 @@ func (s *Service) DropJob(job string) {
 // replica. Only the file's owner may delete it. Unreachable replicas are
 // tolerated (re-replication after their recovery is driven off live
 // copies, which no longer exist, so the delete is effective).
-func (s *Service) Delete(name, user string) error {
-	meta, err := s.Lookup(name, user)
+func (s *Service) Delete(ctx context.Context, name, user string) error {
+	meta, err := s.Lookup(ctx, name, user)
 	if err != nil {
 		return err
 	}
@@ -567,7 +584,7 @@ func (s *Service) Delete(name, user string) error {
 			return err
 		}
 		for _, t := range targets {
-			_ = s.call(t, MethodDeleteBlock, deleteBlockReq{Key: k}, nil) // best effort
+			_ = s.call(ctx, t, MethodDeleteBlock, deleteBlockReq{Key: k}, nil) // best effort
 		}
 	}
 	targets, err := s.replicaSet(hashing.KeyOfString(name))
@@ -575,7 +592,7 @@ func (s *Service) Delete(name, user string) error {
 		return err
 	}
 	for _, t := range targets {
-		_ = s.call(t, MethodDeleteMeta, deleteMetaReq{Name: name}, nil) // best effort
+		_ = s.call(ctx, t, MethodDeleteMeta, deleteMetaReq{Name: name}, nil) // best effort
 	}
 	return nil
 }
@@ -585,7 +602,7 @@ func (s *Service) Delete(name, user string) error {
 // have a copy, and drops objects this node no longer replicates. It
 // returns the number of objects pushed. This is how a predecessor or
 // successor "takes over the faulty server" using its replicated data.
-func (s *Service) ReReplicate() (pushed int, err error) {
+func (s *Service) ReReplicate(ctx context.Context) (pushed int, err error) {
 	for _, k := range s.store.BlockKeys() {
 		targets, rerr := s.replicaSet(k)
 		if rerr != nil {
@@ -598,7 +615,7 @@ func (s *Service) ReReplicate() (pushed int, err error) {
 				continue
 			}
 			var has hasBlockResp
-			if cerr := s.call(t, MethodHasBlock, getBlockReq{Key: k}, &has); cerr != nil {
+			if cerr := s.call(ctx, t, MethodHasBlock, getBlockReq{Key: k}, &has); cerr != nil {
 				err = cerr
 				continue
 			}
@@ -609,7 +626,7 @@ func (s *Service) ReReplicate() (pushed int, err error) {
 			if gerr != nil {
 				continue // raced with deletion
 			}
-			if cerr := s.call(t, MethodPutBlock, putBlockReq{Key: k, Data: data}, nil); cerr != nil {
+			if cerr := s.call(ctx, t, MethodPutBlock, putBlockReq{Key: k, Data: data}, nil); cerr != nil {
 				err = cerr
 				continue
 			}
@@ -634,7 +651,7 @@ func (s *Service) ReReplicate() (pushed int, err error) {
 				mine = true
 				continue
 			}
-			if cerr := s.call(t, MethodPutMeta, putMetaReq{Meta: meta}, nil); cerr != nil {
+			if cerr := s.call(ctx, t, MethodPutMeta, putMetaReq{Meta: meta}, nil); cerr != nil {
 				err = cerr
 				continue
 			}

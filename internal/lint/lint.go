@@ -4,7 +4,7 @@
 // PR 2's metrics layer only catch at runtime.
 //
 // The suite loads every package under a module (go/parser + go/types with
-// the source importer; no golang.org/x/tools dependency) and runs five
+// the source importer; no golang.org/x/tools dependency) and runs six
 // analyzers:
 //
 //   - ringcmp:    raw <, <=, >, >= between hashing.Key values outside
@@ -21,6 +21,9 @@
 //     use the injected clock/seed so figure sweeps reproduce.
 //   - droppederr: implicitly discarded error returns at transport, dhtfs
 //     and cache I/O boundaries.
+//   - spanend:    trace.Start* spans that can never be ended — result
+//     discarded, bound to the blank identifier, or a span
+//     variable with neither an End call nor an escape.
 //
 // Findings print as "file:line: analyzer: message". A finding is
 // suppressed by a comment on the same line or the line above:
@@ -101,6 +104,7 @@ func Analyzers() []*Analyzer {
 		MetricName(),
 		TimeSource(),
 		DroppedErr(),
+		SpanEnd(),
 	}
 }
 

@@ -131,7 +131,7 @@ func TestBadIgnoreDirective(t *testing.T) {
 // these names.
 func TestSuiteNames(t *testing.T) {
 	got := strings.Join(AnalyzerNames(), ",")
-	want := "ringcmp,lockedrpc,metricname,timesource,droppederr"
+	want := "ringcmp,lockedrpc,metricname,timesource,droppederr,spanend"
 	if got != want {
 		t.Fatalf("AnalyzerNames() = %s, want %s", got, want)
 	}

@@ -1,6 +1,7 @@
 package droppederr
 
 import (
+	"context"
 	"eclipsemr/internal/dhtfs"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/transport"
@@ -8,7 +9,7 @@ import (
 
 // checked handles the error; nothing to report.
 func checked(net transport.Network, to hashing.NodeID) error {
-	if _, err := net.Call(to, "ping", nil); err != nil {
+	if _, err := net.Call(context.Background(), to, "ping", nil); err != nil {
 		return err
 	}
 	return nil

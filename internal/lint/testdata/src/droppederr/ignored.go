@@ -1,6 +1,7 @@
 package droppederr
 
 import (
+	"context"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/transport"
 )
@@ -8,5 +9,5 @@ import (
 // bestEffortNotify documents why the drop is safe instead of checking.
 func bestEffortNotify(net transport.Network, to hashing.NodeID) {
 	//lint:ignore droppederr best-effort wakeup; receiver polls on a timer anyway
-	net.Call(to, "wake", nil)
+	net.Call(context.Background(), to, "wake", nil)
 }

@@ -2,6 +2,7 @@
 package droppederr
 
 import (
+	"context"
 	"eclipsemr/internal/dhtfs"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/transport"
@@ -10,7 +11,7 @@ import (
 // fireAndForget drops a transport reply and error on the floor: the
 // caller cannot tell a delivered request from a partitioned one.
 func fireAndForget(net transport.Network, to hashing.NodeID) {
-	net.Call(to, "ping", nil) // want "discards the error"
+	net.Call(context.Background(), to, "ping", nil) // want "discards the error"
 }
 
 // storeWrite loses a block-write failure: the block looks durable but
@@ -27,5 +28,5 @@ func deferredClose(net transport.Network) {
 
 // asyncSend loses the error in a goroutine nobody joins.
 func asyncSend(net transport.Network, to hashing.NodeID) {
-	go net.Call(to, "push", nil) // want "go statement discards the error"
+	go net.Call(context.Background(), to, "push", nil) // want "go statement discards the error"
 }

@@ -1,12 +1,14 @@
 package lockedrpc
 
+import "context"
+
 // unlockFirst is the sanctioned shape: snapshot state under the lock,
 // release, then do network I/O.
 func unlockFirst(s *srv) {
 	s.mu.Lock()
 	succ := s.succ
 	s.mu.Unlock()
-	if _, err := s.net.Call(succ, "ping", nil); err != nil {
+	if _, err := s.net.Call(context.Background(), succ, "ping", nil); err != nil {
 		return
 	}
 }
@@ -17,7 +19,7 @@ func goroutineBody(s *srv) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	go func() {
-		if _, err := s.net.Call(s.succ, "ping", nil); err != nil {
+		if _, err := s.net.Call(context.Background(), s.succ, "ping", nil); err != nil {
 			return
 		}
 	}()
@@ -25,7 +27,7 @@ func goroutineBody(s *srv) {
 
 // lockAfter acquires the mutex only after the RPC returns.
 func lockAfter(s *srv) {
-	if _, err := s.net.Call(s.succ, "ping", nil); err != nil {
+	if _, err := s.net.Call(context.Background(), s.succ, "ping", nil); err != nil {
 		return
 	}
 	s.mu.Lock()

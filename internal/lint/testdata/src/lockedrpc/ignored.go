@@ -1,5 +1,7 @@
 package lockedrpc
 
+import "context"
+
 // bootstrapBroadcast is a deliberate exception: during single-threaded
 // bootstrap no other goroutine can contend, and the suppression records
 // that argument.
@@ -7,5 +9,5 @@ func bootstrapBroadcast(s *srv) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	//lint:ignore lockedrpc bootstrap runs single-threaded before Start, nothing can contend
-	s.net.Call(s.succ, "view", nil)
+	s.net.Call(context.Background(), s.succ, "view", nil)
 }

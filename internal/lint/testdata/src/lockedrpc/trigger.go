@@ -2,6 +2,7 @@
 package lockedrpc
 
 import (
+	"context"
 	"sync"
 
 	"eclipsemr/internal/hashing"
@@ -18,7 +19,7 @@ type srv struct {
 // direct holds the mutex across a raw transport call.
 func direct(s *srv) {
 	s.mu.Lock()
-	s.net.Call(s.succ, "ping", nil) // want "transport RPC"
+	s.net.Call(context.Background(), s.succ, "ping", nil) // want "transport RPC"
 	s.mu.Unlock()
 }
 
@@ -34,14 +35,14 @@ func viaDefer(s *srv) {
 func readLocked(s *srv) {
 	s.rwmu.RLock()
 	defer s.rwmu.RUnlock()
-	s.net.Call(s.succ, "ping", nil) // want "transport RPC"
+	s.net.Call(context.Background(), s.succ, "ping", nil) // want "transport RPC"
 }
 
 // rpc is a typed helper: blocking by propagation, so callers holding a
 // lock are flagged even though no transport symbol appears at the call
 // site.
 func (s *srv) rpc() {
-	if _, err := s.net.Call(s.succ, "ping", nil); err != nil {
+	if _, err := s.net.Call(context.Background(), s.succ, "ping", nil); err != nil {
 		return
 	}
 }

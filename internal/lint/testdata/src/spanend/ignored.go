@@ -1,0 +1,15 @@
+package spanend
+
+import (
+	"context"
+
+	"eclipsemr/internal/trace"
+)
+
+// processLifetime documents why the span intentionally never ends: it
+// marks the whole process run and collection happens at exit.
+func processLifetime(t *trace.Tracer, ctx context.Context) {
+	//lint:ignore spanend process-lifetime marker span; collected live at shutdown, never ended
+	_, sp := t.StartSpan(ctx, "node.lifetime")
+	sp.Annotate("role", "worker")
+}

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -44,7 +45,7 @@ func TestConcurrentJobsShareScheduler(t *testing.T) {
 				errs <- fmt.Errorf("%s: %w", jc.id, err)
 				return
 			}
-			kvs, err := ec.driver.Collect(res, "tester")
+			kvs, err := ec.driver.Collect(context.Background(), res, "tester")
 			if err != nil {
 				errs <- fmt.Errorf("%s collect: %w", jc.id, err)
 				return

@@ -1,9 +1,11 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +13,7 @@ import (
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/metrics"
 	"eclipsemr/internal/scheduler"
+	"eclipsemr/internal/trace"
 	"eclipsemr/internal/transport"
 )
 
@@ -34,6 +37,7 @@ type Driver struct {
 	reduceSlots int
 	start       time.Time
 	reg         *metrics.Registry
+	tracer      *trace.Tracer
 
 	mu   sync.Mutex
 	jobs map[string]*activeJob
@@ -45,6 +49,9 @@ type Driver struct {
 
 // activeJob is the dispatcher-side state of one running map phase.
 type activeJob struct {
+	// ctx carries the job's root span; dispatcher goroutines parent their
+	// task spans under it.
+	ctx       context.Context
 	spec      JobSpec
 	ns        string
 	mk        *marker
@@ -91,6 +98,10 @@ func NewDriver(self hashing.NodeID, net transport.Network, fs *dhtfs.Service,
 // Metrics exposes the driver's retry and failover counters.
 func (d *Driver) Metrics() *metrics.Registry { return d.reg }
 
+// SetTracer wires the node's tracer into the driver. Call before
+// submitting jobs; a nil tracer (the default) disables driver spans.
+func (d *Driver) SetTracer(tr *trace.Tracer) { d.tracer = tr }
+
 // since returns the driver's monotonic time, the clock fed to the
 // scheduling policy.
 func (d *Driver) since() time.Duration { return time.Since(d.start) }
@@ -125,12 +136,18 @@ func (d *Driver) Run(spec JobSpec) (Result, error) {
 	ns := spec.Namespace()
 	res := Result{Job: spec.ID}
 
+	// The job is the trace: its ID is the trace ID, and this root span
+	// covers the whole run. Every task span on every node descends from it.
+	ctx, root := d.tracer.StartRoot(context.Background(), spec.ID, "driver.job")
+	root.Annotate("app", spec.App)
+	defer root.End()
+
 	// Reuse path: a completed map phase under this namespace lets the job
 	// skip straight to reducing (§II-C).
 	var mk marker
 	reused := false
 	if spec.ReuseTag != "" {
-		if data, err := d.fs.ReadFile(markerFile(ns), spec.User); err == nil {
+		if data, err := d.fs.ReadFile(ctx, markerFile(ns), spec.User); err == nil {
 			if err := transport.Decode(data, &mk); err != nil {
 				return Result{}, fmt.Errorf("mapreduce: corrupt reuse marker for %q: %w", ns, err)
 			}
@@ -161,12 +178,12 @@ func (d *Driver) Run(spec JobSpec) (Result, error) {
 			}
 		}
 
-		tasks, err := d.mapTasks(spec)
+		tasks, err := d.mapTasks(ctx, spec)
 		if err != nil {
 			return Result{}, err
 		}
 		res.MapTasks = len(tasks)
-		if err := d.runMapPhase(spec, ns, tasks, &mk, &res); err != nil {
+		if err := d.runMapPhase(ctx, spec, ns, tasks, &mk, &res); err != nil {
 			return Result{}, err
 		}
 		if spec.ReuseTag != "" {
@@ -177,15 +194,16 @@ func (d *Driver) Run(spec JobSpec) (Result, error) {
 			if err != nil {
 				return Result{}, err
 			}
-			if _, err := d.fs.Upload(markerFile(ns), spec.User, dhtfs.PermPublic, data, 1<<20); err != nil {
+			if _, err := d.fs.Upload(ctx, markerFile(ns), spec.User, dhtfs.PermPublic, data, 1<<20); err != nil {
 				return Result{}, fmt.Errorf("mapreduce: store reuse marker: %w", err)
 			}
 		}
 	} else {
 		res.MapsSkipped = true
+		root.Annotate("maps", "reused")
 	}
 
-	if err := d.runReducePhase(spec, ns, mk, &res); err != nil {
+	if err := d.runReducePhase(ctx, spec, ns, mk, &res); err != nil {
 		return Result{}, err
 	}
 	res.Elapsed = time.Since(began)
@@ -194,10 +212,10 @@ func (d *Driver) Run(spec JobSpec) (Result, error) {
 }
 
 // mapTasks expands the job's input files into one task per block.
-func (d *Driver) mapTasks(spec JobSpec) ([]scheduler.Task, error) {
+func (d *Driver) mapTasks(ctx context.Context, spec JobSpec) ([]scheduler.Task, error) {
 	var tasks []scheduler.Task
 	for _, input := range spec.Inputs {
-		meta, err := d.fs.Lookup(input, spec.User)
+		meta, err := d.fs.Lookup(ctx, input, spec.User)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: input %q: %w", input, err)
 		}
@@ -214,8 +232,9 @@ func (d *Driver) mapTasks(spec JobSpec) ([]scheduler.Task, error) {
 
 // runMapPhase registers the job with the dispatcher, submits its tasks,
 // and waits for the phase to finish.
-func (d *Driver) runMapPhase(spec JobSpec, ns string, tasks []scheduler.Task, mk *marker, res *Result) error {
+func (d *Driver) runMapPhase(ctx context.Context, spec JobSpec, ns string, tasks []scheduler.Task, mk *marker, res *Result) error {
 	j := &activeJob{
+		ctx:       ctx,
 		spec:      spec,
 		ns:        ns,
 		mk:        mk,
@@ -357,10 +376,30 @@ func (d *Driver) runMapTask(j *activeJob, a scheduler.Assignment) {
 	d.mu.Lock()
 	attempt := j.attempts[a.Task.ID]
 	d.mu.Unlock()
+	// The queue wait is only known at dispatch; reconstruct it as a span
+	// ending now so the timeline shows time-in-scheduler per task.
+	if a.Waited > 0 {
+		_, qs := d.tracer.StartSpanAt(j.ctx, "sched.queue_wait", d.tracer.NowNS()-int64(a.Waited))
+		qs.Annotate("task", a.Task.ID)
+		qs.End()
+	}
+	tctx, sp := d.tracer.StartSpan(j.ctx, "driver.map_task")
+	sp.Annotate("task", a.Task.ID)
+	sp.Annotate("node", string(a.Node))
+	sp.Annotate("local", strconv.FormatBool(a.Local))
 	var resp RunMapResp
 	rpcTimer := d.reg.Histogram("mr.driver.map_rpc_ns").Start()
-	err := d.call(a.Node, MethodRunMap, d.mapReq(j, a.Task, attempt), &resp)
+	err := d.call(tctx, a.Node, MethodRunMap, d.mapReq(j, a.Task, attempt), &resp)
 	rpcTimer.Stop()
+	switch {
+	case err != nil:
+		sp.Annotate("error", err.Error())
+	case resp.CacheHit:
+		sp.Annotate("cache", "hit")
+	default:
+		sp.Annotate("cache", "miss")
+	}
+	sp.End()
 
 	maxAttempts := j.spec.MaxAttempts
 	if maxAttempts <= 0 {
@@ -418,10 +457,19 @@ func (d *Driver) failoverMapTask(j *activeJob, t scheduler.Task, exclude hashing
 		attempt := j.attempts[t.ID]
 		j.attempts[t.ID]++
 		d.mu.Unlock()
+		tctx, sp := d.tracer.StartSpan(j.ctx, "driver.map_task")
+		sp.Annotate("task", t.ID)
+		sp.Annotate("node", string(cand))
+		sp.Annotate("failover", "true")
+		sp.Annotate("attempt", strconv.Itoa(attempt))
 		var resp RunMapResp
 		rpcTimer := d.reg.Histogram("mr.driver.map_rpc_ns").Start()
-		err := d.call(cand, MethodRunMap, d.mapReq(j, t, attempt), &resp)
+		err := d.call(tctx, cand, MethodRunMap, d.mapReq(j, t, attempt), &resp)
 		rpcTimer.Stop()
+		if err != nil {
+			sp.Annotate("error", err.Error())
+		}
+		sp.End()
 		if err == nil {
 			d.mu.Lock()
 			d.completeMapLocked(j, resp)
@@ -468,7 +516,7 @@ func (d *Driver) Close() {
 // reduce placement: "the scheduler schedules reduce tasks where the
 // intermediate results are stored"). Per-node concurrency is bounded by
 // reduceSlots.
-func (d *Driver) runReducePhase(spec JobSpec, ns string, mk marker, res *Result) error {
+func (d *Driver) runReducePhase(ctx context.Context, spec JobSpec, ns string, mk marker, res *Result) error {
 	type reduceTask struct {
 		part    int
 		owner   hashing.NodeID
@@ -522,9 +570,13 @@ func (d *Driver) runReducePhase(spec JobSpec, ns string, mk marker, res *Result)
 			if t.replica != "" {
 				req.SegmentReplicas = []hashing.NodeID{t.owner, t.replica}
 			}
+			tctx, sp := d.tracer.StartSpan(ctx, "driver.reduce_task")
+			sp.Annotate("partition", strconv.Itoa(t.part))
+			sp.Annotate("node", string(t.owner))
+			defer sp.End()
 			var resp RunReduceResp
 			rpcTimer := d.reg.Histogram("mr.driver.reduce_rpc_ns").Start()
-			err := d.call(t.owner, MethodRunReduce, req, &resp)
+			err := d.call(tctx, t.owner, MethodRunReduce, req, &resp)
 			rpcTimer.Stop()
 			if err != nil && errors.Is(err, transport.ErrUnreachable) {
 				if t.replica != "" {
@@ -532,7 +584,8 @@ func (d *Driver) runReducePhase(spec JobSpec, ns string, mk marker, res *Result)
 					// re-run the reduce at the replica, which unions the
 					// surviving copies.
 					d.reg.Counter("mr.driver.reduce_failovers").Inc()
-					err = d.call(t.replica, MethodRunReduce, req, &resp)
+					sp.Annotate("failover", string(t.replica))
+					err = d.call(tctx, t.replica, MethodRunReduce, req, &resp)
 				} else {
 					// Segment owner died. Its successor holds no segments
 					// (the paper leaves intermediates unreplicated by
@@ -568,12 +621,12 @@ func (d *Driver) runReducePhase(spec JobSpec, ns string, mk marker, res *Result)
 
 // call invokes a worker method over the network (the driver node is
 // itself a listening worker, so self-calls take the same path).
-func (d *Driver) call(to hashing.NodeID, method string, req, resp any) error {
+func (d *Driver) call(ctx context.Context, to hashing.NodeID, method string, req, resp any) error {
 	body, err := transport.Encode(req)
 	if err != nil {
 		return err
 	}
-	out, err := d.net.Call(to, method, body)
+	out, err := d.net.Call(ctx, to, method, body)
 	if err != nil {
 		return err
 	}
@@ -583,10 +636,10 @@ func (d *Driver) call(to hashing.NodeID, method string, req, resp any) error {
 // Collect reads and decodes every output file of a completed job,
 // returning the merged key-value pairs (sorted within each partition;
 // partitions concatenated in partition order).
-func (d *Driver) Collect(res Result, user string) ([]KV, error) {
+func (d *Driver) Collect(ctx context.Context, res Result, user string) ([]KV, error) {
 	var out []KV
 	for _, f := range res.OutputFiles {
-		data, err := d.fs.ReadFile(f, user)
+		data, err := d.fs.ReadFile(ctx, f, user)
 		if err != nil {
 			return nil, fmt.Errorf("mapreduce: collect %q: %w", f, err)
 		}
@@ -600,8 +653,8 @@ func (d *Driver) Collect(res Result, user string) ([]KV, error) {
 }
 
 // DropIntermediates removes a namespace's segments cluster-wide.
-func (d *Driver) DropIntermediates(spec JobSpec) {
-	d.fs.DropJob(spec.Namespace())
+func (d *Driver) DropIntermediates(ctx context.Context, spec JobSpec) {
+	d.fs.DropJob(ctx, spec.Namespace())
 }
 
 func sum(xs []int64) int64 {

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -138,11 +139,11 @@ func newEngineCluster(t *testing.T, o engineOpts) *engineCluster {
 		ec.fs[id] = fs
 		ec.workers[id] = w
 		handler := func(fs *dhtfs.Service, w *Worker) transport.Handler {
-			return func(method string, body []byte) ([]byte, error) {
-				if out, ok, err := w.Handle(method, body); ok {
+			return func(ctx context.Context, method string, body []byte) ([]byte, error) {
+				if out, ok, err := w.Handle(ctx, method, body); ok {
 					return out, err
 				}
-				if out, ok, err := fs.Handle(method, body); ok {
+				if out, ok, err := fs.Handle(ctx, method, body); ok {
 					return out, err
 				}
 				return nil, fmt.Errorf("unknown method %s", method)
@@ -183,7 +184,7 @@ func newEngineCluster(t *testing.T, o engineOpts) *engineCluster {
 // at record boundaries so map tasks never see torn words.
 func (ec *engineCluster) upload(t *testing.T, name string, data []byte, blockSize int) {
 	t.Helper()
-	if _, err := ec.fs[ec.ids[0]].UploadRecords(name, "tester", dhtfs.PermPublic, data, blockSize, '\n'); err != nil {
+	if _, err := ec.fs[ec.ids[0]].UploadRecords(context.Background(), name, "tester", dhtfs.PermPublic, data, blockSize, '\n'); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -248,7 +249,7 @@ func TestWordCountEndToEnd(t *testing.T) {
 	if res.MapTasks == 0 || res.ReduceTasks == 0 {
 		t.Fatalf("result = %+v", res)
 	}
-	kvs, err := ec.driver.Collect(res, "tester")
+	kvs, err := ec.driver.Collect(context.Background(), res, "tester")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestWordCountAllPolicies(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			kvs, err := ec.driver.Collect(res, "tester")
+			kvs, err := ec.driver.Collect(context.Background(), res, "tester")
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -305,7 +306,7 @@ func TestGrepWithParams(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kvs, err := ec.driver.Collect(res, "tester")
+	kvs, err := ec.driver.Collect(context.Background(), res, "tester")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +372,7 @@ func TestReuseTagSkipsMapPhase(t *testing.T) {
 	if !res2.MapsSkipped || res2.MapTasks != 0 {
 		t.Fatalf("second run did not reuse: %+v", res2)
 	}
-	kvs, err := ec.driver.Collect(res2, "tester")
+	kvs, err := ec.driver.Collect(context.Background(), res2, "tester")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -427,7 +428,7 @@ func TestMissingInputFails(t *testing.T) {
 
 func TestPermissionEnforcedOnInputs(t *testing.T) {
 	ec := newEngineCluster(t, engineOpts{})
-	if _, err := ec.fs[ec.ids[0]].Upload("private.txt", "alice", dhtfs.PermPrivate, []byte("x y z"), 64); err != nil {
+	if _, err := ec.fs[ec.ids[0]].Upload(context.Background(), "private.txt", "alice", dhtfs.PermPrivate, []byte("x y z"), 64); err != nil {
 		t.Fatal(err)
 	}
 	_, err := ec.driver.Run(JobSpec{
@@ -451,7 +452,7 @@ func TestSmallSpillThresholdManySpills(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kvs, err := ec.driver.Collect(res, "tester")
+	kvs, err := ec.driver.Collect(context.Background(), res, "tester")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -474,7 +475,7 @@ func TestMultipleInputFiles(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	kvs, err := ec.driver.Collect(res, "tester")
+	kvs, err := ec.driver.Collect(context.Background(), res, "tester")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -491,7 +492,7 @@ func TestDropIntermediates(t *testing.T) {
 	if _, err := ec.driver.Run(spec); err != nil {
 		t.Fatal(err)
 	}
-	ec.driver.DropIntermediates(spec)
+	ec.driver.DropIntermediates(context.Background(), spec)
 	for _, fs := range ec.fs {
 		if _, _, segs := fs.Store().Counts(); segs != 0 {
 			t.Fatal("segments remain after DropIntermediates")
@@ -538,7 +539,7 @@ func TestIntermediateTTLInvalidatesReuse(t *testing.T) {
 	if res.MapsSkipped || res.MapTasks == 0 {
 		t.Fatalf("run after TTL reused stale intermediates: %+v", res)
 	}
-	kvs, err := ec.driver.Collect(res, "tester")
+	kvs, err := ec.driver.Collect(context.Background(), res, "tester")
 	if err != nil {
 		t.Fatal(err)
 	}

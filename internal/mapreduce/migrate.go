@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"fmt"
 
 	"eclipsemr/internal/cache"
@@ -56,7 +57,7 @@ const (
 
 // handleMigration serves the migration methods; called from
 // Worker.Handle.
-func (w *Worker) handleMigration(method string, body []byte) ([]byte, bool, error) {
+func (w *Worker) handleMigration(ctx context.Context, method string, body []byte) ([]byte, bool, error) {
 	switch method {
 	case MethodCacheRange:
 		var req CacheRangeReq
@@ -78,7 +79,7 @@ func (w *Worker) handleMigration(method string, body []byte) ([]byte, bool, erro
 		if err := transport.Decode(body, &req); err != nil {
 			return nil, true, err
 		}
-		migrated, err := w.adoptRange(req)
+		migrated, err := w.adoptRange(ctx, req)
 		if err != nil {
 			return nil, true, err
 		}
@@ -90,7 +91,7 @@ func (w *Worker) handleMigration(method string, body []byte) ([]byte, bool, erro
 
 // adoptRange pulls cached blocks in [Start, End) from both neighbors into
 // the local iCache, skipping anything already cached here.
-func (w *Worker) adoptRange(req AdoptRangeReq) (int, error) {
+func (w *Worker) adoptRange(ctx context.Context, req AdoptRangeReq) (int, error) {
 	migrated := 0
 	var firstErr error
 	for _, neighbor := range []hashing.NodeID{req.Left, req.Right} {
@@ -101,7 +102,7 @@ func (w *Worker) adoptRange(req AdoptRangeReq) (int, error) {
 		if err != nil {
 			return migrated, err
 		}
-		out, err := w.net.Call(neighbor, MethodCacheRange, body)
+		out, err := w.net.Call(ctx, neighbor, MethodCacheRange, body)
 		if err != nil {
 			if firstErr == nil {
 				firstErr = fmt.Errorf("mapreduce: migrate from %s: %w", neighbor, err)

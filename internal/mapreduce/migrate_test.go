@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"testing"
 
 	"eclipsemr/internal/hashing"
@@ -14,7 +15,7 @@ func callWorker(t *testing.T, ec *engineCluster, to hashing.NodeID, method strin
 	if err != nil {
 		t.Fatal(err)
 	}
-	out, err := ec.net.Call(to, method, body)
+	out, err := ec.net.Call(context.Background(), to, method, body)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestAdoptRangeAllNeighborsDeadErrors(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := ec.net.Call(ec.ids[1], MethodAdoptRange, body); err == nil {
+	if _, err := ec.net.Call(context.Background(), ec.ids[1], MethodAdoptRange, body); err == nil {
 		t.Fatal("adopt with all neighbors dead succeeded")
 	}
 }

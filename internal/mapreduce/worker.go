@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -9,6 +10,7 @@ import (
 	"eclipsemr/internal/dhtfs"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/trace"
 	"eclipsemr/internal/transport"
 )
 
@@ -93,11 +95,12 @@ const (
 // reducer-side nodes, and serves reduce tasks from locally stored
 // segments (or oCache).
 type Worker struct {
-	self  hashing.NodeID
-	fs    *dhtfs.Service
-	cache *cache.NodeCache
-	net   transport.Network
-	reg   *metrics.Registry
+	self   hashing.NodeID
+	fs     *dhtfs.Service
+	cache  *cache.NodeCache
+	net    transport.Network
+	reg    *metrics.Registry
+	tracer *trace.Tracer
 }
 
 // NewWorker builds a Worker bound to the node's file system service and
@@ -112,15 +115,21 @@ func (w *Worker) Cache() *cache.NodeCache { return w.cache }
 // Metrics exposes the worker's operational counters.
 func (w *Worker) Metrics() *metrics.Registry { return w.reg }
 
+// SetTracer wires the node's tracer into the worker. Call before serving
+// tasks; a nil tracer (the default) disables worker spans.
+func (w *Worker) SetTracer(tr *trace.Tracer) { w.tracer = tr }
+
 // Handle serves one inbound mr.* call; the bool reports method ownership.
-func (w *Worker) Handle(method string, body []byte) ([]byte, bool, error) {
+// The context carries the caller's span context, so task spans started
+// here become children of the driver's dispatch span.
+func (w *Worker) Handle(ctx context.Context, method string, body []byte) ([]byte, bool, error) {
 	switch method {
 	case MethodRunMap:
 		var req RunMapReq
 		if err := transport.Decode(body, &req); err != nil {
 			return nil, true, err
 		}
-		resp, err := w.runMap(req)
+		resp, err := w.runMap(ctx, req)
 		if err != nil {
 			return nil, true, err
 		}
@@ -131,21 +140,21 @@ func (w *Worker) Handle(method string, body []byte) ([]byte, bool, error) {
 		if err := transport.Decode(body, &req); err != nil {
 			return nil, true, err
 		}
-		resp, err := w.runReduce(req)
+		resp, err := w.runReduce(ctx, req)
 		if err != nil {
 			return nil, true, err
 		}
 		out, err := transport.Encode(resp)
 		return out, true, err
 	}
-	return w.handleMigration(method, body)
+	return w.handleMigration(ctx, method, body)
 }
 
 // fetchBlock implements the paper's map-side read path: iCache, then the
 // local DHT-FS shard, then a remote read that populates iCache so the
 // popular block is now cached *here*, in the range the scheduler mapped it
 // to — independent of where the file system stored it.
-func (w *Worker) fetchBlock(k hashing.Key) (data []byte, cacheHit, remote bool, err error) {
+func (w *Worker) fetchBlock(ctx context.Context, k hashing.Key) (data []byte, cacheHit, remote bool, err error) {
 	if data, ok := w.cache.GetBlock(k); ok {
 		return data, true, false, nil
 	}
@@ -153,7 +162,7 @@ func (w *Worker) fetchBlock(k hashing.Key) (data []byte, cacheHit, remote bool, 
 		w.cache.PutBlock(k, data)
 		return data, false, false, nil
 	}
-	data, err = w.fs.ReadBlock(k)
+	data, err = w.fs.ReadBlock(ctx, k)
 	if err != nil {
 		return nil, false, false, err
 	}
@@ -162,7 +171,10 @@ func (w *Worker) fetchBlock(k hashing.Key) (data []byte, cacheHit, remote bool, 
 }
 
 // runMap executes one map task with proactive shuffling.
-func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
+func (w *Worker) runMap(ctx context.Context, req RunMapReq) (RunMapResp, error) {
+	ctx, task := w.tracer.StartSpan(ctx, "task.map")
+	defer task.End()
+	task.Annotate("task", req.Task)
 	app, err := lookupApp(req.App)
 	if err != nil {
 		return RunMapResp{}, err
@@ -176,7 +188,17 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 		return RunMapResp{}, err
 	}
 	readTimer := w.reg.Histogram("mr.map.read_ns").Start()
-	input, cacheHit, remote, err := w.fetchBlock(req.BlockKey)
+	rctx, rd := w.tracer.StartSpan(ctx, "map.read")
+	input, cacheHit, remote, err := w.fetchBlock(rctx, req.BlockKey)
+	if cacheHit {
+		rd.Annotate("cache", "hit")
+	} else {
+		rd.Annotate("cache", "miss")
+	}
+	if remote {
+		rd.Annotate("remote", "true")
+	}
+	rd.End()
 	readTimer.Stop()
 	if err != nil {
 		return RunMapResp{}, fmt.Errorf("mapreduce: map input %s: %w", req.BlockKey, err)
@@ -213,7 +235,7 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 		}
 		data := EncodeKVs(kvs)
 		partition := partitionName(part)
-		if err := w.pushSpill(req, part, partition, seq[part], data); err != nil {
+		if err := w.pushSpill(ctx, req, part, partition, seq[part], data); err != nil {
 			return err
 		}
 		seq[part]++
@@ -238,16 +260,22 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 	}
 
 	// Compute time covers the user map function and combiner; inline
-	// spill pushes are timed separately as mr.shuffle.send_ns.
+	// spill pushes are timed separately as mr.shuffle.send_ns (their spans
+	// parent under task.map, not map.compute, since the final flush runs
+	// after the user function returns).
 	computeTimer := w.reg.Histogram("mr.map.compute_ns").Start()
+	_, comp := w.tracer.StartSpan(ctx, "map.compute")
 	if err := app.Map(req.Params, input, emit); err != nil {
+		comp.End()
 		return RunMapResp{}, fmt.Errorf("mapreduce: map %s on block %s: %w", req.App, req.BlockKey, err)
 	}
 	for part := range buffers {
 		if err := spill(part); err != nil {
+			comp.End()
 			return RunMapResp{}, err
 		}
 	}
+	comp.End()
 	computeTimer.Stop()
 	return resp, nil
 }
@@ -258,8 +286,11 @@ func (w *Worker) runMap(req RunMapReq) (RunMapResp, error) {
 // target must accept the spill, and any non-structural failure (a retry
 // budget exhausted by message loss, an application error) fails the map
 // attempt so the driver can re-dispatch it.
-func (w *Worker) pushSpill(req RunMapReq, part int, partition string, seq int, data []byte) error {
+func (w *Worker) pushSpill(ctx context.Context, req RunMapReq, part int, partition string, seq int, data []byte) error {
 	defer w.reg.Histogram("mr.shuffle.send_ns").Start().Stop()
+	ctx, sp := w.tracer.StartSpan(ctx, "shuffle.send")
+	defer sp.End()
+	sp.Annotate("partition", partition)
 	targets := []hashing.NodeID{req.ReduceServers[part]}
 	if len(req.ReduceReplicas) == len(req.ReduceServers) {
 		if r := req.ReduceReplicas[part]; r != "" && r != targets[0] {
@@ -272,9 +303,9 @@ func (w *Worker) pushSpill(req RunMapReq, part int, partition string, seq int, d
 		var err error
 		if req.Task != "" {
 			tag := dhtfs.SegTag{Task: req.Task, Attempt: req.Attempt, Seq: seq}
-			err = w.fs.PushTaggedSegment(t, req.Namespace, partition, tag, data, req.TTL)
+			err = w.fs.PushTaggedSegment(ctx, t, req.Namespace, partition, tag, data, req.TTL)
 		} else {
-			err = w.fs.PushSegment(t, req.Namespace, partition, data, req.TTL)
+			err = w.fs.PushSegment(ctx, t, req.Namespace, partition, data, req.TTL)
 		}
 		if err == nil {
 			stored++
@@ -321,7 +352,7 @@ func mergedTag(part int) string { return "merged:" + partitionName(part) }
 // the set (pushSpill's invariant), so the union over the reachable members
 // is complete as long as at least one answers; duplicates and superseded
 // attempts are resolved by dhtfs.MergeTaggedSegments.
-func (w *Worker) gatherReplicatedSegments(req RunReduceReq) ([][]byte, error) {
+func (w *Worker) gatherReplicatedSegments(ctx context.Context, req RunReduceReq) ([][]byte, error) {
 	partition := partitionName(req.Partition)
 	var tagged []dhtfs.TaggedSegment
 	reached := 0
@@ -332,7 +363,7 @@ func (w *Worker) gatherReplicatedSegments(req RunReduceReq) ([][]byte, error) {
 		if t == w.self {
 			segs = w.fs.Store().ReadTaggedSegments(req.Namespace, partition)
 		} else {
-			segs, err = w.fs.FetchTaggedSegments(t, req.Namespace, partition)
+			segs, err = w.fs.FetchTaggedSegments(ctx, t, req.Namespace, partition)
 		}
 		if err != nil {
 			lastErr = err
@@ -352,7 +383,10 @@ func (w *Worker) gatherReplicatedSegments(req RunReduceReq) ([][]byte, error) {
 // data (oCache, local segments, or a remote fetch if scheduled off the
 // segment owner), group by key, reduce, and persist the output to the DHT
 // file system.
-func (w *Worker) runReduce(req RunReduceReq) (RunReduceResp, error) {
+func (w *Worker) runReduce(ctx context.Context, req RunReduceReq) (RunReduceResp, error) {
+	ctx, task := w.tracer.StartSpan(ctx, "task.reduce")
+	defer task.End()
+	task.Annotate("partition", partitionName(req.Partition))
 	app, err := lookupApp(req.App)
 	if err != nil {
 		return RunReduceResp{}, err
@@ -362,19 +396,24 @@ func (w *Worker) runReduce(req RunReduceReq) (RunReduceResp, error) {
 	if data, ok := w.cache.GetTagged(req.Namespace, mergedTag(req.Partition)); ok {
 		merged = data
 		resp.InputCached = true
+		task.Annotate("cache", "hit")
 	} else {
+		task.Annotate("cache", "miss")
 		recvTimer := w.reg.Histogram("mr.shuffle.recv_ns").Start()
+		rctx, recv := w.tracer.StartSpan(ctx, "shuffle.recv")
 		var segments [][]byte
 		if len(req.SegmentReplicas) > 0 {
-			segments, err = w.gatherReplicatedSegments(req)
+			segments, err = w.gatherReplicatedSegments(rctx, req)
 			if err != nil {
+				recv.End()
 				return RunReduceResp{}, err
 			}
 		} else if req.SegmentOwner == w.self {
 			segments = w.fs.Store().ReadSegments(req.Namespace, partitionName(req.Partition))
 		} else {
-			segments, err = w.fs.FetchSegments(req.SegmentOwner, req.Namespace, partitionName(req.Partition))
+			segments, err = w.fs.FetchSegments(rctx, req.SegmentOwner, req.Namespace, partitionName(req.Partition))
 			if err != nil {
+				recv.End()
 				return RunReduceResp{}, fmt.Errorf("mapreduce: fetch segments for partition %d: %w",
 					req.Partition, err)
 			}
@@ -382,6 +421,7 @@ func (w *Worker) runReduce(req RunReduceReq) (RunReduceResp, error) {
 		for _, seg := range segments {
 			merged = append(merged, seg...)
 		}
+		recv.End()
 		recvTimer.Stop()
 		if req.CacheIntermediates && len(merged) > 0 {
 			w.cache.PutTagged(req.Namespace, mergedTag(req.Partition),
@@ -401,19 +441,24 @@ func (w *Worker) runReduce(req RunReduceReq) (RunReduceResp, error) {
 		return nil
 	}
 	computeTimer := w.reg.Histogram("mr.reduce.compute_ns").Start()
+	_, comp := w.tracer.StartSpan(ctx, "reduce.compute")
 	for _, g := range GroupByKey(kvs) {
 		resp.Keys++
 		if err := app.Reduce(req.Params, g.Key, g.Values, emit); err != nil {
+			comp.End()
 			return RunReduceResp{}, fmt.Errorf("mapreduce: reduce key %q: %w", g.Key, err)
 		}
 	}
+	comp.End()
 	computeTimer.Stop()
 	blockSize := req.OutputBlockSize
 	if blockSize <= 0 {
 		blockSize = 1 << 20
 	}
 	writeTimer := w.reg.Histogram("mr.reduce.write_ns").Start()
-	_, err = w.fs.Upload(req.OutputFile, req.User, dhtfs.PermPublic, output, blockSize)
+	wctx, wr := w.tracer.StartSpan(ctx, "reduce.write")
+	_, err = w.fs.Upload(wctx, req.OutputFile, req.User, dhtfs.PermPublic, output, blockSize)
+	wr.End()
 	writeTimer.Stop()
 	if err != nil {
 		return RunReduceResp{}, fmt.Errorf("mapreduce: store output %q: %w", req.OutputFile, err)

@@ -6,6 +6,7 @@ package nodecmd
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"os"
 	"sort"
@@ -67,7 +68,7 @@ func WaitForPeers(net transport.Network, hosts map[hashing.NodeID]string, self h
 	}
 	for len(pending) > 0 {
 		for id := range pending {
-			if _, err := net.Call(id, "cluster.ping", body); err == nil {
+			if _, err := net.Call(context.Background(), id, "cluster.ping", body); err == nil {
 				delete(pending, id)
 			}
 		}
@@ -168,9 +169,9 @@ func ClientHandler(node *cluster.Node, ensureDriver func() (*mapreduce.Driver, e
 			var meta dhtfs.Metadata
 			var err error
 			if req.Records {
-				meta, err = node.FS().UploadRecords(req.Name, req.Owner, perm, req.Data, node.BlockSize(), '\n')
+				meta, err = node.FS().UploadRecords(context.Background(), req.Name, req.Owner, perm, req.Data, node.BlockSize(), '\n')
 			} else {
-				meta, err = node.FS().Upload(req.Name, req.Owner, perm, req.Data, node.BlockSize())
+				meta, err = node.FS().Upload(context.Background(), req.Name, req.Owner, perm, req.Data, node.BlockSize())
 			}
 			if err != nil {
 				return nil, true, err
@@ -182,7 +183,7 @@ func ClientHandler(node *cluster.Node, ensureDriver func() (*mapreduce.Driver, e
 			if err := transport.Decode(body, &req); err != nil {
 				return nil, true, err
 			}
-			data, err := node.FS().ReadFile(req.Name, req.User)
+			data, err := node.FS().ReadFile(context.Background(), req.Name, req.User)
 			if err != nil {
 				return nil, true, err
 			}
@@ -231,7 +232,7 @@ func ClientHandler(node *cluster.Node, ensureDriver func() (*mapreduce.Driver, e
 			if err != nil {
 				return nil, true, err
 			}
-			pairs, err := driver.Collect(req.Result, req.User)
+			pairs, err := driver.Collect(context.Background(), req.Result, req.User)
 			if err != nil {
 				return nil, true, err
 			}
@@ -248,7 +249,7 @@ func Call(net transport.Network, to hashing.NodeID, method string, req, resp any
 	if err != nil {
 		return err
 	}
-	out, err := net.Call(to, method, body)
+	out, err := net.Call(context.Background(), to, method, body)
 	if err != nil {
 		return err
 	}

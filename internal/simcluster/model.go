@@ -1,14 +1,17 @@
 package simcluster
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"time"
 
 	"eclipsemr/internal/cache"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/scheduler"
 	"eclipsemr/internal/sim"
+	"eclipsemr/internal/trace"
 	"eclipsemr/internal/workloads"
 )
 
@@ -66,6 +69,9 @@ type Model struct {
 	noProactive bool
 	running     int
 	jobs        map[string]*runningJob
+	// tr is non-nil after EnableTracing: deterministic per-node span
+	// recording on the virtual clock (see tracing.go).
+	tr *modelTrace
 }
 
 // NewModel builds a simulated cluster for one framework and policy.
@@ -230,6 +236,10 @@ type runningJob struct {
 	mapsLeft  int
 	reduces   int
 	done      func(JobStats)
+	// jctx carries the job's root span for task spans to parent under;
+	// context.Background() when the model is untraced.
+	jctx context.Context
+	root *trace.Span
 }
 
 // Submit schedules a job at virtual time `at`; done (optional) fires with
@@ -258,10 +268,13 @@ func (m *Model) Submit(job JobDesc, at float64, done func(JobStats)) error {
 		blockKeys: keys,
 		stats:     &JobStats{Name: job.Name, Start: at, MapTasks: len(keys) * job.Iterations},
 		done:      done,
+		jctx:      context.Background(),
 	}
 	m.jobs[job.Name] = j
 	m.S.At(at, func() {
 		m.running++
+		j.jctx, j.root = m.tr.startRoot(j.jctx, job.Name, "driver.job")
+		j.root.Annotate("framework", string(m.kind))
 		m.S.After(m.fw.JobOverhead, func() { m.startIteration(j) })
 	})
 	return nil
@@ -335,10 +348,35 @@ func (m *Model) startMapTask(a scheduler.Assignment) {
 		blockBytes = float64(j.desc.InputBytes) / float64(len(j.blockKeys))
 	}
 	overhead := m.fw.TaskOverhead
+	if a.Waited > 0 {
+		// The wait began a.Waited of virtual time ago; reconstruct it as
+		// a child of the job root so the timeline shows where scheduling
+		// (not execution) spent the time.
+		_, qs := m.tr.startSpanAt(n, j.jctx, "sched.queue_wait", m.tr.nowNS(n)-int64(a.Waited))
+		qs.Annotate("task", a.Task.ID)
+		qs.End()
+	}
+	// task is assigned when the slot overhead completes (inside begin);
+	// declared here so finish, defined first, can end it.
+	tctx := j.jctx
+	var task *trace.Span
 
 	acquire := func(cont func(fromCache bool)) {
+		_, rd := m.tr.startSpan(n, tctx, "map.read")
 		key := cache.BlockKey(a.Task.HashKey)
 		useCache := m.kind == Eclipse || (m.kind == Spark && j.desc.App.Iterative)
+		inner := cont
+		cont = func(fromCache bool) {
+			if useCache {
+				v := "miss"
+				if fromCache {
+					v = "hit"
+				}
+				rd.Annotate("cache", v)
+			}
+			rd.End()
+			inner(fromCache)
+		}
 		if useCache {
 			if _, ok := m.caches[n].Get(key); ok {
 				j.stats.CacheHits++
@@ -396,6 +434,7 @@ func (m *Model) startMapTask(a scheduler.Assignment) {
 	shuffleBytes := blockBytes * j.desc.App.ShuffleRatio
 
 	finish := func() {
+		task.End()
 		m.sched.Release(a.Node)
 		j.mapsLeft--
 		if j.mapsLeft == 0 {
@@ -412,6 +451,8 @@ func (m *Model) startMapTask(a scheduler.Assignment) {
 		m.S.After(overhead, fn)
 	}
 	begin(func() {
+		tctx, task = m.tr.startSpan(n, j.jctx, "task.map")
+		task.Annotate("task", a.Task.ID)
 		acquire(func(fromCache bool) {
 			compute := baseCompute
 			if !fromCache {
@@ -419,6 +460,7 @@ func (m *Model) startMapTask(a scheduler.Assignment) {
 				// cached partition is already in object form.
 				compute += blockBytes * m.fw.IOByteCost
 			}
+			_, comp := m.tr.startSpan(n, tctx, "map.compute")
 			if m.kind == Eclipse && !m.noProactive {
 				// Proactive shuffle: compute and the spill transfer overlap;
 				// the spill is one aggregate flow to a rotating partition
@@ -431,7 +473,10 @@ func (m *Model) startMapTask(a scheduler.Assignment) {
 						finish()
 					}
 				}
-				m.S.After(compute, part)
+				m.S.After(compute, func() {
+					comp.End()
+					part()
+				})
 				if shuffleBytes < 1 {
 					part()
 				} else {
@@ -439,8 +484,12 @@ func (m *Model) startMapTask(a scheduler.Assignment) {
 					// reducer-side disk write is charged at a symmetric
 					// stand-in (this node), keeping total disk work and
 					// balance identical without random peers.
+					_, sh := m.tr.startSpan(n, tctx, "shuffle.send")
 					m.allToAll(nicOut(n), shuffleBytes, func() {
-						m.diskWrite(n, shuffleBytes, part)
+						m.diskWrite(n, shuffleBytes, func() {
+							sh.End()
+							part()
+						})
 					})
 				}
 				return
@@ -451,6 +500,7 @@ func (m *Model) startMapTask(a scheduler.Assignment) {
 			// intermediate outputs in file systems", §III-E); its on-disk
 			// sort-based shuffle pays a second spill-merge pass.
 			m.S.After(compute, func() {
+				comp.End()
 				memShuffle := m.kind == Spark && (j.desc.App.Iterative || shuffleBytes < 64<<20)
 				if shuffleBytes < 1 || memShuffle {
 					finish()
@@ -500,13 +550,27 @@ func (m *Model) startReducePhase(j *runningJob) {
 // runReduceTask executes one reduce partition on its node.
 func (m *Model) runReduceTask(j *runningJob, node int, shufflePart, outPart float64, writeOutput bool) {
 	compute := shufflePart * (j.desc.App.ReduceCost*m.fw.ComputeFactor + m.fw.ShuffleByteCost)
+	tctx, task := m.tr.startSpan(node, j.jctx, "task.reduce")
+	task.Annotate("partition", strconv.Itoa(node))
+	// recv covers gathering the partition (local read of proactively
+	// delivered segments, or the pull shuffle) up to compute start.
+	var recv *trace.Span
 
 	finish := func() {
+		recv.End()
+		_, comp := m.tr.startSpan(node, tctx, "reduce.compute")
 		m.S.After(compute, func() {
+			comp.End()
 			write := func(done func()) {
 				if !writeOutput || outPart < 1 {
 					done()
 					return
+				}
+				_, wr := m.tr.startSpan(node, tctx, "reduce.write")
+				wrapped := done
+				done = func() {
+					wr.End()
+					wrapped()
 				}
 				// Local write plus (Replicas-1) remote copies.
 				pending := m.p.Replicas
@@ -522,7 +586,10 @@ func (m *Model) runReduceTask(j *runningJob, node int, shufflePart, outPart floa
 					m.transfer(outPart, node, dst, func() { m.diskWrite(dst, outPart, one) })
 				}
 			}
-			write(func() { m.reduceDone(j) })
+			write(func() {
+				task.End()
+				m.reduceDone(j)
+			})
 		})
 	}
 
@@ -530,6 +597,7 @@ func (m *Model) runReduceTask(j *runningJob, node int, shufflePart, outPart floa
 		finish()
 		return
 	}
+	_, recv = m.tr.startSpan(node, tctx, "shuffle.recv")
 	if m.kind == Eclipse && !m.noProactive {
 		// Proactive shuffle already delivered the partition locally.
 		m.diskRead(node, shufflePart, finish)
@@ -574,6 +642,8 @@ func (m *Model) reduceDone(j *runningJob) {
 		return
 	}
 	j.stats.Finish = m.S.Now()
+	j.root.Annotate("map_tasks", strconv.Itoa(j.stats.MapTasks))
+	j.root.End()
 	m.running--
 	if j.done != nil {
 		j.done(*j.stats)

@@ -1,0 +1,95 @@
+package simcluster
+
+import (
+	"context"
+
+	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/trace"
+)
+
+// modelTrace holds the per-node tracers of a traced simulation run. All
+// tracers share the model's virtual clock and derive span IDs from the
+// run seed, so a single-threaded simulated run produces byte-identical
+// traces for identical parameters — the property the determinism test
+// and EXPERIMENTS.md rely on.
+type modelTrace struct {
+	driver *trace.Tracer
+	nodes  []*trace.Tracer
+}
+
+// EnableTracing turns span recording on for this model: one tracer per
+// simulated node plus one for the driver role, all on the simulation
+// clock, with span IDs seeded from seed. Call before Run; spans are
+// collected afterwards with TraceSpans or TraceChrome.
+func (m *Model) EnableTracing(seed uint64) {
+	clock := metrics.ClockFunc(m.S.Clock())
+	mt := &modelTrace{}
+	mk := func(node string) *trace.Tracer {
+		// A simulated job emits a handful of spans per task; 64Ki slots
+		// keep moderate paper-scale runs from overwriting their tails.
+		t := trace.New(node, trace.Options{Clock: clock, Seed: seed, Capacity: 1 << 16})
+		t.SetEnabled(true)
+		return t
+	}
+	mt.driver = mk("driver")
+	for _, id := range m.ids {
+		mt.nodes = append(mt.nodes, mk(string(id)))
+	}
+	m.tr = mt
+}
+
+// startRoot opens the job's root span on the driver tracer. Nil-safe:
+// an untraced model returns the context unchanged and a nil span.
+func (mt *modelTrace) startRoot(ctx context.Context, job, name string) (context.Context, *trace.Span) {
+	if mt == nil {
+		return ctx, nil
+	}
+	return mt.driver.StartRoot(ctx, job, name)
+}
+
+// startSpan opens a child span on node n's tracer. Nil-safe.
+func (mt *modelTrace) startSpan(n int, ctx context.Context, name string) (context.Context, *trace.Span) {
+	if mt == nil {
+		return ctx, nil
+	}
+	return mt.nodes[n].StartSpan(ctx, name)
+}
+
+// startSpanAt opens a child span on node n's tracer with an explicit
+// (virtual) start time, for reconstructed intervals such as scheduler
+// queue waits. Nil-safe.
+func (mt *modelTrace) startSpanAt(n int, ctx context.Context, name string, startNS int64) (context.Context, *trace.Span) {
+	if mt == nil {
+		return ctx, nil
+	}
+	return mt.nodes[n].StartSpanAt(ctx, name, startNS)
+}
+
+// nowNS reads the shared virtual clock through a tracer (0 untraced).
+func (mt *modelTrace) nowNS(n int) int64 {
+	if mt == nil {
+		return 0
+	}
+	return mt.nodes[n].NowNS()
+}
+
+// TraceSpans returns the collected spans of one simulated job (all jobs
+// if job is empty), deduped in canonical order. Empty without
+// EnableTracing.
+func (m *Model) TraceSpans(job string) []trace.Span {
+	if m.tr == nil {
+		return nil
+	}
+	var all []trace.Span
+	all = append(all, m.tr.driver.Spans(job)...)
+	for _, t := range m.tr.nodes {
+		all = append(all, t.Spans(job)...)
+	}
+	return trace.Dedupe(all)
+}
+
+// TraceChrome exports one simulated job's trace as Chrome trace-event
+// JSON (load in Perfetto / chrome://tracing).
+func (m *Model) TraceChrome(job string) ([]byte, error) {
+	return trace.ChromeTrace(m.TraceSpans(job))
+}

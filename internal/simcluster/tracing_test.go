@@ -1,0 +1,109 @@
+package simcluster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"eclipsemr/internal/trace"
+)
+
+// tracedRun executes one small traced WordCount (two iterations, so the
+// second pass hits the warm cache) and returns the collected spans plus
+// the Chrome export bytes.
+func tracedRun(t *testing.T, seed uint64) ([]trace.Span, []byte) {
+	t.Helper()
+	m, err := NewModel(Params{Nodes: 4, RackSize: 4}, Eclipse, LAF(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.EnableTracing(seed)
+	if err := m.Submit(JobDesc{
+		Name: "wc", App: ProfileWordCount, InputBytes: 2 << 30, Iterations: 2, Seed: 1,
+	}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	spans := m.TraceSpans("wc")
+	data, err := m.TraceChrome("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spans, data
+}
+
+// TestTracedRunDeterministic is the acceptance gate for simulated
+// tracing: two runs with the same seed must export byte-identical
+// Chrome trace JSON, and the trace must cover the whole
+// driver→map→shuffle→reduce path on every node with cache annotations.
+func TestTracedRunDeterministic(t *testing.T) {
+	spans, data1 := tracedRun(t, 7)
+	_, data2 := tracedRun(t, 7)
+	if !bytes.Equal(data1, data2) {
+		t.Fatalf("same seed produced different trace bytes (%d vs %d bytes)", len(data1), len(data2))
+	}
+	if err := trace.ValidateChrome(data1); err != nil {
+		t.Fatalf("exported trace invalid: %v", err)
+	}
+	_, data3 := tracedRun(t, 8)
+	if bytes.Equal(data1, data3) {
+		t.Fatal("different seeds produced identical trace bytes; span IDs ignore the seed")
+	}
+
+	names := map[string]bool{}
+	nodes := map[string]bool{}
+	cacheVals := map[string]bool{}
+	for _, s := range spans {
+		names[s.Name] = true
+		nodes[s.Node] = true
+		for _, a := range s.Annotations {
+			if a.Key == "cache" {
+				cacheVals[a.Value] = true
+			}
+		}
+	}
+	for _, want := range []string{
+		"driver.job", "task.map", "map.read", "map.compute", "shuffle.send",
+		"task.reduce", "shuffle.recv", "reduce.compute", "reduce.write",
+	} {
+		if !names[want] {
+			t.Errorf("no %q span in traced run (have %v)", want, names)
+		}
+	}
+	for _, n := range []string{"driver", "node-00", "node-01", "node-02", "node-03"} {
+		if !nodes[n] {
+			t.Errorf("no spans from %s (have %v)", n, nodes)
+		}
+	}
+	// Iteration 1 reads from disk, iteration 2 from the warm cache.
+	if !cacheVals["miss"] || !cacheVals["hit"] {
+		t.Errorf("want both cache=miss and cache=hit annotations, got %v", cacheVals)
+	}
+
+	tree := trace.BuildTree(spans)
+	if len(tree) != 1 {
+		t.Fatalf("got %d root spans, want 1 (driver.job)", len(tree))
+	}
+	tl := trace.RenderTimeline(spans)
+	if !strings.Contains(tl, "driver.job") || !strings.Contains(tl, "task.reduce") {
+		t.Errorf("timeline missing stages:\n%s", tl)
+	}
+}
+
+// TestUntracedModelRecordsNothing pins the off switch: a model without
+// EnableTracing collects no spans and exports an empty trace.
+func TestUntracedModelRecordsNothing(t *testing.T) {
+	m, err := NewModel(Params{Nodes: 2, RackSize: 2}, Eclipse, LAF(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Submit(JobDesc{
+		Name: "wc", App: ProfileWordCount, InputBytes: 256 << 20, Seed: 1,
+	}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	m.Run()
+	if spans := m.TraceSpans("wc"); spans != nil {
+		t.Fatalf("untraced model collected %d spans", len(spans))
+	}
+}

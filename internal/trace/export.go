@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// ChromeEvent is one entry of the Chrome trace-event format ("X"
+// complete slices, "i" instants, "M" metadata), the JSON schema Perfetto
+// and chrome://tracing load. Field order is fixed by the struct, and
+// Args is a map (json.Marshal sorts map keys), so marshaling the same
+// spans always yields the same bytes.
+type ChromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	TS   int64             `json:"ts"` // microseconds
+	Dur  int64             `json:"dur,omitempty"`
+	PID  int               `json:"pid"`
+	TID  int               `json:"tid"`
+	S    string            `json:"s,omitempty"` // instant scope
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeFile is the top-level JSON object of an exported trace.
+type ChromeFile struct {
+	TraceEvents     []ChromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// ChromeTrace exports spans as Chrome trace-event JSON: one process per
+// node (named by a metadata event), slices laid out on per-node lanes so
+// overlapping spans render side by side, and span events as thread-scoped
+// instants. Output is deterministic for a given span set.
+func ChromeTrace(spans []Span) ([]byte, error) {
+	spans = Dedupe(spans)
+	nodes := make([]string, 0, 8)
+	seen := map[string]bool{}
+	for _, s := range spans {
+		if !seen[s.Node] {
+			seen[s.Node] = true
+			nodes = append(nodes, s.Node)
+		}
+	}
+	sort.Strings(nodes)
+	have := make(map[SpanID]bool, len(spans))
+	for _, s := range spans {
+		have[s.ID] = true
+	}
+	pid := make(map[string]int, len(nodes))
+	events := make([]ChromeEvent, 0, len(spans)*2+len(nodes))
+	for i, n := range nodes {
+		pid[n] = i + 1
+		events = append(events, ChromeEvent{
+			Name: "process_name", Ph: "M", PID: i + 1,
+			Args: map[string]string{"name": n},
+		})
+	}
+
+	// Greedy per-node lane assignment: spans are in start order, so each
+	// span takes the first lane free at its start time. Deterministic
+	// because both the span order and lane scan are.
+	type lane struct{ endNS int64 }
+	lanes := map[string][]lane{}
+	body := make([]ChromeEvent, 0, len(spans)*2)
+	for _, s := range spans {
+		ls := lanes[s.Node]
+		tid := -1
+		for i := range ls {
+			if ls[i].endNS <= s.StartNS {
+				tid = i
+				ls[i].endNS = s.StartNS + s.DurNS
+				break
+			}
+		}
+		if tid < 0 {
+			tid = len(ls)
+			ls = append(ls, lane{endNS: s.StartNS + s.DurNS})
+		}
+		lanes[s.Node] = ls
+
+		parent := s.Parent
+		if !have[parent] {
+			parent = 0 // uncollected parent: render as a root slice
+		}
+		args := make(map[string]string, len(s.Annotations)+3)
+		for _, a := range s.Annotations {
+			args[a.Key] = a.Value
+		}
+		// Reserved keys win over any colliding annotation.
+		args["span"] = fmt.Sprintf("%016x", uint64(s.ID))
+		args["parent"] = fmt.Sprintf("%016x", uint64(parent))
+		args["trace"] = s.Trace
+		body = append(body, ChromeEvent{
+			Name: s.Name, Ph: "X",
+			TS: s.StartNS / 1000, Dur: s.DurNS / 1000,
+			PID: pid[s.Node], TID: tid + 1, Args: args,
+		})
+		for _, e := range s.Events {
+			body = append(body, ChromeEvent{
+				Name: e.Msg, Ph: "i", TS: e.AtNS / 1000,
+				PID: pid[s.Node], TID: tid + 1, S: "t",
+			})
+		}
+	}
+	// The file promises monotone timestamps; instants recorded inside a
+	// span start after it, so a stable sort by ts (span order already
+	// deterministic) suffices.
+	sort.SliceStable(body, func(i, j int) bool { return body[i].TS < body[j].TS })
+	events = append(events, body...)
+	return json.MarshalIndent(ChromeFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// ValidateChrome checks an exported trace against the Chrome trace-event
+// schema as the CI smoke test understands it: parseable JSON, known
+// phase codes, non-negative times, monotone timestamps in file order,
+// and every referenced parent present and started before its child.
+func ValidateChrome(data []byte) error {
+	var f ChromeFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return fmt.Errorf("trace: not valid JSON: %w", err)
+	}
+	if len(f.TraceEvents) == 0 {
+		return fmt.Errorf("trace: no events")
+	}
+	starts := map[string]int64{} // span ID hex -> ts
+	lastTS := int64(-1)
+	for i, e := range f.TraceEvents {
+		switch e.Ph {
+		case "M":
+			continue
+		case "X", "i":
+		default:
+			return fmt.Errorf("trace: event %d: unknown phase %q", i, e.Ph)
+		}
+		if e.Name == "" {
+			return fmt.Errorf("trace: event %d: empty name", i)
+		}
+		if e.TS < 0 || e.Dur < 0 {
+			return fmt.Errorf("trace: event %d (%s): negative time", i, e.Name)
+		}
+		if e.TS < lastTS {
+			return fmt.Errorf("trace: event %d (%s): timestamp %d before predecessor %d",
+				i, e.Name, e.TS, lastTS)
+		}
+		lastTS = e.TS
+		if e.Ph == "X" {
+			if id := e.Args["span"]; id != "" {
+				starts[id] = e.TS
+			}
+		}
+	}
+	const zeroID = "0000000000000000"
+	for i, e := range f.TraceEvents {
+		if e.Ph != "X" {
+			continue
+		}
+		p := e.Args["parent"]
+		if p == "" || p == zeroID {
+			continue
+		}
+		pts, ok := starts[p]
+		if !ok {
+			return fmt.Errorf("trace: event %d (%s): parent %s not in file", i, e.Name, p)
+		}
+		if pts > e.TS {
+			return fmt.Errorf("trace: event %d (%s): starts at %d before parent %s at %d",
+				i, e.Name, e.TS, p, pts)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TreeNode is one span with its children, as assembled by BuildTree.
+type TreeNode struct {
+	Span     Span
+	Children []*TreeNode
+}
+
+// Dedupe removes duplicate span IDs (a span can be collected twice when
+// a node is queried through different paths) and sorts the result by
+// (start, ID) — the canonical collection order.
+func Dedupe(spans []Span) []Span {
+	seen := make(map[SpanID]bool, len(spans))
+	out := make([]Span, 0, len(spans))
+	for _, s := range spans {
+		if s.ID == 0 || seen[s.ID] {
+			continue
+		}
+		seen[s.ID] = true
+		out = append(out, s)
+	}
+	sortSpans(out)
+	return out
+}
+
+// sortSpans orders spans deterministically: start time, then ID, then
+// node and name (IDs are unique, so the tail keys only guard against
+// malformed input).
+func sortSpans(spans []Span) {
+	sort.Slice(spans, func(i, j int) bool {
+		a, b := spans[i], spans[j]
+		if a.StartNS != b.StartNS {
+			return a.StartNS < b.StartNS
+		}
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.Name < b.Name
+	})
+}
+
+// BuildTree links spans into parent/child trees. Spans whose parent was
+// not collected (ring overwrote it, node unreachable) are promoted to
+// roots so no data is silently dropped. Roots and children are in
+// deterministic (start, ID) order.
+func BuildTree(spans []Span) []*TreeNode {
+	spans = Dedupe(spans)
+	nodes := make(map[SpanID]*TreeNode, len(spans))
+	for _, s := range spans {
+		nodes[s.ID] = &TreeNode{Span: s}
+	}
+	var roots []*TreeNode
+	for _, s := range spans { // spans is sorted, so children append in order
+		n := nodes[s.ID]
+		if p, ok := nodes[s.Parent]; ok && s.Parent != s.ID {
+			p.Children = append(p.Children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+// RenderTimeline renders the span tree as an indented text timeline with
+// offsets relative to the earliest span. Suitable for terminals; for
+// interactive exploration use ChromeTrace and Perfetto.
+func RenderTimeline(spans []Span) string {
+	spans = Dedupe(spans)
+	if len(spans) == 0 {
+		return "no spans\n"
+	}
+	epoch := spans[0].StartNS
+	nodes := map[string]bool{}
+	traces := map[string]bool{}
+	for _, s := range spans {
+		nodes[s.Node] = true
+		traces[s.Trace] = true
+	}
+	ids := make([]string, 0, len(traces))
+	for id := range traces {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s: %d spans over %d nodes\n",
+		strings.Join(ids, ","), len(spans), len(nodes))
+	var walk func(n *TreeNode, depth int)
+	walk = func(n *TreeNode, depth int) {
+		s := n.Span
+		line := fmt.Sprintf("%s%s", strings.Repeat("  ", depth), s.Name)
+		fmt.Fprintf(&b, "%-44s %10.3fms %10.3fms  %s%s\n",
+			line, float64(s.StartNS-epoch)/1e6, float64(s.DurNS)/1e6,
+			s.Node, annotationSuffix(s))
+		for _, e := range s.Events {
+			fmt.Fprintf(&b, "%s· %10.3fms %s\n",
+				strings.Repeat("  ", depth+1), float64(e.AtNS-epoch)/1e6, e.Msg)
+		}
+		for _, c := range n.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range BuildTree(spans) {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+func annotationSuffix(s Span) string {
+	if len(s.Annotations) == 0 {
+		return ""
+	}
+	parts := make([]string, 0, len(s.Annotations))
+	for _, a := range s.Annotations {
+		parts = append(parts, a.Key+"="+a.Value)
+	}
+	return "  [" + strings.Join(parts, " ") + "]"
+}

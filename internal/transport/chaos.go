@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/trace"
 )
 
 // ChaosConfig parameterizes fault injection. The zero value injects
@@ -145,8 +147,8 @@ func (c *Chaos) Unlisten(id hashing.NodeID) { c.inner.Unlisten(id) }
 func (c *Chaos) Close() error { return c.inner.Close() }
 
 // Call invokes a method with fault injection, with no origin identity.
-func (c *Chaos) Call(to hashing.NodeID, method string, body []byte) ([]byte, error) {
-	return c.call("", to, method, body)
+func (c *Chaos) Call(ctx context.Context, to hashing.NodeID, method string, body []byte) ([]byte, error) {
+	return c.call(ctx, "", to, method, body)
 }
 
 // From returns an origin-stamped facet.
@@ -166,8 +168,8 @@ type chaosFacet struct {
 func (f chaosFacet) Listen(id hashing.NodeID, h Handler) error { return f.c.Listen(id, h) }
 func (f chaosFacet) Unlisten(id hashing.NodeID)                { f.c.Unlisten(id) }
 func (f chaosFacet) Close() error                              { return f.c.Close() }
-func (f chaosFacet) Call(to hashing.NodeID, method string, body []byte) ([]byte, error) {
-	return f.c.call(f.from, to, method, body)
+func (f chaosFacet) Call(ctx context.Context, to hashing.NodeID, method string, body []byte) ([]byte, error) {
+	return f.c.call(ctx, f.from, to, method, body)
 }
 
 // splitmix64 is the per-call pseudo-random mixer; a fixed, portable
@@ -195,7 +197,7 @@ func uniform(seed int64, link uint64, n uint64, k uint64) float64 {
 }
 
 // call runs the fault schedule for one message.
-func (c *Chaos) call(from, to hashing.NodeID, method string, body []byte) ([]byte, error) {
+func (c *Chaos) call(ctx context.Context, from, to hashing.NodeID, method string, body []byte) ([]byte, error) {
 	c.mu.Lock()
 	cfg := c.cfg
 	drop, latency, jitter := cfg.Drop, cfg.Latency, cfg.Jitter
@@ -228,18 +230,21 @@ func (c *Chaos) call(from, to hashing.NodeID, method string, body []byte) ([]byt
 	lh := linkHash(from, to)
 	uDrop := uniform(cfg.Seed, lh, n, 0)
 	if d := latency + time.Duration(float64(jitter)*uniform(cfg.Seed, lh, n, 1)); d > 0 {
+		trace.Annotate(ctx, "chaos.delay", d.String())
 		time.Sleep(d)
 	}
 	if uDrop < drop/2 {
 		c.reg.Counter("chaos.drops").Inc()
 		c.reg.Counter("chaos.drops.request").Inc()
+		trace.Eventf(ctx, "chaos: dropped request %s n=%d", method, n)
 		c.logf("chaos: drop request link=%s->%s method=%s n=%d seed=%d", from, to, method, n, cfg.Seed)
 		return nil, fmt.Errorf("%w: request %s to %s (chaos n=%d)", ErrDropped, method, to, n)
 	}
-	out, err := c.inner.Call(to, method, body)
+	out, err := c.inner.Call(ctx, to, method, body)
 	if uDrop < drop {
 		c.reg.Counter("chaos.drops").Inc()
 		c.reg.Counter("chaos.drops.reply").Inc()
+		trace.Eventf(ctx, "chaos: dropped reply %s n=%d", method, n)
 		c.logf("chaos: drop reply link=%s->%s method=%s n=%d seed=%d", from, to, method, n, cfg.Seed)
 		return nil, fmt.Errorf("%w: reply %s from %s (chaos n=%d)", ErrDropped, method, to, n)
 	}

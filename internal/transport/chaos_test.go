@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"testing"
@@ -15,7 +16,7 @@ func chaosPattern(c *Chaos, from, to hashing.NodeID, n int) string {
 	var sb strings.Builder
 	caller := c.From(from)
 	for i := 0; i < n; i++ {
-		_, err := caller.Call(to, "echo", []byte("hi"))
+		_, err := caller.Call(context.Background(), to, "echo", []byte("hi"))
 		switch {
 		case err == nil:
 			sb.WriteByte('o')
@@ -65,7 +66,7 @@ func TestChaosDropAllAndCounters(t *testing.T) {
 	c.Listen("a", echoHandler)
 	const calls = 20
 	for i := 0; i < calls; i++ {
-		_, err := c.Call("a", "m", nil)
+		_, err := c.Call(context.Background(), "a", "m", nil)
 		if !errors.Is(err, ErrDropped) {
 			t.Fatalf("call %d: err = %v, want ErrDropped", i, err)
 		}
@@ -93,12 +94,12 @@ func TestChaosReplyDropRunsHandler(t *testing.T) {
 	defer inner.Close()
 	c := NewChaos(inner, ChaosConfig{Seed: 1, Drop: 1.0})
 	handled := 0
-	c.Listen("a", func(method string, body []byte) ([]byte, error) {
+	c.Listen("a", func(_ context.Context, method string, body []byte) ([]byte, error) {
 		handled++
 		return nil, nil
 	})
 	for i := 0; i < 40; i++ {
-		c.Call("a", "m", nil)
+		c.Call(context.Background(), "a", "m", nil)
 	}
 	// At drop=1 half the losses are reply drops, for which the handler
 	// must have run (the at-least-once failure mode).
@@ -116,7 +117,7 @@ func TestChaosLatency(t *testing.T) {
 	c := NewChaos(inner, ChaosConfig{Seed: 1, Latency: 20 * time.Millisecond})
 	c.Listen("a", echoHandler)
 	start := time.Now()
-	if _, err := c.Call("a", "m", nil); err != nil {
+	if _, err := c.Call(context.Background(), "a", "m", nil); err != nil {
 		t.Fatal(err)
 	}
 	if d := time.Since(start); d < 20*time.Millisecond {
@@ -131,14 +132,14 @@ func TestChaosAsymmetricPartition(t *testing.T) {
 	c.Listen("a", echoHandler)
 	c.Listen("b", echoHandler)
 	c.Partition("a", "b", true)
-	if _, err := c.From("a").Call("b", "m", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := c.From("a").Call(context.Background(), "b", "m", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("a->b err = %v, want ErrUnreachable", err)
 	}
-	if _, err := c.From("b").Call("a", "m", nil); err != nil {
+	if _, err := c.From("b").Call(context.Background(), "a", "m", nil); err != nil {
 		t.Fatalf("b->a should still work: %v", err)
 	}
 	c.Partition("a", "b", false)
-	if _, err := c.From("a").Call("b", "m", nil); err != nil {
+	if _, err := c.From("a").Call(context.Background(), "b", "m", nil); err != nil {
 		t.Fatalf("healed a->b: %v", err)
 	}
 }
@@ -150,15 +151,15 @@ func TestChaosCrashRevive(t *testing.T) {
 	c.Listen("a", echoHandler)
 	c.Listen("b", echoHandler)
 	c.Crash("a")
-	if _, err := c.From("b").Call("a", "m", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := c.From("b").Call(context.Background(), "a", "m", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("call to crashed node: err = %v", err)
 	}
 	// Crash-stop is bidirectional: the dead node's own calls go nowhere.
-	if _, err := c.From("a").Call("b", "m", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := c.From("a").Call(context.Background(), "b", "m", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("call from crashed node: err = %v", err)
 	}
 	c.Revive("a")
-	if _, err := c.From("b").Call("a", "m", nil); err != nil {
+	if _, err := c.From("b").Call(context.Background(), "a", "m", nil); err != nil {
 		t.Fatalf("call after revive: %v", err)
 	}
 }
@@ -170,13 +171,13 @@ func TestChaosPerLinkOverride(t *testing.T) {
 	c.Listen("a", echoHandler)
 	c.Listen("b", echoHandler)
 	c.SetLink("x", "a", 1.0, 0, 0)
-	if _, err := c.From("x").Call("a", "m", nil); !errors.Is(err, ErrDropped) {
+	if _, err := c.From("x").Call(context.Background(), "a", "m", nil); !errors.Is(err, ErrDropped) {
 		t.Fatalf("overridden link should drop: %v", err)
 	}
-	if _, err := c.From("x").Call("b", "m", nil); err != nil {
+	if _, err := c.From("x").Call(context.Background(), "b", "m", nil); err != nil {
 		t.Fatalf("other link affected by override: %v", err)
 	}
-	if _, err := c.From("y").Call("a", "m", nil); err != nil {
+	if _, err := c.From("y").Call(context.Background(), "a", "m", nil); err != nil {
 		t.Fatalf("other origin affected by override: %v", err)
 	}
 }
@@ -187,7 +188,7 @@ func TestChaosZeroConfigIsTransparent(t *testing.T) {
 	c := NewChaos(inner, ChaosConfig{})
 	c.Listen("a", echoHandler)
 	for i := 0; i < 50; i++ {
-		reply, err := c.Call("a", "echo", []byte("hi"))
+		reply, err := c.Call(context.Background(), "a", "echo", []byte("hi"))
 		if err != nil || string(reply) != "echo:hi" {
 			t.Fatalf("zero-config chaos altered behavior: %q, %v", reply, err)
 		}

@@ -1,13 +1,16 @@
 package transport
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"strconv"
 	"sync"
 	"time"
 
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/trace"
 )
 
 // RetryPolicy bounds transparent retries of transient call failures
@@ -120,8 +123,8 @@ func (r *Retry) Unlisten(id hashing.NodeID) { r.inner.Unlisten(id) }
 func (r *Retry) Close() error { return r.inner.Close() }
 
 // Call invokes a method, retrying transient failures per the policy.
-func (r *Retry) Call(to hashing.NodeID, method string, body []byte) ([]byte, error) {
-	return r.callOn(r.inner, to, method, body)
+func (r *Retry) Call(ctx context.Context, to hashing.NodeID, method string, body []byte) ([]byte, error) {
+	return r.callOn(ctx, r.inner, to, method, body)
 }
 
 // From returns a facet with the given origin if the inner network
@@ -150,7 +153,7 @@ func (r *Retry) uniform() float64 {
 // recorded RPC latency includes backoff sleeps and any chaos-injected
 // delay from an inner Chaos network — the latency the caller actually
 // experienced.
-func (r *Retry) callOn(inner Network, to hashing.NodeID, method string, body []byte) ([]byte, error) {
+func (r *Retry) callOn(ctx context.Context, inner Network, to hashing.NodeID, method string, body []byte) ([]byte, error) {
 	r.reg.Counter("net.calls").Inc()
 	//lint:ignore metricname per-RPC-method histogram family; the name space is bounded by the cluster's fixed method set
 	defer r.reg.Histogram("net.rpc." + method + "_ns").Start().Stop()
@@ -158,9 +161,16 @@ func (r *Retry) callOn(inner Network, to hashing.NodeID, method string, body []b
 	for attempt := 0; attempt < r.policy.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			r.reg.Counter("net.retries").Inc()
-			time.Sleep(r.policy.Backoff(attempt-1, r.uniform()))
+			backoff := r.policy.Backoff(attempt-1, r.uniform())
+			// Each retry attempt is a span event on the caller side, and
+			// the (last) attempt number an annotation, so retried RPCs are
+			// visible in collected traces.
+			trace.Eventf(ctx, "retry attempt=%d method=%s backoff=%v cause=%v",
+				attempt, method, backoff, lastErr)
+			trace.Annotate(ctx, "retry", strconv.Itoa(attempt))
+			time.Sleep(backoff)
 		}
-		out, err := inner.Call(to, method, body)
+		out, err := inner.Call(ctx, to, method, body)
 		if err == nil {
 			return out, nil
 		}
@@ -182,8 +192,8 @@ type retryFacet struct {
 func (f retryFacet) Listen(id hashing.NodeID, h Handler) error { return f.r.Listen(id, h) }
 func (f retryFacet) Unlisten(id hashing.NodeID)                { f.r.Unlisten(id) }
 func (f retryFacet) Close() error                              { return f.r.Close() }
-func (f retryFacet) Call(to hashing.NodeID, method string, body []byte) ([]byte, error) {
-	return f.r.callOn(f.inner, to, method, body)
+func (f retryFacet) Call(ctx context.Context, to hashing.NodeID, method string, body []byte) ([]byte, error) {
+	return f.r.callOn(ctx, f.inner, to, method, body)
 }
 
 var _ OriginNetwork = (*Retry)(nil)

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -18,7 +19,7 @@ type flakyNet struct {
 func (f *flakyNet) Listen(id hashing.NodeID, h Handler) error { return nil }
 func (f *flakyNet) Unlisten(id hashing.NodeID)                {}
 func (f *flakyNet) Close() error                              { return nil }
-func (f *flakyNet) Call(to hashing.NodeID, method string, body []byte) ([]byte, error) {
+func (f *flakyNet) Call(_ context.Context, to hashing.NodeID, method string, body []byte) ([]byte, error) {
 	f.calls++
 	if f.calls <= f.failures {
 		return nil, f.err
@@ -29,7 +30,7 @@ func (f *flakyNet) Call(to hashing.NodeID, method string, body []byte) ([]byte, 
 func TestRetryRecoversTransientFailures(t *testing.T) {
 	inner := &flakyNet{failures: 2, err: ErrDropped}
 	r := NewRetry(inner, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond})
-	out, err := r.Call("a", "m", nil)
+	out, err := r.Call(context.Background(), "a", "m", nil)
 	if err != nil {
 		t.Fatalf("retry did not absorb 2 drops: %v", err)
 	}
@@ -44,7 +45,7 @@ func TestRetryRecoversTransientFailures(t *testing.T) {
 func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
 	inner := &flakyNet{failures: 100, err: ErrTimeout}
 	r := NewRetry(inner, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond})
-	_, err := r.Call("a", "m", nil)
+	_, err := r.Call(context.Background(), "a", "m", nil)
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("exhausted error must preserve the cause: %v", err)
 	}
@@ -59,7 +60,7 @@ func TestRetryGivesUpAfterMaxAttempts(t *testing.T) {
 func TestRetryDoesNotRetryStructuralFailures(t *testing.T) {
 	inner := &flakyNet{failures: 100, err: ErrUnreachable}
 	r := NewRetry(inner, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond})
-	_, err := r.Call("a", "m", nil)
+	_, err := r.Call(context.Background(), "a", "m", nil)
 	if !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v", err)
 	}
@@ -98,7 +99,7 @@ func TestRetryOverChaosPreservesOrigins(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		if _, err := r.From("b").Call("a", "m", nil); err != nil {
+		if _, err := r.From("b").Call(context.Background(), "a", "m", nil); err != nil {
 			t.Fatalf("call %d not absorbed by retry at drop=0.4: %v", i, err)
 		}
 	}
@@ -109,7 +110,7 @@ func TestRetryOverChaosPreservesOrigins(t *testing.T) {
 	// The chaos layer saw origin-stamped traffic even through the retry
 	// decorator: crash-stop of the *caller* must cut these calls off.
 	chaos.Crash("b")
-	if _, err := r.From("b").Call("a", "m", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := r.From("b").Call(context.Background(), "a", "m", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("crashed origin still reached a: %v", err)
 	}
 }
@@ -121,7 +122,7 @@ func TestTCPDeadListenerTypedError(t *testing.T) {
 	net := NewTCP(map[hashing.NodeID]string{"dead": "127.0.0.1:1"}, 5*time.Second)
 	defer net.Close()
 	start := time.Now()
-	_, err := net.Call("dead", "m", nil)
+	_, err := net.Call(context.Background(), "dead", "m", nil)
 	if !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v, want ErrUnreachable", err)
 	}
@@ -144,7 +145,7 @@ func TestTCPReconnectAfterRegister(t *testing.T) {
 	}
 	caller := NewTCP(map[hashing.NodeID]string{"a": addr1}, 5*time.Second)
 	defer caller.Close()
-	if _, err := caller.Call("a", "m", nil); err != nil {
+	if _, err := caller.Call(context.Background(), "a", "m", nil); err != nil {
 		t.Fatalf("initial call: %v", err)
 	}
 
@@ -152,7 +153,7 @@ func TestTCPReconnectAfterRegister(t *testing.T) {
 	server1.Unlisten("a")
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, err := caller.Call("a", "m", nil); err != nil {
+		if _, err := caller.Call(context.Background(), "a", "m", nil); err != nil {
 			break // old address now refuses
 		}
 		if time.Now().After(deadline) {
@@ -168,7 +169,7 @@ func TestTCPReconnectAfterRegister(t *testing.T) {
 	}
 	addr2, _ := server2.Addr("a")
 	caller.Register("a", addr2)
-	reply, err := caller.Call("a", "back", []byte("x"))
+	reply, err := caller.Call(context.Background(), "a", "back", []byte("x"))
 	if err != nil {
 		t.Fatalf("call after re-register: %v", err)
 	}

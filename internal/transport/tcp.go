@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -10,6 +11,7 @@ import (
 	"time"
 
 	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/trace"
 )
 
 // TCP is a Network over real sockets. Node IDs are resolved through a
@@ -21,8 +23,16 @@ import (
 //
 // Wire format, all integers big-endian:
 //
-//	request:  u64 reqID | u16 methodLen | method | u32 bodyLen | body
-//	response: u64 reqID | u8 status(0 ok, 1 err) | u32 len | payload
+//	request v1:  u64 reqID | u16 methodLen | method | u32 bodyLen | body
+//	request v2:  u64 reqID | u16 methodLen|0x8000 | method
+//	             | u16 hdrLen | hdr | u32 bodyLen | body
+//	response:    u64 reqID | u8 status(0 ok, 1 err) | u32 len | payload
+//
+// The high bit of methodLen versions the request frame: v2 inserts a
+// small envelope header (today: the trace.SpanContext) between method
+// and body. Writers emit v1 whenever the header would be empty — an
+// untraced new node is byte-identical to an old one — and readers accept
+// both, so old and new binaries interoperate within a rolling upgrade.
 type TCP struct {
 	mu       sync.Mutex
 	registry map[hashing.NodeID]string // node -> host:port
@@ -133,12 +143,19 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 	defer conn.Close()
 	var wmu sync.Mutex
 	for {
-		reqID, method, body, err := readRequest(conn)
+		reqID, method, hdr, body, err := readRequest(conn)
 		if err != nil {
 			return
 		}
 		go func() {
-			reply, herr := h(method, body)
+			ctx := context.Background()
+			if len(hdr) > 0 {
+				// A corrupt header only loses tracing, never the call.
+				if sc, err := trace.DecodeSpanContext(hdr); err == nil {
+					ctx = trace.WithRemote(ctx, sc)
+				}
+			}
+			reply, herr := h(ctx, method, body)
 			wmu.Lock()
 			defer wmu.Unlock()
 			status, payload := byte(0), reply
@@ -157,12 +174,12 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 }
 
 // Call invokes a method on a remote node.
-func (t *TCP) Call(to hashing.NodeID, method string, body []byte) ([]byte, error) {
+func (t *TCP) Call(ctx context.Context, to hashing.NodeID, method string, body []byte) ([]byte, error) {
 	c, err := t.conn(to)
 	if err != nil {
 		return nil, err
 	}
-	reply, err := c.roundTrip(method, body, t.timeout)
+	reply, err := c.roundTrip(method, trace.Outbound(ctx).Encode(), body, t.timeout)
 	if err != nil {
 		var re *RemoteError
 		if !errors.As(err, &re) {
@@ -310,7 +327,7 @@ func (c *tcpConn) readLoop() {
 	}
 }
 
-func (c *tcpConn) roundTrip(method string, body []byte, timeout time.Duration) ([]byte, error) {
+func (c *tcpConn) roundTrip(method string, hdr, body []byte, timeout time.Duration) ([]byte, error) {
 	ch := make(chan tcpReply, 1)
 	c.mu.Lock()
 	if c.err != nil {
@@ -323,7 +340,7 @@ func (c *tcpConn) roundTrip(method string, body []byte, timeout time.Duration) (
 	c.pending[id] = ch
 	c.mu.Unlock()
 
-	if err := c.writeRequest(id, method, body); err != nil {
+	if err := c.writeRequest(id, method, hdr, body); err != nil {
 		c.mu.Lock()
 		delete(c.pending, id)
 		c.mu.Unlock()
@@ -354,18 +371,32 @@ func (c *tcpConn) roundTrip(method string, body []byte, timeout time.Duration) (
 	}
 }
 
-func (c *tcpConn) writeRequest(id uint64, method string, body []byte) error {
-	if len(method) > 1<<16-1 {
+// frameV2Flag marks a v2 request frame in the methodLen field; method
+// names are bounded well below 32 KiB so the bit is free.
+const frameV2Flag = 0x8000
+
+func (c *tcpConn) writeRequest(id uint64, method string, envHdr, body []byte) error {
+	if len(method) >= frameV2Flag {
 		return errors.New("transport: method name too long")
 	}
-	buf := make([]byte, 0, 14+len(method)+len(body))
-	var hdr [14]byte
-	binary.BigEndian.PutUint64(hdr[0:8], id)
-	binary.BigEndian.PutUint16(hdr[8:10], uint16(len(method)))
-	buf = append(buf, hdr[0:10]...)
+	if len(envHdr) > 1<<16-1 {
+		return errors.New("transport: envelope header too long")
+	}
+	buf := make([]byte, 0, 16+len(method)+len(envHdr)+len(body))
+	var scratch [8]byte
+	binary.BigEndian.PutUint64(scratch[:], id)
+	buf = append(buf, scratch[:]...)
+	mlen := uint16(len(method))
+	if len(envHdr) > 0 {
+		mlen |= frameV2Flag // v2 frame: envelope header follows the method
+	}
+	buf = binary.BigEndian.AppendUint16(buf, mlen)
 	buf = append(buf, method...)
-	binary.BigEndian.PutUint32(hdr[10:14], uint32(len(body)))
-	buf = append(buf, hdr[10:14]...)
+	if len(envHdr) > 0 {
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(envHdr)))
+		buf = append(buf, envHdr...)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, uint32(len(body)))
 	buf = append(buf, body...)
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
@@ -392,26 +423,37 @@ func (c *tcpConn) close(err error) {
 // handler (status 1).
 const statusTransportErr = 2
 
-func readRequest(r io.Reader) (reqID uint64, method string, body []byte, err error) {
+func readRequest(r io.Reader) (reqID uint64, method string, envHdr, body []byte, err error) {
 	var hdr [10]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, nil, err
 	}
 	reqID = binary.BigEndian.Uint64(hdr[0:8])
 	mlen := binary.BigEndian.Uint16(hdr[8:10])
-	mbuf := make([]byte, mlen)
+	v2 := mlen&frameV2Flag != 0
+	mbuf := make([]byte, mlen&^frameV2Flag)
 	if _, err = io.ReadFull(r, mbuf); err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, nil, err
+	}
+	if v2 {
+		var lbuf [2]byte
+		if _, err = io.ReadFull(r, lbuf[:]); err != nil {
+			return 0, "", nil, nil, err
+		}
+		envHdr = make([]byte, binary.BigEndian.Uint16(lbuf[:]))
+		if _, err = io.ReadFull(r, envHdr); err != nil {
+			return 0, "", nil, nil, err
+		}
 	}
 	var lbuf [4]byte
 	if _, err = io.ReadFull(r, lbuf[:]); err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, nil, err
 	}
 	body = make([]byte, binary.BigEndian.Uint32(lbuf[:]))
 	if _, err = io.ReadFull(r, body); err != nil {
-		return 0, "", nil, err
+		return 0, "", nil, nil, err
 	}
-	return reqID, string(mbuf), body, nil
+	return reqID, string(mbuf), envHdr, body, nil
 }
 
 func writeResponse(w io.Writer, reqID uint64, status byte, payload []byte) error {

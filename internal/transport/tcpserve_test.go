@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"net"
 	"sync"
@@ -45,7 +46,7 @@ func TestTCPServeConnClosesOnWriteError(t *testing.T) {
 	clientRaw, serverRaw := net.Pipe()
 	server := newFailWriteConn(serverRaw)
 
-	h := func(method string, body []byte) ([]byte, error) {
+	h := func(_ context.Context, method string, body []byte) ([]byte, error) {
 		return []byte("ok"), nil
 	}
 	done := make(chan struct{})
@@ -58,7 +59,7 @@ func TestTCPServeConnClosesOnWriteError(t *testing.T) {
 	defer client.close(errors.New("test done"))
 
 	// Healthy round trip first: the write path works until armed.
-	reply, err := client.roundTrip("ping", nil, 2*time.Second)
+	reply, err := client.roundTrip("ping", nil, nil, 2*time.Second)
 	if err != nil {
 		t.Fatalf("healthy roundTrip: %v", err)
 	}
@@ -69,7 +70,7 @@ func TestTCPServeConnClosesOnWriteError(t *testing.T) {
 	// Arm the fault: the next response write fails, so the server must
 	// close the connection rather than keep serving a desynced stream.
 	server.fail.Store(true)
-	_, err = client.roundTrip("ping", nil, 2*time.Second)
+	_, err = client.roundTrip("ping", nil, nil, 2*time.Second)
 	if err == nil {
 		t.Fatal("roundTrip after write failure: want error, got nil")
 	}

@@ -13,6 +13,7 @@ package transport
 
 import (
 	"bytes"
+	"context"
 	"encoding/gob"
 	"errors"
 	"fmt"
@@ -20,21 +21,35 @@ import (
 
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/metrics"
+	"eclipsemr/internal/trace"
 )
 
-// Handler processes one inbound call on a node.
-type Handler func(method string, body []byte) ([]byte, error)
+// Handler processes one inbound call on a node. The context carries the
+// caller's trace.SpanContext (if the call was traced) and nothing else:
+// cancellation does not cross the wire, so handlers receive a fresh
+// context even on the in-process network.
+type Handler func(ctx context.Context, method string, body []byte) ([]byte, error)
 
 // Network connects nodes by ID.
 type Network interface {
 	// Listen registers a node and its handler.
 	Listen(id hashing.NodeID, h Handler) error
 	// Call invokes method on the destination node and returns its reply.
-	Call(to hashing.NodeID, method string, body []byte) ([]byte, error)
+	// The context's active trace span (if any) is propagated to the
+	// handler through the transport envelope.
+	Call(ctx context.Context, to hashing.NodeID, method string, body []byte) ([]byte, error)
 	// Unlisten removes a node; subsequent calls to it fail.
 	Unlisten(id hashing.NodeID)
 	// Close tears the network down.
 	Close() error
+}
+
+// handlerContext builds the context a handler runs under: a fresh
+// background context carrying only the caller's span context, preserving
+// distributed semantics (no shared cancellation or values) on every
+// transport.
+func handlerContext(callerCtx context.Context) context.Context {
+	return trace.WithRemote(context.Background(), trace.Outbound(callerCtx))
 }
 
 // ErrUnreachable is returned when the destination node is not listening
@@ -123,7 +138,7 @@ func (l *Local) Listen(id hashing.NodeID, h Handler) error {
 }
 
 // Call invokes a method on the destination.
-func (l *Local) Call(to hashing.NodeID, method string, body []byte) ([]byte, error) {
+func (l *Local) Call(ctx context.Context, to hashing.NodeID, method string, body []byte) ([]byte, error) {
 	l.mu.RLock()
 	h, ok := l.handlers[to]
 	cut := l.partitioned[to]
@@ -132,7 +147,7 @@ func (l *Local) Call(to hashing.NodeID, method string, body []byte) ([]byte, err
 	if closed || !ok || cut {
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, to)
 	}
-	reply, err := h(method, append([]byte(nil), body...))
+	reply, err := h(handlerContext(ctx), method, append([]byte(nil), body...))
 	if err != nil {
 		return nil, &RemoteError{Method: method, Msg: err.Error()}
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -11,7 +12,7 @@ import (
 	"eclipsemr/internal/hashing"
 )
 
-func echoHandler(method string, body []byte) ([]byte, error) {
+func echoHandler(_ context.Context, method string, body []byte) ([]byte, error) {
 	if method == "fail" {
 		return nil, errors.New("boom")
 	}
@@ -23,7 +24,7 @@ func TestLocalCall(t *testing.T) {
 	if err := n.Listen("a", echoHandler); err != nil {
 		t.Fatal(err)
 	}
-	reply, err := n.Call("a", "echo", []byte("hi"))
+	reply, err := n.Call(context.Background(), "a", "echo", []byte("hi"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -35,7 +36,7 @@ func TestLocalCall(t *testing.T) {
 func TestLocalRemoteError(t *testing.T) {
 	n := NewLocal()
 	n.Listen("a", echoHandler)
-	_, err := n.Call("a", "fail", nil)
+	_, err := n.Call(context.Background(), "a", "fail", nil)
 	var re *RemoteError
 	if !errors.As(err, &re) || re.Msg != "boom" {
 		t.Fatalf("err = %v", err)
@@ -44,12 +45,12 @@ func TestLocalRemoteError(t *testing.T) {
 
 func TestLocalUnreachable(t *testing.T) {
 	n := NewLocal()
-	if _, err := n.Call("ghost", "m", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Call(context.Background(), "ghost", "m", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v", err)
 	}
 	n.Listen("a", echoHandler)
 	n.Unlisten("a")
-	if _, err := n.Call("a", "m", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Call(context.Background(), "a", "m", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("after Unlisten err = %v", err)
 	}
 }
@@ -58,11 +59,11 @@ func TestLocalPartition(t *testing.T) {
 	n := NewLocal()
 	n.Listen("a", echoHandler)
 	n.Partition("a", true)
-	if _, err := n.Call("a", "m", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := n.Call(context.Background(), "a", "m", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("partitioned node reachable: %v", err)
 	}
 	n.Partition("a", false)
-	if _, err := n.Call("a", "m", nil); err != nil {
+	if _, err := n.Call(context.Background(), "a", "m", nil); err != nil {
 		t.Fatalf("healed node unreachable: %v", err)
 	}
 }
@@ -78,12 +79,12 @@ func TestLocalDuplicateListen(t *testing.T) {
 func TestLocalPayloadIsolation(t *testing.T) {
 	n := NewLocal()
 	var got []byte
-	n.Listen("a", func(method string, body []byte) ([]byte, error) {
+	n.Listen("a", func(_ context.Context, method string, body []byte) ([]byte, error) {
 		got = body
 		return body, nil
 	})
 	sent := []byte("mutable")
-	reply, err := n.Call("a", "m", sent)
+	reply, err := n.Call(context.Background(), "a", "m", sent)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestLocalClosed(t *testing.T) {
 	n := NewLocal()
 	n.Listen("a", echoHandler)
 	n.Close()
-	if _, err := n.Call("a", "m", nil); err == nil {
+	if _, err := n.Call(context.Background(), "a", "m", nil); err == nil {
 		t.Fatal("call succeeded on closed network")
 	}
 	if err := n.Listen("b", echoHandler); err == nil {
@@ -146,7 +147,7 @@ func TestTCPCall(t *testing.T) {
 	if err := net.Listen("a", echoHandler); err != nil {
 		t.Fatal(err)
 	}
-	reply, err := net.Call("a", "ping", []byte("x"))
+	reply, err := net.Call(context.Background(), "a", "ping", []byte("x"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,13 +162,13 @@ func TestTCPCall(t *testing.T) {
 func TestTCPRemoteError(t *testing.T) {
 	net := newTCPPair(t)
 	net.Listen("a", echoHandler)
-	_, err := net.Call("a", "fail", nil)
+	_, err := net.Call(context.Background(), "a", "fail", nil)
 	var re *RemoteError
 	if !errors.As(err, &re) || re.Msg != "boom" {
 		t.Fatalf("err = %v", err)
 	}
 	// The connection must survive an application error.
-	if _, err := net.Call("a", "ok", nil); err != nil {
+	if _, err := net.Call(context.Background(), "a", "ok", nil); err != nil {
 		t.Fatalf("call after remote error: %v", err)
 	}
 }
@@ -175,17 +176,17 @@ func TestTCPRemoteError(t *testing.T) {
 func TestTCPUnreachable(t *testing.T) {
 	net := NewTCP(map[hashing.NodeID]string{"dead": "127.0.0.1:1"}, time.Second)
 	defer net.Close()
-	if _, err := net.Call("dead", "m", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := net.Call(context.Background(), "dead", "m", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("err = %v", err)
 	}
-	if _, err := net.Call("unknown", "m", nil); !errors.Is(err, ErrUnreachable) {
+	if _, err := net.Call(context.Background(), "unknown", "m", nil); !errors.Is(err, ErrUnreachable) {
 		t.Fatalf("unknown node err = %v", err)
 	}
 }
 
 func TestTCPConcurrentCalls(t *testing.T) {
 	net := newTCPPair(t)
-	net.Listen("a", func(method string, body []byte) ([]byte, error) {
+	net.Listen("a", func(_ context.Context, method string, body []byte) ([]byte, error) {
 		time.Sleep(time.Millisecond) // force interleaving
 		return body, nil
 	})
@@ -196,7 +197,7 @@ func TestTCPConcurrentCalls(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			msg := fmt.Sprintf("msg-%03d", i)
-			reply, err := net.Call("a", "echo", []byte(msg))
+			reply, err := net.Call(context.Background(), "a", "echo", []byte(msg))
 			if err != nil {
 				errs <- err
 				return
@@ -216,16 +217,16 @@ func TestTCPConcurrentCalls(t *testing.T) {
 func TestTCPReentrantCalls(t *testing.T) {
 	net := newTCPPair(t)
 	// a calls b, which calls back into a: must not deadlock.
-	net.Listen("a", func(method string, body []byte) ([]byte, error) {
+	net.Listen("a", func(_ context.Context, method string, body []byte) ([]byte, error) {
 		if method == "start" {
-			return net.Call("b", "relay", body)
+			return net.Call(context.Background(), "b", "relay", body)
 		}
 		return append([]byte("a-final:"), body...), nil
 	})
-	net.Listen("b", func(method string, body []byte) ([]byte, error) {
-		return net.Call("a", "final", body)
+	net.Listen("b", func(_ context.Context, method string, body []byte) ([]byte, error) {
+		return net.Call(context.Background(), "a", "final", body)
 	})
-	reply, err := net.Call("a", "start", []byte("z"))
+	reply, err := net.Call(context.Background(), "a", "start", []byte("z"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -241,7 +242,7 @@ func TestTCPLargePayload(t *testing.T) {
 	for i := range big {
 		big[i] = byte(i)
 	}
-	reply, err := net.Call("a", "big", big)
+	reply, err := net.Call(context.Background(), "a", "big", big)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,11 +255,11 @@ func TestTCPTimeout(t *testing.T) {
 	net := NewTCP(map[hashing.NodeID]string{"a": "127.0.0.1:0"}, 50*time.Millisecond)
 	defer net.Close()
 	block := make(chan struct{})
-	net.Listen("a", func(method string, body []byte) ([]byte, error) {
+	net.Listen("a", func(_ context.Context, method string, body []byte) ([]byte, error) {
 		<-block
 		return nil, nil
 	})
-	_, err := net.Call("a", "slow", nil)
+	_, err := net.Call(context.Background(), "a", "slow", nil)
 	close(block)
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("err = %v", err)
@@ -268,14 +269,14 @@ func TestTCPTimeout(t *testing.T) {
 func TestTCPUnlistenStopsService(t *testing.T) {
 	net := newTCPPair(t)
 	net.Listen("a", echoHandler)
-	if _, err := net.Call("a", "m", nil); err != nil {
+	if _, err := net.Call(context.Background(), "a", "m", nil); err != nil {
 		t.Fatal(err)
 	}
 	net.Unlisten("a")
 	// Existing connection dies; a fresh call must fail.
 	deadline := time.Now().Add(2 * time.Second)
 	for {
-		if _, err := net.Call("a", "m", nil); err != nil {
+		if _, err := net.Call(context.Background(), "a", "m", nil); err != nil {
 			break
 		}
 		if time.Now().After(deadline) {
