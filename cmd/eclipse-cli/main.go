@@ -40,7 +40,7 @@ func main() {
 	)
 	flag.Parse()
 	if *hostsPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: eclipse-cli -hosts FILE {upload|cat|ls|run|apps|stats|trace} ...")
+		fmt.Fprintln(os.Stderr, "usage: eclipse-cli -hosts FILE {upload|cat|ls|run|job|apps|stats|trace} ...")
 		os.Exit(2)
 	}
 	hosts, err := nodecmd.ReadHosts(*hostsPath)
@@ -146,6 +146,57 @@ func main() {
 		}
 		for _, kv := range collected.Pairs {
 			fmt.Printf("%s\t%s\n", kv.Key, kv.Value)
+		}
+
+	case "job":
+		if flag.NArg() < 2 {
+			log.Fatal("usage: job {ls | resume <job-id>}")
+		}
+		switch sub := flag.Arg(1); sub {
+		case "ls":
+			mgr, err := nodecmd.FindManager(net, hosts)
+			if err != nil {
+				log.Fatalf("eclipse-cli: %v", err)
+			}
+			var resp nodecmd.JobsResp
+			if err := nodecmd.Call(net, mgr, nodecmd.MethodJobs, nodecmd.ResumeReq{}, &resp); err != nil {
+				log.Fatalf("eclipse-cli: job ls: %v", err)
+			}
+			if len(resp.Jobs) == 0 {
+				fmt.Fprintln(os.Stderr, "no interrupted jobs")
+				break
+			}
+			for _, id := range resp.Jobs {
+				fmt.Println(id)
+			}
+		case "resume":
+			if flag.NArg() != 3 {
+				log.Fatal("usage: job resume <job-id>")
+			}
+			mgr, err := nodecmd.FindManager(net, hosts)
+			if err != nil {
+				log.Fatalf("eclipse-cli: %v", err)
+			}
+			started := time.Now()
+			var runResp nodecmd.RunResp
+			req := nodecmd.ResumeReq{Job: flag.Arg(2)}
+			if err := nodecmd.Call(net, mgr, nodecmd.MethodResume, req, &runResp); err != nil {
+				log.Fatalf("eclipse-cli: job resume: %v", err)
+			}
+			res := runResp.Result
+			fmt.Fprintf(os.Stderr, "job %s resumed: %d map + %d reduce tasks re-executed, %d partitions recovered, done in %v\n",
+				res.Job, res.MapTasks, res.ReduceTasks, res.RecoveredPartitions,
+				time.Since(started).Round(time.Millisecond))
+			var collected nodecmd.CollectResp
+			if err := nodecmd.Call(net, mgr, nodecmd.MethodCollect,
+				nodecmd.CollectReq{Result: res, User: *user}, &collected); err != nil {
+				log.Fatalf("eclipse-cli: collect: %v", err)
+			}
+			for _, kv := range collected.Pairs {
+				fmt.Printf("%s\t%s\n", kv.Key, kv.Value)
+			}
+		default:
+			log.Fatalf("eclipse-cli: unknown job subcommand %q", sub)
 		}
 
 	case "ls":

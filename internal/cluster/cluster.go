@@ -333,6 +333,39 @@ func (c *Cluster) Run(spec mapreduce.JobSpec) (mapreduce.Result, error) {
 	return c.driver.Run(spec)
 }
 
+// RunContext executes a MapReduce job with caller-controlled
+// cancellation (see mapreduce.Driver.RunContext).
+func (c *Cluster) RunContext(ctx context.Context, spec mapreduce.JobSpec) (mapreduce.Result, error) {
+	if err := c.rebindDriver(); err != nil {
+		return mapreduce.Result{}, err
+	}
+	return c.driver.RunContext(ctx, spec)
+}
+
+// Resume adopts an interrupted job from its durable journal and drives it
+// to completion on the current manager's driver, re-executing only the
+// work the journal does not record as done. This is how the cluster picks
+// a job back up after the driver (or its whole manager node) died mid-run.
+func (c *Cluster) Resume(jobID string) (mapreduce.Result, error) {
+	if err := c.rebindDriver(); err != nil {
+		return mapreduce.Result{}, err
+	}
+	return c.driver.Resume(jobID)
+}
+
+// OrphanJobs lists journaled jobs that never reached the done phase — the
+// candidates for Resume after a manager failover.
+func (c *Cluster) OrphanJobs() ([]string, error) {
+	if err := c.rebindDriver(); err != nil {
+		return nil, err
+	}
+	n := c.Manager()
+	if n == nil {
+		return nil, fmt.Errorf("cluster: no resource manager is live")
+	}
+	return c.driver.Orphans(context.Background())
+}
+
 // Collect fetches and decodes a completed job's output pairs.
 func (c *Cluster) Collect(res mapreduce.Result, user string) ([]mapreduce.KV, error) {
 	if err := c.rebindDriver(); err != nil {

@@ -3,9 +3,11 @@ package cluster
 import (
 	"context"
 	"sync"
+	"time"
 
 	"eclipsemr/internal/chord"
 	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/transport"
 )
 
 // Manager is the resource manager role (§II: "responsible for server
@@ -17,18 +19,37 @@ import (
 // slots.
 type Manager struct {
 	node  *Node
-	mu    sync.Mutex
-	ring  *hashing.Ring
-	epoch uint64
+	// verify wraps the node's network with its own bounded retry for
+	// suspect-verification pings: eviction is expensive (re-replication,
+	// task failover), so one dropped verify packet on a lossy link must
+	// not condemn a healthy node. Never Closed — closing a Retry closes
+	// the shared inner network.
+	verify transport.Network
+	mu     sync.Mutex
+	ring   *hashing.Ring
+	epoch  uint64
 	// onChange observers are invoked with every join and failure.
 	onChange []func(joined, failed []hashing.NodeID)
 	stopped  bool
 }
 
+// verifyRetryPolicy is the suspect-verification ping budget: generous
+// attempts with short, deterministic backoff, so verification stays well
+// under a heartbeat period even when several retries are needed.
+func verifyRetryPolicy() transport.RetryPolicy {
+	return transport.RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond,
+		MaxDelay: 20 * time.Millisecond, Multiplier: 2, JitterFrac: 0.5, Seed: 1}
+}
+
 // newManager builds the role object on a node with an initial ring and
 // epoch.
 func newManager(n *Node, ring *hashing.Ring, epoch uint64) *Manager {
-	return &Manager{node: n, ring: ring, epoch: epoch}
+	return &Manager{
+		node:   n,
+		verify: transport.NewRetry(n.net, verifyRetryPolicy()),
+		ring:   ring,
+		epoch:  epoch,
+	}
 }
 
 // start finishes promotion; currently a placeholder for symmetric
@@ -96,11 +117,26 @@ func (m *Manager) reportSuspect(suspect hashing.NodeID) {
 		return // already removed
 	}
 	m.mu.Unlock()
-	var resp pingResp
-	if err := m.node.call(suspect, methodPing, ack{}, &resp); err == nil {
+	if err := m.verifyPing(suspect); err == nil {
 		return // false alarm
 	}
 	m.Fail(suspect)
+}
+
+// verifyPing probes a suspect through the retried verification network:
+// transient drops are absorbed by the retry budget, so only sustained
+// unreachability condemns the node.
+func (m *Manager) verifyPing(suspect hashing.NodeID) error {
+	body, err := transport.Encode(ack{})
+	if err != nil {
+		return err
+	}
+	out, err := m.verify.Call(context.Background(), suspect, methodPing, body)
+	if err != nil {
+		return err
+	}
+	var resp pingResp
+	return transport.Decode(out, &resp)
 }
 
 // Fail removes a dead worker from the membership, broadcasts the new view

@@ -1,0 +1,70 @@
+package dhtfs
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// TestListPrefixUnionsAcrossNodes pins the namespace listing the job
+// journal relies on: metadata is scattered across the ring by name hash,
+// so a prefix listing must union every member's view — sorted, deduped,
+// and filtered to the prefix.
+func TestListPrefixUnionsAcrossNodes(t *testing.T) {
+	tc := newTestCluster(t, 5, 2)
+	svc := tc.any()
+	var want []string
+	for i := 0; i < 8; i++ {
+		name := fmt.Sprintf("_mr/journal/job-%02d", i)
+		if _, err := svc.Upload(context.Background(), name, "u", PermPublic, []byte("j"), 64); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, name)
+	}
+	if _, err := svc.Upload(context.Background(), "_mr/other/marker", "u", PermPublic, []byte("m"), 64); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Upload(context.Background(), "plain.txt", "u", PermPublic, []byte("p"), 64); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, id := range tc.ids {
+		got, err := tc.services[id].ListPrefix(context.Background(), "_mr/journal/")
+		if err != nil {
+			t.Fatalf("ListPrefix from %s: %v", id, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ListPrefix from %s = %v, want %v", id, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ListPrefix from %s = %v, want %v", id, got, want)
+			}
+		}
+	}
+}
+
+// TestListPrefixSurvivesNodeFailure pins the availability contract: with
+// replicated metadata, the union listing stays complete while any replica
+// of each name is reachable, and only fails when no member responds.
+func TestListPrefixSurvivesNodeFailure(t *testing.T) {
+	tc := newTestCluster(t, 5, 3)
+	svc := tc.any()
+	for i := 0; i < 6; i++ {
+		name := fmt.Sprintf("_mr/journal/job-%02d", i)
+		if _, err := svc.Upload(context.Background(), name, "u", PermPublic, []byte("j"), 64); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One node vanishes without any ring update: the listing degrades to
+	// the reachable members, which still jointly hold every replicated
+	// name.
+	tc.net.Unlisten(tc.ids[1])
+	got, err := tc.services[tc.ids[0]].ListPrefix(context.Background(), "_mr/journal/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("listing lost names with one node down: %v", got)
+	}
+}

@@ -5,6 +5,8 @@ import (
 	"crypto/sha1"
 	"errors"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"eclipsemr/internal/hashing"
@@ -64,6 +66,12 @@ type (
 	dropSegReq struct {
 		Job string
 	}
+	listMetaReq struct {
+		Prefix string
+	}
+	listMetaResp struct {
+		Names []string
+	}
 	deleteBlockReq struct {
 		Key hashing.Key
 	}
@@ -86,6 +94,8 @@ const (
 	MethodDropSeg     = "fs.dropJobSegments"
 	MethodDeleteBlock = "fs.deleteBlock"
 	MethodDeleteMeta  = "fs.deleteMeta"
+	MethodHasMeta     = "fs.hasMeta"
+	MethodListMeta    = "fs.listMeta"
 )
 
 // Service is one node's DHT file system endpoint: it serves the fs.*
@@ -262,6 +272,27 @@ func (s *Service) Handle(ctx context.Context, method string, body []byte) ([]byt
 		}
 		s.store.DeleteBlock(req.Key)
 		out, err := transport.Encode(empty{})
+		return out, true, err
+	case MethodHasMeta:
+		var req getMetaReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		_, merr := s.store.GetMeta(req.Name)
+		out, err := transport.Encode(hasBlockResp{Has: merr == nil})
+		return out, true, err
+	case MethodListMeta:
+		var req listMetaReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		var names []string
+		for _, name := range s.store.MetaNames() {
+			if strings.HasPrefix(name, req.Prefix) {
+				names = append(names, name)
+			}
+		}
+		out, err := transport.Encode(listMetaResp{Names: names})
 		return out, true, err
 	case MethodRoutedGet:
 		out, err := s.handleRoutedGet(ctx, body)
@@ -559,6 +590,36 @@ func (s *Service) FetchTaggedSegments(ctx context.Context, from hashing.NodeID, 
 	return resp.Segments, nil
 }
 
+// ListPrefix returns the names of all metadata entries with the given
+// prefix, unioned across every reachable ring member (metadata is placed
+// by file-name hash, so a prefix scan has no single owner). Unreachable
+// members are tolerated as long as at least one answers. Sorted, deduped.
+func (s *Service) ListPrefix(ctx context.Context, prefix string) ([]string, error) {
+	seen := make(map[string]bool)
+	reached := 0
+	var lastErr error
+	for _, id := range s.ring().Members() {
+		var resp listMetaResp
+		if err := s.call(ctx, id, MethodListMeta, listMetaReq{Prefix: prefix}, &resp); err != nil {
+			lastErr = err
+			continue
+		}
+		reached++
+		for _, name := range resp.Names {
+			seen[name] = true
+		}
+	}
+	if reached == 0 {
+		return nil, fmt.Errorf("dhtfs: list %q: no member reachable: %w", prefix, lastErr)
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
 // DropJob removes a job's intermediate data across the whole ring.
 func (s *Service) DropJob(ctx context.Context, job string) {
 	for _, id := range s.ring().Members() {
@@ -649,6 +710,16 @@ func (s *Service) ReReplicate(ctx context.Context) (pushed int, err error) {
 		for _, t := range targets {
 			if t == s.self {
 				mine = true
+				continue
+			}
+			// Idempotence: only restore missing copies (matching the block
+			// path); full-copy updates propagate at write time via Upload.
+			var has hasBlockResp
+			if cerr := s.call(ctx, t, MethodHasMeta, getMetaReq{Name: name}, &has); cerr != nil {
+				err = cerr
+				continue
+			}
+			if has.Has {
 				continue
 			}
 			if cerr := s.call(ctx, t, MethodPutMeta, putMetaReq{Meta: meta}, nil); cerr != nil {

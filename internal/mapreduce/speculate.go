@@ -1,0 +1,198 @@
+package mapreduce
+
+import (
+	"strconv"
+	"time"
+
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/scheduler"
+)
+
+// Speculative straggler re-execution: a single scanner goroutine watches
+// the driver's in-flight map RPCs and hedges a duplicate execution of any
+// task that has been running suspiciously long — longer than a
+// configurable multiple of the job-wide p99 map latency observed so far,
+// or past a hard per-task deadline. The hedge runs on a ring replica of
+// the task's input block; the first finisher wins and the loser's result
+// is discarded by the completed-task guard.
+//
+// Hedges reuse the original attempt number on purpose. Map execution is
+// deterministic, so the hedge pushes byte-identical (task, attempt, seq)
+// spill segments, which the segment store treats as idempotent
+// retransmits. A bumped attempt would be wrong: the store deletes
+// lower-attempt spills when a higher attempt arrives, so a hedge that
+// spilled partially and then lost the race (or failed) would have
+// destroyed the original's data.
+
+const (
+	// speculationTick is the scanner period; cheap (a map walk and one
+	// histogram snapshot), so it can be tight enough to catch stragglers
+	// in short test jobs.
+	speculationTick = 2 * time.Millisecond
+	// speculationMinSamples gates p99-relative detection until the
+	// latency histogram has enough completions to mean something.
+	speculationMinSamples = 16
+	// speculationMaxHedges bounds concurrent hedge RPCs driver-wide, so a
+	// slow cluster cannot amplify its own load with duplicate work.
+	speculationMaxHedges = 16
+)
+
+// inflightTask records one running map RPC for the straggler scanner.
+type inflightTask struct {
+	j       *activeJob
+	t       scheduler.Task
+	attempt int
+	node    hashing.NodeID
+	started time.Time
+	hedged  bool
+}
+
+func inflightKey(job, task string) string { return job + "\x00" + task }
+
+// trackInflight registers a dispatched map RPC with the straggler
+// scanner. Only jobs that enable speculation are tracked.
+func (d *Driver) trackInflight(j *activeJob, t scheduler.Task, attempt int, node hashing.NodeID) {
+	if !j.spec.speculative() {
+		return
+	}
+	d.specMu.Lock()
+	d.inflight[inflightKey(t.Job, t.ID)] = &inflightTask{
+		j: j, t: t, attempt: attempt, node: node, started: time.Now(),
+	}
+	d.specMu.Unlock()
+}
+
+// untrackInflight removes a finished map RPC from the scanner.
+func (d *Driver) untrackInflight(job, task string) {
+	d.specMu.Lock()
+	delete(d.inflight, inflightKey(job, task))
+	d.specMu.Unlock()
+}
+
+// maybeStartSpeculator lazily starts the scanner the first time a
+// speculative job runs. The scanner lives until the driver closes.
+func (d *Driver) maybeStartSpeculator(spec JobSpec) {
+	if !spec.speculative() {
+		return
+	}
+	d.mu.Lock()
+	start := !d.specOn && !d.closed
+	if start {
+		d.specOn = true
+	}
+	d.mu.Unlock()
+	if start {
+		go d.speculationLoop()
+	}
+}
+
+// speculationLoop drives the periodic straggler scan.
+func (d *Driver) speculationLoop() {
+	ticker := time.NewTicker(speculationTick)
+	defer ticker.Stop()
+	for range ticker.C {
+		d.mu.Lock()
+		closed := d.closed
+		d.mu.Unlock()
+		if closed {
+			return
+		}
+		d.speculatePass(time.Now())
+	}
+}
+
+// speculatePass hedges every tracked RPC that exceeds its job's
+// straggler threshold.
+func (d *Driver) speculatePass(now time.Time) {
+	snap := d.reg.Histogram("mr.driver.map_rpc_ns").Snapshot()
+	var p99 time.Duration
+	if snap.Count() >= speculationMinSamples {
+		p99 = time.Duration(snap.Quantile(0.99))
+	}
+	var launch []*inflightTask
+	d.specMu.Lock()
+	for _, it := range d.inflight {
+		if it.hedged {
+			continue
+		}
+		threshold := time.Duration(0)
+		if m := it.j.spec.SpeculativeMultiple; m > 0 && p99 > 0 {
+			threshold = time.Duration(float64(p99) * m)
+		}
+		if dl := it.j.spec.SpeculativeDeadline; dl > 0 && (threshold == 0 || dl < threshold) {
+			threshold = dl
+		}
+		if threshold <= 0 || now.Sub(it.started) < threshold {
+			continue
+		}
+		it.hedged = true
+		launch = append(launch, it)
+	}
+	d.specMu.Unlock()
+	for _, it := range launch {
+		select {
+		case d.hedgeSem <- struct{}{}:
+			go func(it *inflightTask) {
+				defer func() { <-d.hedgeSem }()
+				d.hedgeMapTask(it)
+			}(it)
+		default:
+			// Hedge budget exhausted: let the next pass retry this task.
+			d.specMu.Lock()
+			it.hedged = false
+			d.specMu.Unlock()
+		}
+	}
+}
+
+// hedgeMapTask runs one speculative duplicate of a straggling map task on
+// a ring replica of its input block.
+func (d *Driver) hedgeMapTask(it *inflightTask) {
+	j := it.j
+	d.mu.Lock()
+	dead := j.failed || j.completed[it.t.ID]
+	d.mu.Unlock()
+	if dead {
+		return
+	}
+	var target hashing.NodeID
+	if set, err := d.ring().ReplicaSet(it.t.HashKey, 3); err == nil {
+		for _, cand := range set {
+			if cand != it.node {
+				target = cand
+				break
+			}
+		}
+	}
+	if target == "" {
+		return // no distinct replica to hedge on
+	}
+	d.reg.Counter("mr.driver.speculative_launched").Inc()
+	tctx, sp := d.tracer.StartSpan(j.ctx, "driver.map_task")
+	sp.Annotate("task", it.t.ID)
+	sp.Annotate("node", string(target))
+	sp.Annotate("speculative", "true")
+	sp.Annotate("attempt", strconv.Itoa(it.attempt))
+	var resp RunMapResp
+	// Same attempt as the original on purpose: identical spills are
+	// idempotent retransmits (see the file comment).
+	err := d.call(tctx, target, MethodRunMap, d.mapReq(j, it.t, it.attempt), &resp)
+	d.mu.Lock()
+	won := err == nil && !j.failed && !j.completed[it.t.ID]
+	if won {
+		d.reg.Counter("mr.driver.speculative_won").Inc()
+		d.completeMapLocked(j, it.t.ID, resp)
+	} else {
+		d.reg.Counter("mr.driver.speculative_wasted").Inc()
+	}
+	d.mu.Unlock()
+	if err != nil {
+		sp.Annotate("error", err.Error())
+	} else if won {
+		sp.Annotate("speculation", "won")
+	} else {
+		sp.Annotate("speculation", "lost")
+	}
+	sp.End()
+	d.signal()
+}

@@ -144,6 +144,25 @@ type JobSpec struct {
 	// intermediates unreplicated (lost spills force map re-execution);
 	// this opt-in trades shuffle bandwidth for crash tolerance.
 	ReplicateIntermediates bool
+	// SpeculativeMultiple, when > 0, hedges a duplicate execution of any
+	// map task whose RPC has been running longer than this multiple of
+	// the job-wide p99 map latency observed so far (straggler detection
+	// from the live histogram). Zero disables latency-relative
+	// speculation.
+	SpeculativeMultiple float64
+	// SpeculativeDeadline, when > 0, hedges a duplicate execution of any
+	// map task that has been running at least this long, regardless of
+	// the latency histogram. Zero disables the hard deadline.
+	SpeculativeDeadline time.Duration
+	// DisableJournal skips the durable job journal. Without a journal an
+	// interrupted job cannot be resumed by a restarted or newly elected
+	// manager; completed work is lost with the driver.
+	DisableJournal bool
+	// DisableRecovery restores the legacy fail-fast behavior when a
+	// reduce partition's intermediates are lost with their owner: the job
+	// fails instead of re-executing the contributing map tasks and
+	// re-homing the partition on a surviving ring node.
+	DisableRecovery bool
 }
 
 // DefaultSpillThreshold matches the paper's 32 MB payload buffer.
@@ -156,6 +175,19 @@ func (s JobSpec) Namespace() string {
 		return "tag:" + s.ReuseTag
 	}
 	return "job:" + s.ID
+}
+
+// speculative reports whether the spec enables straggler hedging.
+func (s JobSpec) speculative() bool {
+	return s.SpeculativeMultiple > 0 || s.SpeculativeDeadline > 0
+}
+
+// maxAttempts returns the per-task retry bound with the default applied.
+func (s JobSpec) maxAttempts() int {
+	if s.MaxAttempts <= 0 {
+		return 3
+	}
+	return s.MaxAttempts
 }
 
 // validate checks required fields.
@@ -187,6 +219,15 @@ type Result struct {
 	ReduceTasks int
 	// MapsSkipped reports that the map phase was skipped via reuse.
 	MapsSkipped bool
+	// Resumed reports the run was adopted from a durable journal rather
+	// than started fresh; MapTasks/ReduceTasks then count only the work
+	// this driver re-executed.
+	Resumed bool
+	// RecoveredPartitions counts reduce partitions whose intermediates
+	// were lost with their owner and rebuilt by re-executing the
+	// contributing map tasks on surviving nodes (zero on a fault-free
+	// run).
+	RecoveredPartitions int
 	// CacheHits / CacheMisses aggregate worker-side iCache+oCache
 	// counters attributable to this job's block reads.
 	CacheHits   int64

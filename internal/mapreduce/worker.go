@@ -39,6 +39,11 @@ type (
 		// spill target per partition (the owner's ring successor at job
 		// start) for crash-tolerant intermediates.
 		ReduceReplicas []hashing.NodeID
+		// OnlyPartitions, when non-empty, restricts output to the listed
+		// reduce partitions: pairs hashing elsewhere are discarded instead
+		// of buffered and shuffled. Partition recovery uses this to rebuild
+		// only the lost partitions.
+		OnlyPartitions []int
 		SpillThreshold int
 		TTL            time.Duration
 	}
@@ -247,8 +252,19 @@ func (w *Worker) runMap(ctx context.Context, req RunMapReq) (RunMapResp, error) 
 		return nil
 	}
 
+	var wanted map[int]bool
+	if len(req.OnlyPartitions) > 0 {
+		wanted = make(map[int]bool, len(req.OnlyPartitions))
+		for _, p := range req.OnlyPartitions {
+			wanted[p] = true
+		}
+	}
+
 	emit := func(key string, value []byte) error {
 		part := table.LookupIndex(hashing.KeyOfString(key))
+		if wanted != nil && !wanted[part] {
+			return nil
+		}
 		buffers[part] = append(buffers[part], KV{Key: key, Value: append([]byte(nil), value...)})
 		bufBytes[part] += 8 + len(key) + len(value)
 		// Proactive shuffle: push the buffer the moment it crosses the

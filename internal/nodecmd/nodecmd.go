@@ -130,6 +130,16 @@ type (
 	CollectResp struct {
 		Pairs []mapreduce.KV
 	}
+	// ResumeReq asks the manager to adopt an interrupted job from its
+	// durable journal and finish it.
+	ResumeReq struct {
+		Job string
+	}
+	// JobsResp lists journaled jobs that have not completed (resume
+	// candidates).
+	JobsResp struct {
+		Jobs []string
+	}
 	// ListReq asks a node for the files whose metadata it holds.
 	ListReq struct {
 		User string
@@ -150,6 +160,8 @@ const (
 	MethodList    = "client.list"
 	MethodRun     = "job.run"
 	MethodCollect = "job.collect"
+	MethodResume  = "job.resume"
+	MethodJobs    = "job.jobs"
 )
 
 // ClientHandler mounts the client-facing methods on a node. ensureDriver
@@ -222,6 +234,32 @@ func ClientHandler(node *cluster.Node, ensureDriver func() (*mapreduce.Driver, e
 				return nil, true, err
 			}
 			out, err := transport.Encode(RunResp{Result: res})
+			return out, true, err
+		case MethodResume:
+			var req ResumeReq
+			if err := transport.Decode(body, &req); err != nil {
+				return nil, true, err
+			}
+			driver, err := ensureDriver()
+			if err != nil {
+				return nil, true, err
+			}
+			res, err := driver.Resume(req.Job)
+			if err != nil {
+				return nil, true, err
+			}
+			out, err := transport.Encode(RunResp{Result: res})
+			return out, true, err
+		case MethodJobs:
+			driver, err := ensureDriver()
+			if err != nil {
+				return nil, true, err
+			}
+			jobs, err := driver.Orphans(context.Background())
+			if err != nil {
+				return nil, true, err
+			}
+			out, err := transport.Encode(JobsResp{Jobs: jobs})
 			return out, true, err
 		case MethodCollect:
 			var req CollectReq

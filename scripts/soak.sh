@@ -1,0 +1,41 @@
+#!/bin/sh
+# Nightly chaos soak: the full-size (non -short) fault-injection and
+# recovery suites under the race detector — elevated drop rates, worker
+# and manager crashes, journal adoption, straggler hedging — with the
+# verbose log and a schema-checked trace.json kept as CI artifacts.
+#
+# The chaos layer logs every injected fault as (seed, link, n), so a
+# failing night is replayable from soak.log alone: re-run the named test
+# with the same seed and the identical schedule fires (EXPERIMENTS.md,
+# "Chaos harness").
+#
+# Usage:
+#   scripts/soak.sh [out-dir]       # default out-dir: soak-out
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out="${1:-soak-out}"
+mkdir -p "$out"
+SOAK_DIR="$(cd "$out" && pwd)"
+
+# Full-size recovery/chaos/churn suites, verbose and race-enabled.
+# -count=1 defeats the test cache: a soak that replays yesterday's
+# cached pass soaks nothing. The status file preserves go test's exit
+# code through the tee pipe (POSIX sh has no pipefail).
+{
+	go test -race -count=1 -v -timeout 30m \
+		-run 'Chaos|Recovery|Resume|Orphan|Speculative|Suspect|ReReplicate|Churn|Journal|Partition|AttemptStride|ListPrefix|Replicat|Fail' \
+		./internal/cluster ./internal/mapreduce ./internal/dhtfs ./internal/transport
+	echo $? >"$SOAK_DIR/.status"
+} 2>&1 | tee "$SOAK_DIR/soak.log" || true
+[ "$(cat "$SOAK_DIR/.status" 2>/dev/null || echo 1)" -eq 0 ]
+rm -f "$SOAK_DIR/.status"
+
+# A traced engine run for the artifact, re-validated on disk so the
+# nightly also notices a broken export path.
+BENCH_DIR="$SOAK_DIR" go test -run '^$' -bench 'BenchmarkHarnessTraceOverhead$' -benchtime 1x .
+go run ./cmd/tracecheck "$SOAK_DIR/trace.json"
+
+echo "soak: artifacts in $SOAK_DIR"
+ls -l "$SOAK_DIR"
