@@ -157,7 +157,7 @@ func BenchmarkFig10cPageRankIterations(b *testing.B) { benchmarkFig10(b, "pagera
 // BenchmarkAblationRoutingHops compares the paper's one-hop DHT routing
 // (complete routing tables) against classic multi-hop finger routing.
 func BenchmarkAblationRoutingHops(b *testing.B) {
-	ring := hashing.NewRing()
+	ring := hashing.NewChordRing()
 	for i := 0; i < 40; i++ {
 		if err := ring.AddNode(hashing.NodeID(fmt.Sprintf("n%02d", i))); err != nil {
 			b.Fatal(err)
@@ -322,7 +322,7 @@ func BenchmarkDHTFSUploadRead(b *testing.B) {
 
 // BenchmarkRingLookup measures consistent-hash owner lookups.
 func BenchmarkRingLookup(b *testing.B) {
-	ring := hashing.NewRing()
+	ring := hashing.NewChordRing()
 	for i := 0; i < 40; i++ {
 		if err := ring.AddNode(hashing.NodeID(fmt.Sprintf("n%02d", i))); err != nil {
 			b.Fatal(err)
@@ -465,5 +465,37 @@ func BenchmarkHarnessTraceOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Logf("wrote %s and %s", path, tracePath)
+	}
+}
+
+// BenchmarkHarnessRing compares the ring backends — lookup ns/op, keys
+// remapped per join/leave and load balance at several member counts —
+// and writes BENCH_ring.json when BENCH_DIR is set. The headline metrics
+// contrast the chord ring's lookup growth with the O(1) backends at the
+// largest configured size.
+func BenchmarkHarnessRing(b *testing.B) {
+	cfg := benchrun.DefaultRingBenchConfig()
+	if testing.Short() || os.Getenv("BENCH_SHORT") != "" {
+		cfg = benchrun.ShortRingBenchConfig()
+	}
+	var rep benchrun.RingReport
+	for i := 0; i < b.N; i++ {
+		var err error
+		rep, err = benchrun.RingBench(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, back := range rep.Backends {
+		last := back.Points[len(back.Points)-1]
+		b.ReportMetric(last.LookupNS, back.Algorithm+"-lookup-ns")
+		b.ReportMetric(last.JoinRemappedFrac*100, back.Algorithm+"-join-remap-%")
+	}
+	if dir := os.Getenv("BENCH_DIR"); dir != "" {
+		path := filepath.Join(dir, "BENCH_ring.json")
+		if err := benchrun.WriteJSON(path, rep); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
 	}
 }

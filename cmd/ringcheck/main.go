@@ -1,0 +1,78 @@
+// Command ringcheck validates a BENCH_ring.json report produced by the
+// ring benchmark harness: well-formed JSON, every -ring backend present,
+// at least three member counts per backend, and each point carrying a
+// positive lookup timing plus join/leave churn fractions in [0, 1]. CI
+// runs it against the bench-smoke artifact so a silently empty or
+// malformed report fails the build instead of shipping as a perf point.
+//
+// Usage: ringcheck BENCH_ring.json [more.json...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"eclipsemr/internal/benchrun"
+	"eclipsemr/internal/hashing"
+)
+
+func validate(rep benchrun.RingReport) error {
+	if rep.Name != "ring" {
+		return fmt.Errorf("name = %q, want \"ring\"", rep.Name)
+	}
+	byAlg := make(map[string]benchrun.RingBackendReport, len(rep.Backends))
+	for _, back := range rep.Backends {
+		byAlg[back.Algorithm] = back
+	}
+	for _, alg := range hashing.Algorithms() {
+		back, ok := byAlg[alg]
+		if !ok {
+			return fmt.Errorf("backend %q missing", alg)
+		}
+		if len(back.Points) < 3 {
+			return fmt.Errorf("backend %q has %d points, want >= 3 member counts", alg, len(back.Points))
+		}
+		prev := 0
+		for _, pt := range back.Points {
+			if pt.Nodes <= prev {
+				return fmt.Errorf("backend %q: member counts not ascending at %d", alg, pt.Nodes)
+			}
+			prev = pt.Nodes
+			if pt.LookupNS <= 0 {
+				return fmt.Errorf("backend %q/%d: lookup_ns = %v", alg, pt.Nodes, pt.LookupNS)
+			}
+			for name, frac := range map[string]float64{
+				"join_remapped_frac":  pt.JoinRemappedFrac,
+				"leave_remapped_frac": pt.LeaveRemappedFrac,
+			} {
+				if frac < 0 || frac > 1 {
+					return fmt.Errorf("backend %q/%d: %s = %v", alg, pt.Nodes, name, frac)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: ringcheck <BENCH_ring.json> [more.json...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("ringcheck: %v", err)
+		}
+		var rep benchrun.RingReport
+		if err := json.Unmarshal(data, &rep); err != nil {
+			log.Fatalf("ringcheck: %s: %v", path, err)
+		}
+		if err := validate(rep); err != nil {
+			log.Fatalf("ringcheck: %s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (%d backends)\n", path, len(rep.Backends))
+	}
+}

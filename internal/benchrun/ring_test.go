@@ -1,0 +1,85 @@
+package benchrun
+
+import (
+	"encoding/json"
+	"testing"
+
+	"eclipsemr/internal/hashing"
+)
+
+func tinyRingConfig() RingBenchConfig {
+	return RingBenchConfig{
+		Sizes:           []int{16, 64, 256},
+		RendezvousSizes: []int{16, 64, 256},
+		Lookups:         256,
+		ChurnProbes:     2048,
+		LoadProbes:      4096,
+		Seed:            1,
+	}
+}
+
+// TestRingBenchShape pins the BENCH_ring.json schema: every backend gets
+// a point per configured size carrying lookup timing and churn fractions.
+func TestRingBenchShape(t *testing.T) {
+	rep, err := RingBench(tinyRingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Name != "ring" || rep.GoVersion == "" {
+		t.Fatalf("bad header: %+v", rep)
+	}
+	if len(rep.Backends) != len(hashing.Algorithms()) {
+		t.Fatalf("%d backends, want %d", len(rep.Backends), len(hashing.Algorithms()))
+	}
+	for _, back := range rep.Backends {
+		if len(back.Points) != 3 {
+			t.Fatalf("%s has %d points, want 3", back.Algorithm, len(back.Points))
+		}
+		for _, pt := range back.Points {
+			if pt.LookupNS <= 0 {
+				t.Errorf("%s/%d: lookup_ns = %v", back.Algorithm, pt.Nodes, pt.LookupNS)
+			}
+			if pt.JoinRemappedFrac <= 0 || pt.JoinRemappedFrac > 1 {
+				t.Errorf("%s/%d: join_remapped_frac = %v", back.Algorithm, pt.Nodes, pt.JoinRemappedFrac)
+			}
+			// No lower bound on leave churn: a chord victim's arc can be
+			// arbitrarily narrow, so even zero sampled moves is legitimate.
+			if pt.LeaveRemappedFrac < 0 || pt.LeaveRemappedFrac > 1 {
+				t.Errorf("%s/%d: leave_remapped_frac = %v", back.Algorithm, pt.Nodes, pt.LeaveRemappedFrac)
+			}
+			if pt.LoadProbes == 0 {
+				t.Errorf("%s/%d: load balance skipped at tiny size", back.Algorithm, pt.Nodes)
+			}
+		}
+	}
+	if _, err := json.Marshal(rep); err != nil {
+		t.Fatalf("report not JSON-serializable: %v", err)
+	}
+}
+
+// TestRingBenchChurnBounds pins the churn guarantees the backends are
+// chosen for: on the monotone backends a join remaps close to the ideal
+// 1/(n+1) of keys, never an order of magnitude more.
+func TestRingBenchChurnBounds(t *testing.T) {
+	rep, err := RingBench(tinyRingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, back := range rep.Backends {
+		for _, pt := range back.Points {
+			// All four backends are monotone on join: with 2048 probes the
+			// sampled fraction stays well under 4x ideal even at n=256.
+			if pt.JoinRemappedFrac > 4*pt.JoinIdealFrac+0.01 {
+				t.Errorf("%s/%d: join remapped %.4f, ideal %.4f — not monotone?",
+					back.Algorithm, pt.Nodes, pt.JoinRemappedFrac, pt.JoinIdealFrac)
+			}
+			// Leave churn: rendezvous and chord are optimal (≈1/n); the
+			// slot-swap backends move at most two nodes' keys (≈2/n).
+			limit := 4*pt.LeaveIdealFrac + 0.01
+			if pt.LeaveRemappedFrac > limit {
+				t.Errorf("%s/%d: leave remapped %.4f exceeds %.4f",
+					back.Algorithm, pt.Nodes, pt.LeaveRemappedFrac, limit)
+			}
+		}
+	}
+}

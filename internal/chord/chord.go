@@ -33,7 +33,7 @@ type FingerTable struct {
 
 // Build constructs the finger table for node self over the given ring with
 // m entries. m must be in [1, 64].
-func Build(ring *hashing.Ring, self hashing.NodeID, m int) (*FingerTable, error) {
+func Build(ring *hashing.ChordRing, self hashing.NodeID, m int) (*FingerTable, error) {
 	if m < 1 || m > 64 {
 		return nil, fmt.Errorf("chord: m must be in [1,64], got %d", m)
 	}
@@ -102,14 +102,14 @@ func (ft *FingerTable) NextHop(k hashing.Key) (node hashing.NodeID, resolved boo
 // Routes exists for the routing ablation and for unit testing the
 // topology logic without a network.
 type Routes struct {
-	ring   *hashing.Ring
+	ring   *hashing.ChordRing
 	tables map[hashing.NodeID]*FingerTable
 	oneHop bool
 }
 
 // BuildRoutes constructs finger tables for every ring member (multi-hop
 // routing).
-func BuildRoutes(ring *hashing.Ring, m int) (*Routes, error) {
+func BuildRoutes(ring *hashing.ChordRing, m int) (*Routes, error) {
 	if ring.Len() == 0 {
 		return nil, hashing.ErrEmptyRing
 	}
@@ -127,7 +127,7 @@ func BuildRoutes(ring *hashing.Ring, m int) (*Routes, error) {
 // BuildOneHopRoutes constructs the paper's default topology: every server
 // holds the complete ring, so any lookup is answered by forwarding
 // directly to the owner.
-func BuildOneHopRoutes(ring *hashing.Ring) (*Routes, error) {
+func BuildOneHopRoutes(ring *hashing.ChordRing) (*Routes, error) {
 	if ring.Len() == 0 {
 		return nil, hashing.ErrEmptyRing
 	}
@@ -189,7 +189,7 @@ type View struct {
 }
 
 // NewView builds a view from a ring.
-func NewView(epoch uint64, ring *hashing.Ring) View {
+func NewView(epoch uint64, ring *hashing.ChordRing) View {
 	v := View{Epoch: epoch, Members: make(map[hashing.NodeID]hashing.Key, ring.Len())}
 	for _, id := range ring.Members() {
 		pos, _ := ring.Position(id)
@@ -199,8 +199,8 @@ func NewView(epoch uint64, ring *hashing.Ring) View {
 }
 
 // Ring reconstructs the consistent-hash ring described by the view.
-func (v View) Ring() (*hashing.Ring, error) {
-	r := hashing.NewRing()
+func (v View) Ring() (*hashing.ChordRing, error) {
+	r := hashing.NewChordRing()
 	for id, pos := range v.Members {
 		if err := r.Add(id, pos); err != nil {
 			return nil, err

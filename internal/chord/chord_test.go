@@ -10,9 +10,9 @@ import (
 	"eclipsemr/internal/hashing"
 )
 
-func buildRing(t testing.TB, n int, seed int64) *hashing.Ring {
+func buildRing(t testing.TB, n int, seed int64) *hashing.ChordRing {
 	t.Helper()
-	r := hashing.NewRing()
+	r := hashing.NewChordRing()
 	rng := rand.New(rand.NewSource(seed))
 	for i := 0; i < n; i++ {
 		if err := r.Add(hashing.NodeID(fmt.Sprintf("n%03d", i)), hashing.Key(rng.Uint64())); err != nil {
@@ -77,7 +77,7 @@ func TestOneHopRouting(t *testing.T) {
 			t.Fatalf("one-hop route for %v = %v, owner is %s", k, path, owner)
 		}
 	}
-	if _, err := BuildOneHopRoutes(hashing.NewRing()); err == nil {
+	if _, err := BuildOneHopRoutes(hashing.NewChordRing()); err == nil {
 		t.Fatal("BuildOneHopRoutes accepted empty ring")
 	}
 }
@@ -144,13 +144,13 @@ func TestRouteFromOwnerIsZeroForwarding(t *testing.T) {
 }
 
 func TestBuildRoutesEmptyRing(t *testing.T) {
-	if _, err := BuildRoutes(hashing.NewRing(), 8); err == nil {
+	if _, err := BuildRoutes(hashing.NewChordRing(), 8); err == nil {
 		t.Fatal("empty ring accepted")
 	}
 }
 
 func TestSingleNodeRouting(t *testing.T) {
-	ring := hashing.NewRing()
+	ring := hashing.NewChordRing()
 	if err := ring.AddNode("solo"); err != nil {
 		t.Fatal(err)
 	}

@@ -17,7 +17,7 @@ func TestAdoptViewRejectsStaleEpoch(t *testing.T) {
 	c := newTestCluster(t, 3, Options{})
 	n, _ := c.Node(c.Nodes()[0])
 	current := n.View()
-	staleRing := hashing.NewRing()
+	staleRing := hashing.NewChordRing()
 	if err := staleRing.AddNode("imposter"); err != nil {
 		t.Fatal(err)
 	}

@@ -104,12 +104,30 @@ func NewWithNodes(ids []hashing.NodeID, opts Options) (*Cluster, error) {
 		nodes:      make(map[hashing.NodeID]*Node),
 		schedNodes: make(map[hashing.NodeID]bool),
 	}
-	ring := hashing.NewRing()
+	ring := hashing.NewChordRing()
 	for _, id := range ids {
 		if err := ring.AddNode(id); err != nil {
 			c.Close()
 			return nil, err
 		}
+	}
+	// The scheduler's initial range table comes from the placement ring of
+	// the configured algorithm, built in the same member order nodes use
+	// when they adopt the bootstrap view.
+	schedRing := hashing.Ring(ring)
+	if alg := opts.Config.Ring; alg != "" && alg != hashing.AlgorithmChord {
+		pr, err := hashing.NewAlgorithmRing(alg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		for _, id := range ring.Members() {
+			if err := pr.AddNode(id); err != nil {
+				c.Close()
+				return nil, err
+			}
+		}
+		schedRing = pr
 	}
 	for _, id := range ids {
 		// Origin-stamped facets let a fault-injecting network attribute
@@ -148,11 +166,11 @@ func NewWithNodes(ids []hashing.NodeID, opts Options) (*Cluster, error) {
 	var err error
 	switch opts.Policy {
 	case PolicyLAF:
-		sched, err = scheduler.NewLAF(opts.LAF, ring)
+		sched, err = scheduler.NewLAF(opts.LAF, schedRing)
 	case PolicyDelay:
-		sched, err = scheduler.NewDelay(scheduler.DelayConfig{Wait: opts.DelayWait}, ring)
+		sched, err = scheduler.NewDelay(scheduler.DelayConfig{Wait: opts.DelayWait}, schedRing)
 	case PolicyFair:
-		sched, err = scheduler.NewFair(ring)
+		sched, err = scheduler.NewFair(schedRing)
 	default:
 		err = fmt.Errorf("cluster: unknown policy %q", opts.Policy)
 	}

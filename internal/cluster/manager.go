@@ -18,7 +18,7 @@ import (
 // callback, which the job-scheduler role uses to add and remove worker
 // slots.
 type Manager struct {
-	node  *Node
+	node *Node
 	// verify wraps the node's network with its own bounded retry for
 	// suspect-verification pings: eviction is expensive (re-replication,
 	// task failover), so one dropped verify packet on a lossy link must
@@ -26,7 +26,7 @@ type Manager struct {
 	// the shared inner network.
 	verify transport.Network
 	mu     sync.Mutex
-	ring   *hashing.Ring
+	ring   *hashing.ChordRing
 	epoch  uint64
 	// onChange observers are invoked with every join and failure.
 	onChange []func(joined, failed []hashing.NodeID)
@@ -43,7 +43,7 @@ func verifyRetryPolicy() transport.RetryPolicy {
 
 // newManager builds the role object on a node with an initial ring and
 // epoch.
-func newManager(n *Node, ring *hashing.Ring, epoch uint64) *Manager {
+func newManager(n *Node, ring *hashing.ChordRing, epoch uint64) *Manager {
 	return &Manager{
 		node:   n,
 		verify: transport.NewRetry(n.net, verifyRetryPolicy()),

@@ -1,0 +1,106 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/mapreduce"
+	"eclipsemr/internal/transport"
+)
+
+// TestChaosWordCountAcrossRingBackends runs the same WordCount job on
+// every -ring backend, twice per backend: once fault-free and once under
+// seeded 10% message loss. Exactness must hold per backend — the chaotic
+// run's output is byte-identical to that backend's own baseline — which
+// pins that retries, attempt-tagged spills and shuffle routing stay
+// correct no matter which consistent-hashing algorithm places the data.
+func TestChaosWordCountAcrossRingBackends(t *testing.T) {
+	text := chaosJobText(true)
+	for _, alg := range append(hashing.Algorithms(), "chord:8") {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			spec := mapreduce.JobSpec{
+				ID: "ringchaos-" + alg, App: "cluster-wordcount",
+				Inputs: []string{"chaos.txt"}, User: "u", MaxAttempts: 5,
+			}
+			base := newTestCluster(t, 4, Options{Config: Config{Ring: alg}})
+			want := runWordCount(t, base, spec, text)
+
+			chaos := transport.NewChaos(transport.NewLocal(), transport.ChaosConfig{Seed: 20260808})
+			c := newTestCluster(t, 4, Options{
+				Config:  Config{Ring: alg},
+				Network: chaos,
+				Retry:   transport.RetryPolicy{MaxAttempts: 6, BaseDelay: 100 * time.Microsecond},
+			})
+			if _, err := c.UploadRecords("chaos.txt", "u", dhtfs.PermPublic, []byte(text), '\n'); err != nil {
+				t.Fatal(err)
+			}
+			chaos.SetDrop(0.10)
+			res, err := c.Run(spec)
+			if err != nil {
+				t.Fatalf("%s: job failed under 10%% drop: %v", alg, err)
+			}
+			kvs, err := c.Collect(res, "u")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := mapreduce.EncodeKVs(kvs); !bytes.Equal(got, want) {
+				t.Fatalf("%s: chaotic output diverged from fault-free baseline: %d vs %d bytes",
+					alg, len(got), len(want))
+			}
+			if snap := c.MetricsSnapshot(); snap.Get("chaos.drops") == 0 {
+				t.Errorf("%s: no drops injected at 10%% drop rate", alg)
+			}
+		})
+	}
+}
+
+// TestRingBackendsPlaceConsistently pins the cross-node agreement that
+// O(1) backends rely on: every node derives its placement ring from the
+// adopted membership view, so all nodes resolve every probe key to the
+// same owner and replica set.
+func TestRingBackendsPlaceConsistently(t *testing.T) {
+	for _, alg := range append(hashing.Algorithms(), "chord:8") {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			c := newTestCluster(t, 5, Options{Config: Config{Ring: alg}})
+			rings := make([]hashing.Ring, 0, 5)
+			for _, id := range c.Nodes() {
+				n, ok := c.Node(id)
+				if !ok {
+					t.Fatalf("node %s missing", id)
+				}
+				rings = append(rings, n.Ring())
+			}
+			for i := 0; i < 64; i++ {
+				k := hashing.KeyOfString("probe-" + string(rune('a'+i%26)) + "-" + string(rune('0'+i%10)))
+				owner, err := rings[0].Owner(k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				set, err := rings[0].ReplicaSet(k, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for j, r := range rings[1:] {
+					got, err := r.Owner(k)
+					if err != nil || got != owner {
+						t.Fatalf("node %d disagrees on owner of %v: %s vs %s (err %v)", j+1, k, got, owner, err)
+					}
+					gotSet, err := r.ReplicaSet(k, 3)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for x := range set {
+						if gotSet[x] != set[x] {
+							t.Fatalf("node %d disagrees on replica set of %v: %v vs %v", j+1, k, gotSet, set)
+						}
+					}
+				}
+			}
+		})
+	}
+}

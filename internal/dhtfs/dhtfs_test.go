@@ -18,7 +18,7 @@ import (
 // mutable ring.
 type testCluster struct {
 	mu       sync.Mutex
-	ring     *hashing.Ring
+	ring     *hashing.ChordRing
 	net      *transport.Local
 	services map[hashing.NodeID]*Service
 	ids      []hashing.NodeID
@@ -27,11 +27,11 @@ type testCluster struct {
 func newTestCluster(t *testing.T, n, replicas int) *testCluster {
 	t.Helper()
 	tc := &testCluster{
-		ring:     hashing.NewRing(),
+		ring:     hashing.NewChordRing(),
 		net:      transport.NewLocal(),
 		services: make(map[hashing.NodeID]*Service),
 	}
-	ringFn := func() *hashing.Ring {
+	ringFn := func() hashing.Ring {
 		tc.mu.Lock()
 		defer tc.mu.Unlock()
 		return tc.ring.Clone()
@@ -370,7 +370,7 @@ func TestNewServiceValidation(t *testing.T) {
 	if _, err := NewService("a", net, nil, 3); err == nil {
 		t.Fatal("nil ring accepted")
 	}
-	if _, err := NewService("a", net, func() *hashing.Ring { return nil }, 0); err == nil {
+	if _, err := NewService("a", net, func() hashing.Ring { return nil }, 0); err == nil {
 		t.Fatal("replicas=0 accepted")
 	}
 }

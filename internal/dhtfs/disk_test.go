@@ -109,14 +109,14 @@ func TestDiskBackedServiceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ring := hashing.NewRing()
+	ring := hashing.NewChordRing()
 	if err := ring.AddNode("solo"); err != nil {
 		t.Fatal(err)
 	}
 	// A single-node service never leaves the process: self-calls
 	// short-circuit to the local handler, so no listener is needed.
 	svc, err := NewServiceWithStore("solo", transport.NewLocal(),
-		func() *hashing.Ring { return ring.Clone() }, 1, store)
+		func() hashing.Ring { return ring.Clone() }, 1, store)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +143,11 @@ func TestDiskBackedServiceEndToEnd(t *testing.T) {
 // metadata intact, so previously uploaded files remain readable.
 func TestClusterRestartRecoversFiles(t *testing.T) {
 	dir := t.TempDir()
-	ring := hashing.NewRing()
+	ring := hashing.NewChordRing()
 	if err := ring.AddNode("solo"); err != nil {
 		t.Fatal(err)
 	}
-	ringFn := func() *hashing.Ring { return ring.Clone() }
+	ringFn := func() hashing.Ring { return ring.Clone() }
 	data := randomData(4096, 41)
 
 	store1, err := NewStoreAt(dir)

@@ -56,7 +56,7 @@ func (s *Service) handleRoutedGet(ctx context.Context, body []byte) ([]byte, err
 		return nil, fmt.Errorf("dhtfs: routed lookup for %s exceeded %d hops", req.Key, maxRouteHops)
 	}
 	ring := s.ring()
-	if ring.Owns(s.self, req.Key) {
+	if owner, err := ring.Owner(req.Key); err == nil && owner == s.self {
 		// We own the key but do not hold the block: it does not exist.
 		return nil, fmt.Errorf("%w: block %s", ErrNotFound, req.Key)
 	}
@@ -71,11 +71,27 @@ func (s *Service) handleRoutedGet(ctx context.Context, body []byte) ([]byte, err
 	return transport.Encode(resp)
 }
 
-// nextHop computes this node's forwarding target for key k from its
-// finger table (rebuilt from the current view; rings are small and
-// membership changes rare, so this costs microseconds).
-func (s *Service) nextHop(ring *hashing.Ring, k hashing.Key) (hashing.NodeID, error) {
-	ft, err := chord.Build(ring, s.self, 64)
+// nextHop computes this node's forwarding target for key k. On the chord
+// backend the target comes from the finger table (rebuilt from the
+// current view; rings are small and membership changes rare, so this
+// costs microseconds). The other ring algorithms have no positional
+// finger geometry — bucket indices and rendezvous scores are not ring
+// arcs — so routing degenerates to one direct hop to the key's owner,
+// which is still correct multi-hop semantics: the owner either serves the
+// block or reports it missing.
+func (s *Service) nextHop(ring hashing.Ring, k hashing.Key) (hashing.NodeID, error) {
+	cr, ok := ring.(*hashing.ChordRing)
+	if !ok {
+		next, err := ring.Owner(k)
+		if err != nil {
+			return "", err
+		}
+		if next == s.self {
+			return "", fmt.Errorf("dhtfs: no forward progress for key %s", k)
+		}
+		return next, nil
+	}
+	ft, err := chord.Build(cr, s.self, 64)
 	if err != nil {
 		return "", err
 	}
@@ -94,7 +110,7 @@ func (s *Service) ReadBlockRouted(ctx context.Context, k hashing.Key) ([]byte, i
 		return data, 0, nil
 	}
 	ring := s.ring()
-	if ring.Owns(s.self, k) {
+	if owner, err := ring.Owner(k); err == nil && owner == s.self {
 		return nil, 0, fmt.Errorf("%w: block %s", ErrNotFound, k)
 	}
 	next, err := s.nextHop(ring, k)

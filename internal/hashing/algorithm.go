@@ -1,0 +1,109 @@
+package hashing
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Ring is the placement contract every consistent-hashing backend honors.
+// dhtfs block placement, shuffle routing and scheduler range cuts all go
+// through this interface; the conformance suite in ringtest pins the
+// invariants callers rely on:
+//
+//   - Determinism: the same membership operation sequence yields the same
+//     owner for every key (no hidden randomness or wall-clock state).
+//   - Total coverage: with at least one member, every key has an owner and
+//     the owner is a live member.
+//   - Monotonicity on join: AddNode remaps only keys that move to the new
+//     node; no key moves between two pre-existing nodes.
+//   - Bounded churn on leave: Remove remaps at most a small multiple of
+//     1/n of the key space (the departed arc plus backend bookkeeping).
+//   - Replica sets: duplicate-free, members-only, clamped to Len().
+//
+// Implementations are not safe for concurrent mutation; callers
+// synchronize externally, as membership changes flow through the resource
+// manager. Snapshot returns an independent deep copy for lock-free reads.
+type Ring interface {
+	// AddNode joins a node; joining a current member is an error.
+	AddNode(id NodeID) error
+	// Remove leaves a node; removing a non-member returns false.
+	Remove(id NodeID) bool
+	// Len returns the number of member nodes.
+	Len() int
+	// Members returns the node IDs in the backend's deterministic order.
+	Members() []NodeID
+	// Owner returns the node owning key k (ErrEmptyRing when empty).
+	Owner(k Key) (NodeID, error)
+	// Successor returns the next node after id in the backend's order.
+	Successor(id NodeID) (NodeID, error)
+	// Predecessor returns the node before id in the backend's order.
+	Predecessor(id NodeID) (NodeID, error)
+	// ReplicaSet returns n distinct live nodes for key k, owner first.
+	ReplicaSet(k Key, n int) ([]NodeID, error)
+	// RangeTable cuts the key space into one contiguous range per member
+	// as the scheduler's initial locality hint.
+	RangeTable() (*RangeTable, error)
+	// Snapshot returns an independent deep copy.
+	Snapshot() Ring
+	// Algorithm names the backend (a valid NewAlgorithmRing argument).
+	Algorithm() string
+}
+
+// Backend names accepted by NewAlgorithmRing and the -ring flag.
+const (
+	// AlgorithmChord is the paper's SHA-1 ring (single token per node,
+	// O(log n) lookup). The empty string selects it too.
+	AlgorithmChord = "chord"
+	// AlgorithmJump is jump consistent hash (Lamping & Veach): O(1)
+	// expected lookup over an arrival-ordered bucket list.
+	AlgorithmJump = "jump"
+	// AlgorithmPower is power-of-two consistent hash (Leu): O(1)
+	// worst-case lookup, at most 2x load skew between powers of two.
+	AlgorithmPower = "power"
+	// AlgorithmRendezvous is highest-random-weight hashing: O(n) lookup,
+	// per-key independent candidate order, optimal churn.
+	AlgorithmRendezvous = "rendezvous"
+)
+
+// Algorithms lists the selectable backends in flag/matrix order. The
+// chord backend also accepts a "chord:<vnodes>" spelling that places
+// <vnodes> virtual tokens per node (the SHA-1 virtual-node ring).
+func Algorithms() []string {
+	return []string{AlgorithmChord, AlgorithmJump, AlgorithmPower, AlgorithmRendezvous}
+}
+
+// NewAlgorithmRing builds an empty ring of the named backend. The empty
+// name selects the paper's default chord ring; "chord:<V>" selects the
+// SHA-1 ring with V virtual tokens per node.
+func NewAlgorithmRing(name string) (Ring, error) {
+	switch name {
+	case "", AlgorithmChord:
+		return NewChordRing(), nil
+	case AlgorithmJump:
+		return NewJumpRing(), nil
+	case AlgorithmPower:
+		return NewPowerRing(), nil
+	case AlgorithmRendezvous:
+		return NewRendezvousRing(), nil
+	}
+	if v, ok := strings.CutPrefix(name, AlgorithmChord+":"); ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("hashing: bad vnode count in ring algorithm %q", name)
+		}
+		return NewVirtualRing(n)
+	}
+	return nil, fmt.Errorf("hashing: unknown ring algorithm %q (want one of %s)",
+		name, strings.Join(Algorithms(), ", "))
+}
+
+// mix64 is SplitMix64's finalizer: a cheap bijective scrambler applied to
+// keys before bucket selection so the jump/power recurrences see
+// well-distributed bits even for structured inputs.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

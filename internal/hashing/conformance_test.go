@@ -1,0 +1,116 @@
+package hashing_test
+
+import (
+	"testing"
+
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/hashing/ringtest"
+)
+
+// ringBackends is the full conformance matrix: every algorithm the -ring
+// flag can select, plus the virtual-node chord variant.
+func ringBackends(t *testing.T) map[string]func() hashing.Ring {
+	t.Helper()
+	backends := make(map[string]func() hashing.Ring)
+	for _, alg := range hashing.Algorithms() {
+		alg := alg
+		backends[alg] = func() hashing.Ring {
+			r, err := hashing.NewAlgorithmRing(alg)
+			if err != nil {
+				t.Fatalf("NewAlgorithmRing(%q): %v", alg, err)
+			}
+			return r
+		}
+	}
+	backends["chord:8"] = func() hashing.Ring {
+		r, err := hashing.NewAlgorithmRing("chord:8")
+		if err != nil {
+			t.Fatalf("NewAlgorithmRing(chord:8): %v", err)
+		}
+		return r
+	}
+	return backends
+}
+
+// TestRingConformance runs the shared invariant suite over every backend.
+func TestRingConformance(t *testing.T) {
+	for name, newRing := range ringBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ringtest.RunRingConformance(t, newRing)
+		})
+	}
+}
+
+// TestNewAlgorithmRing pins the factory surface: known names build rings
+// reporting their own algorithm, unknown names fail.
+func TestNewAlgorithmRing(t *testing.T) {
+	for _, alg := range hashing.Algorithms() {
+		r, err := hashing.NewAlgorithmRing(alg)
+		if err != nil {
+			t.Fatalf("NewAlgorithmRing(%q): %v", alg, err)
+		}
+		if got := r.Algorithm(); got != alg {
+			t.Errorf("NewAlgorithmRing(%q).Algorithm() = %q", alg, got)
+		}
+	}
+	if r, err := hashing.NewAlgorithmRing(""); err != nil || r.Algorithm() != hashing.AlgorithmChord {
+		t.Errorf("empty name: ring %v, err %v; want default chord", r, err)
+	}
+	if r, err := hashing.NewAlgorithmRing("chord:16"); err != nil || r.Algorithm() != "chord:16" {
+		t.Errorf("chord:16: ring %v, err %v", r, err)
+	}
+	for _, bad := range []string{"md5", "chord:x", "chord:0", "jump:4"} {
+		if _, err := hashing.NewAlgorithmRing(bad); err == nil {
+			t.Errorf("NewAlgorithmRing(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestChordRingDefaultPlacementUnchanged pins that the interface refactor
+// did not move a single key on the default backend: the chord ring places
+// ID-derived nodes exactly as the pre-interface ring did (owner at the
+// clockwise successor position, replica set owner/predecessor/successor).
+func TestChordRingDefaultPlacementUnchanged(t *testing.T) {
+	r := hashing.NewChordRing()
+	for _, id := range []hashing.NodeID{"worker-00", "worker-01", "worker-02", "worker-03"} {
+		if err := r.AddNode(id); err != nil {
+			t.Fatal(err)
+		}
+	}
+	k := hashing.KeyOfString("some-block")
+	owner, err := r.Owner(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The owner must be the member at the first ring position >= the key,
+	// computed from first principles.
+	var want hashing.NodeID
+	var best hashing.Key
+	first := true
+	for _, id := range r.Members() {
+		pos, _ := r.Position(id)
+		if pos >= k && (first || pos < best) {
+			want, best, first = id, pos, false
+		}
+	}
+	if first { // wrapped: smallest position overall
+		for _, id := range r.Members() {
+			pos, _ := r.Position(id)
+			if first || pos < best {
+				want, best, first = id, pos, false
+			}
+		}
+	}
+	if owner != want {
+		t.Fatalf("Owner(%v) = %s, want clockwise successor %s", k, owner, want)
+	}
+	set, err := r.ReplicaSet(k, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred, _ := r.Predecessor(owner)
+	succ, _ := r.Successor(owner)
+	if set[0] != owner || set[1] != pred || set[2] != succ {
+		t.Fatalf("ReplicaSet = %v, want [%s %s %s] (owner, predecessor, successor)", set, owner, pred, succ)
+	}
+}

@@ -1,0 +1,133 @@
+package hashing_test
+
+import (
+	"fmt"
+	"testing"
+
+	"eclipsemr/internal/hashing"
+)
+
+// fuzzRing builds the ring backend selected by alg (wrapping over the
+// matrix, including the virtual-node chord variant).
+func fuzzRing(alg uint8) hashing.Ring {
+	names := append(hashing.Algorithms(), "chord:4")
+	r, err := hashing.NewAlgorithmRing(names[int(alg)%len(names)])
+	if err != nil {
+		panic(err) // all matrix names are valid
+	}
+	return r
+}
+
+// applyOps replays a fuzzed membership script: each byte joins (high bit
+// clear) or leaves (high bit set) one of 16 pool nodes. Duplicate joins
+// and missing leaves are ignored, as the ring API defines.
+func applyOps(r hashing.Ring, ops []byte) {
+	for _, op := range ops {
+		id := hashing.NodeID(fmt.Sprintf("pool-%02d", op&0x0f))
+		if op&0x80 != 0 {
+			r.Remove(id)
+		} else {
+			_ = r.AddNode(id)
+		}
+	}
+}
+
+// FuzzRingLookupConsistency pins the consistency contract under arbitrary
+// membership histories: the same key and membership always resolve to the
+// same owner — across a Snapshot, and across an independent replay of the
+// same operation sequence (restore).
+func FuzzRingLookupConsistency(f *testing.F) {
+	f.Add(uint8(0), []byte{0, 1, 2, 3}, uint64(42), uint64(1<<63))
+	f.Add(uint8(1), []byte{0, 1, 0x81, 2}, uint64(0), uint64(^uint64(0)))
+	f.Add(uint8(2), []byte{5, 9, 12, 0x85, 3, 7}, uint64(123456789), uint64(987654321))
+	f.Add(uint8(3), []byte{1, 2, 3, 4, 5, 6, 7, 8}, uint64(1), uint64(2))
+	f.Add(uint8(4), []byte{0, 0x80, 0, 0x80, 1}, uint64(7), uint64(7))
+	f.Fuzz(func(t *testing.T, alg uint8, ops []byte, k1, k2 uint64) {
+		ring := fuzzRing(alg)
+		applyOps(ring, ops)
+		replay := fuzzRing(alg)
+		applyOps(replay, ops)
+		snap := ring.Snapshot()
+		if snap.Len() != ring.Len() || replay.Len() != ring.Len() {
+			t.Fatalf("membership diverged: ring %d, snapshot %d, replay %d",
+				ring.Len(), snap.Len(), replay.Len())
+		}
+		for _, k := range []hashing.Key{hashing.Key(k1), hashing.Key(k2)} {
+			owner, err := ring.Owner(k)
+			if err != nil {
+				if err == hashing.ErrEmptyRing && ring.Len() == 0 {
+					continue
+				}
+				t.Fatalf("Owner(%v): %v", k, err)
+			}
+			if got, err := snap.Owner(k); err != nil || got != owner {
+				t.Fatalf("snapshot owner of %v = %s, %v; ring says %s", k, got, err, owner)
+			}
+			if got, err := replay.Owner(k); err != nil || got != owner {
+				t.Fatalf("replayed ring owner of %v = %s, %v; ring says %s", k, got, err, owner)
+			}
+			set, err := ring.ReplicaSet(k, 3)
+			if err != nil {
+				t.Fatalf("ReplicaSet(%v): %v", k, err)
+			}
+			snapSet, err := snap.ReplicaSet(k, 3)
+			if err != nil || fmt.Sprint(set) != fmt.Sprint(snapSet) {
+				t.Fatalf("snapshot replica set of %v = %v, %v; ring says %v", k, snapSet, err, set)
+			}
+		}
+	})
+}
+
+// FuzzRangeTableCoversSpace pins that every backend's range table
+// partitions the key space: each key falls in exactly the range the
+// lookup reports (no gaps), every server appears exactly once (no
+// overlapping ownership), and boundary keys land on their own range.
+func FuzzRangeTableCoversSpace(f *testing.F) {
+	f.Add(uint8(0), uint8(1), uint64(0))
+	f.Add(uint8(1), uint8(3), uint64(1<<32))
+	f.Add(uint8(2), uint8(40), uint64(^uint64(0)))
+	f.Add(uint8(3), uint8(7), uint64(1<<63))
+	f.Add(uint8(4), uint8(64), uint64(3))
+	f.Fuzz(func(t *testing.T, alg uint8, nodes uint8, rawKey uint64) {
+		n := int(nodes)%64 + 1
+		ring := fuzzRing(alg)
+		for i := 0; i < n; i++ {
+			if err := ring.AddNode(hashing.NodeID(fmt.Sprintf("worker-%02d", i))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		table, err := ring.RangeTable()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if table.Len() != n {
+			t.Fatalf("table has %d servers for %d members", table.Len(), n)
+		}
+		seen := make(map[hashing.NodeID]bool, n)
+		for _, id := range table.Servers() {
+			if seen[id] {
+				t.Fatalf("server %s owns two ranges", id)
+			}
+			seen[id] = true
+		}
+		// The fuzzed key and every boundary key must resolve to the range
+		// that actually contains them: no gaps, no overlaps.
+		keys := []hashing.Key{hashing.Key(rawKey)}
+		for _, b := range table.Bounds() {
+			keys = append(keys, b, b-1, b+1)
+		}
+		for _, k := range keys {
+			idx := table.LookupIndex(k)
+			if idx < 0 || idx >= table.Len() {
+				t.Fatalf("LookupIndex(%v) = %d out of range", k, idx)
+			}
+			start, end := table.RangeOf(idx)
+			if start != end && !hashing.InRange(k, start, end) {
+				t.Fatalf("key %v resolved to range %d [%v, %v) that does not contain it", k, idx, start, end)
+			}
+			if !seen[table.Lookup(k)] {
+				t.Fatalf("key %v resolved to unknown server %s", k, table.Lookup(k))
+			}
+		}
+	})
+}

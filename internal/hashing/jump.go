@@ -1,0 +1,57 @@
+package hashing
+
+// JumpRing implements jump consistent hash (Lamping & Veach, "A Fast,
+// Minimal Memory, Consistent Hash Algorithm"). Keys map to bucket indices
+// with O(1) expected time and no per-node state beyond the slot table;
+// growing from n to n+1 buckets moves exactly the keys that land in the
+// new bucket, so joins are strictly monotone. Leaves use slotRing's
+// swap-remove, bounding churn to about 2/n of the key space.
+type JumpRing struct {
+	slotRing
+}
+
+var _ Ring = (*JumpRing)(nil)
+
+// NewJumpRing returns an empty jump consistent hash ring.
+func NewJumpRing() *JumpRing {
+	return &JumpRing{slotRing: newSlotRing()}
+}
+
+// jumpBucket is the Lamping-Veach recurrence: a sequence of jumps through
+// candidate buckets where the probability of jumping past bucket j shrinks
+// as 1/j, yielding uniform assignment and minimal movement as n grows.
+func jumpBucket(key uint64, n int) int {
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
+}
+
+// Owner returns the node in key k's bucket.
+func (r *JumpRing) Owner(k Key) (NodeID, error) {
+	if len(r.slots) == 0 {
+		return "", ErrEmptyRing
+	}
+	return r.slots[jumpBucket(mix64(uint64(k)), len(r.slots))], nil
+}
+
+// ReplicaSet returns n distinct nodes: the owner's bucket then successive
+// buckets. Bucket indices are uncorrelated with node identity, so
+// consecutive buckets spread replicas uniformly.
+func (r *JumpRing) ReplicaSet(k Key, n int) ([]NodeID, error) {
+	if len(r.slots) == 0 {
+		return nil, ErrEmptyRing
+	}
+	return r.replicaSet(jumpBucket(mix64(uint64(k)), len(r.slots)), n), nil
+}
+
+// Snapshot returns an independent deep copy.
+func (r *JumpRing) Snapshot() Ring {
+	return &JumpRing{slotRing: r.slotRing.clone()}
+}
+
+// Algorithm identifies the backend.
+func (r *JumpRing) Algorithm() string { return AlgorithmJump }

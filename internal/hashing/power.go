@@ -1,0 +1,65 @@
+package hashing
+
+import "math/bits"
+
+// PowerRing implements power-of-two-choices consistent hashing after Leu
+// ("Fast Consistent Hashing in Constant Time"): a key hashes directly into
+// [0, M) for M the smallest power of two >= n, and overflowing draws
+// (index >= n) fall back to the same hash truncated to M/2 bits. Lookup is
+// O(1) worst case — two masks and a comparison — at the cost of up to 2x
+// load skew between nodes while n sits between powers of two (the
+// benchmark's load-stddev column makes the trade visible).
+//
+// The fallback MUST reuse the primary hash's low bits rather than an
+// independent second hash: when M doubles at a power-of-two crossing, a
+// key whose index gains a high bit either addresses the new bucket range
+// or falls back to exactly the bucket it occupied before, which is what
+// keeps joins strictly monotone.
+type PowerRing struct {
+	slotRing
+}
+
+var _ Ring = (*PowerRing)(nil)
+
+// NewPowerRing returns an empty power consistent hash ring.
+func NewPowerRing() *PowerRing {
+	return &PowerRing{slotRing: newSlotRing()}
+}
+
+// powerBucket maps mixed hash h into [0, n) in constant time.
+func powerBucket(h uint64, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	m := uint64(1) << bits.Len64(uint64(n-1)) // smallest power of two >= n
+	r := h & (m - 1)
+	if r < uint64(n) {
+		return int(r)
+	}
+	return int(h & (m/2 - 1))
+}
+
+// Owner returns the node in key k's bucket.
+func (r *PowerRing) Owner(k Key) (NodeID, error) {
+	if len(r.slots) == 0 {
+		return "", ErrEmptyRing
+	}
+	return r.slots[powerBucket(mix64(uint64(k)), len(r.slots))], nil
+}
+
+// ReplicaSet returns n distinct nodes: the owner's bucket then successive
+// buckets.
+func (r *PowerRing) ReplicaSet(k Key, n int) ([]NodeID, error) {
+	if len(r.slots) == 0 {
+		return nil, ErrEmptyRing
+	}
+	return r.replicaSet(powerBucket(mix64(uint64(k)), len(r.slots)), n), nil
+}
+
+// Snapshot returns an independent deep copy.
+func (r *PowerRing) Snapshot() Ring {
+	return &PowerRing{slotRing: r.slotRing.clone()}
+}
+
+// Algorithm identifies the backend.
+func (r *PowerRing) Algorithm() string { return AlgorithmPower }

@@ -64,7 +64,7 @@ func UniformRangeTable(servers []NodeID) (*RangeTable, error) {
 // file system ring: each server's range is its ring arc. This is the
 // weight-factor-zero / delay-scheduling configuration in which the cache
 // layer is perfectly aligned with the file system layer.
-func AlignedRangeTable(r *Ring) (*RangeTable, error) {
+func AlignedRangeTable(r *ChordRing) (*RangeTable, error) {
 	if r.Len() == 0 {
 		return nil, ErrEmptyRing
 	}

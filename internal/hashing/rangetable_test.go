@@ -94,7 +94,7 @@ func TestUniformRangeTableEqualWidths(t *testing.T) {
 }
 
 func TestAlignedRangeTableMatchesRingOwnership(t *testing.T) {
-	r := NewRing()
+	r := NewChordRing()
 	for i := 0; i < 8; i++ {
 		if err := r.AddNode(NodeID(rune('a' + i))); err != nil {
 			t.Fatal(err)
@@ -120,7 +120,7 @@ func TestAlignedRangeTableMatchesRingOwnership(t *testing.T) {
 			}
 		}
 	}
-	if _, err := AlignedRangeTable(NewRing()); err == nil {
+	if _, err := AlignedRangeTable(NewChordRing()); err == nil {
 		t.Fatal("AlignedRangeTable on empty ring accepted")
 	}
 }

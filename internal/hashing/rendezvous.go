@@ -1,0 +1,154 @@
+package hashing
+
+import (
+	"errors"
+	"sort"
+)
+
+// RendezvousRing implements highest-random-weight (rendezvous) hashing:
+// every key scores every member with an independent hash and the highest
+// score wins. Each key sees its own uniformly random candidate order, so
+// replica sets spread load across the cluster without the ring-neighbor
+// clustering of arc-based schemes — the "local candidates with bounded
+// loads" placement that the iCache/oCache locality story wants. Churn is
+// optimal: a join steals exactly the keys the new node out-scores, and a
+// leave remaps only the departed node's keys. The price is O(n) per
+// lookup, which the churn benchmark makes visible.
+type RendezvousRing struct {
+	members []NodeID // sorted; scores break ties by this order
+	seeds   map[NodeID]uint64
+}
+
+var _ Ring = (*RendezvousRing)(nil)
+
+// NewRendezvousRing returns an empty rendezvous ring.
+func NewRendezvousRing() *RendezvousRing {
+	return &RendezvousRing{seeds: make(map[NodeID]uint64)}
+}
+
+// score is the weight of node (by seed) for key k. Seeds are derived from
+// the node ID alone, so two rings with the same membership agree on every
+// score regardless of join order.
+func rendezvousScore(k Key, seed uint64) uint64 {
+	return mix64(uint64(k) ^ seed)
+}
+
+// AddNode joins a node, keeping members sorted.
+func (r *RendezvousRing) AddNode(id NodeID) error {
+	if _, ok := r.seeds[id]; ok {
+		return errors.New("hashing: node " + string(id) + " already on ring")
+	}
+	i := sort.Search(len(r.members), func(i int) bool { return r.members[i] >= id })
+	r.members = append(r.members, "")
+	copy(r.members[i+1:], r.members[i:])
+	r.members[i] = id
+	r.seeds[id] = uint64(KeyOfString(string(id)))
+	return nil
+}
+
+// Remove leaves a node; only its keys remap.
+func (r *RendezvousRing) Remove(id NodeID) bool {
+	if _, ok := r.seeds[id]; !ok {
+		return false
+	}
+	i := sort.Search(len(r.members), func(i int) bool { return r.members[i] >= id })
+	r.members = append(r.members[:i], r.members[i+1:]...)
+	delete(r.seeds, id)
+	return true
+}
+
+// Len returns the member count.
+func (r *RendezvousRing) Len() int { return len(r.members) }
+
+// Members returns the nodes in sorted ID order.
+func (r *RendezvousRing) Members() []NodeID {
+	return append([]NodeID(nil), r.members...)
+}
+
+// Owner returns the member with the highest score for k.
+func (r *RendezvousRing) Owner(k Key) (NodeID, error) {
+	if len(r.members) == 0 {
+		return "", ErrEmptyRing
+	}
+	best := r.members[0]
+	bestScore := rendezvousScore(k, r.seeds[best])
+	for _, id := range r.members[1:] {
+		if s := rendezvousScore(k, r.seeds[id]); s > bestScore {
+			best, bestScore = id, s
+		}
+	}
+	return best, nil
+}
+
+// ReplicaSet returns the n highest-scoring members for k, owner first.
+func (r *RendezvousRing) ReplicaSet(k Key, n int) ([]NodeID, error) {
+	if len(r.members) == 0 {
+		return nil, ErrEmptyRing
+	}
+	if n > len(r.members) {
+		n = len(r.members)
+	}
+	type scored struct {
+		id NodeID
+		s  uint64
+	}
+	all := make([]scored, len(r.members))
+	for i, id := range r.members {
+		all[i] = scored{id: id, s: rendezvousScore(k, r.seeds[id])}
+	}
+	// Descending score; members is sorted and scores derive from distinct
+	// SHA-1 seeds, so ties are broken by ID order deterministically.
+	sort.SliceStable(all, func(i, j int) bool { return all[i].s > all[j].s })
+	out := make([]NodeID, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].id
+	}
+	return out, nil
+}
+
+// Successor returns the next node in sorted ID order, wrapping.
+func (r *RendezvousRing) Successor(id NodeID) (NodeID, error) {
+	i, err := r.indexOf(id)
+	if err != nil {
+		return "", err
+	}
+	return r.members[(i+1)%len(r.members)], nil
+}
+
+// Predecessor returns the previous node in sorted ID order, wrapping.
+func (r *RendezvousRing) Predecessor(id NodeID) (NodeID, error) {
+	i, err := r.indexOf(id)
+	if err != nil {
+		return "", err
+	}
+	return r.members[(i-1+len(r.members))%len(r.members)], nil
+}
+
+func (r *RendezvousRing) indexOf(id NodeID) (int, error) {
+	if _, ok := r.seeds[id]; !ok {
+		return 0, errors.New("hashing: node " + string(id) + " not on ring")
+	}
+	return sort.Search(len(r.members), func(i int) bool { return r.members[i] >= id }), nil
+}
+
+// RangeTable cuts the key space uniformly over sorted member order.
+// Rendezvous ownership has no contiguous arcs to align with, so equal
+// cuts seed the scheduler and KDE re-partitioning refines them.
+func (r *RendezvousRing) RangeTable() (*RangeTable, error) {
+	return UniformRangeTable(r.Members())
+}
+
+// Snapshot returns an independent deep copy.
+func (r *RendezvousRing) Snapshot() Ring {
+	c := &RendezvousRing{
+		members: append([]NodeID(nil), r.members...),
+		seeds:   make(map[NodeID]uint64, len(r.seeds)),
+	}
+	for id, s := range r.seeds {
+		c.seeds[id] = s
+	}
+	return c
+}
+
+// Algorithm identifies the backend.
+func (r *RendezvousRing) Algorithm() string { return AlgorithmRendezvous }

@@ -18,24 +18,31 @@ type ringEntry struct {
 	id  NodeID
 }
 
-// Ring is a consistent-hash ring of named nodes. A node at ring position p
-// owns the arc (pred(p), p]: every key is owned by its clockwise successor
-// node, exactly as in Chord. Ring is not safe for concurrent mutation;
-// callers synchronize externally (membership changes are rare and flow
-// through the resource manager).
-type Ring struct {
+// ChordRing is the paper's consistent-hash ring of named nodes. A node at
+// ring position p owns the arc (pred(p), p]: every key is owned by its
+// clockwise successor node, exactly as in Chord. ChordRing is not safe for
+// concurrent mutation; callers synchronize externally (membership changes
+// are rare and flow through the resource manager).
+//
+// ChordRing is the only Ring backend with explicit positions (Add, Position,
+// RangeOf): the membership protocol ships positions on the wire and the
+// finger-table router navigates by them. Placement-only consumers should
+// hold the Ring interface instead.
+type ChordRing struct {
 	entries []ringEntry // sorted by pos, positions strictly increasing
 	byID    map[NodeID]Key
 }
 
-// NewRing returns an empty ring.
-func NewRing() *Ring {
-	return &Ring{byID: make(map[NodeID]Key)}
+var _ Ring = (*ChordRing)(nil)
+
+// NewChordRing returns an empty ring.
+func NewChordRing() *ChordRing {
+	return &ChordRing{byID: make(map[NodeID]Key)}
 }
 
 // Clone returns a deep copy of the ring.
-func (r *Ring) Clone() *Ring {
-	c := &Ring{
+func (r *ChordRing) Clone() *ChordRing {
+	c := &ChordRing{
 		entries: append([]ringEntry(nil), r.entries...),
 		byID:    make(map[NodeID]Key, len(r.byID)),
 	}
@@ -45,11 +52,17 @@ func (r *Ring) Clone() *Ring {
 	return c
 }
 
+// Snapshot returns an independent deep copy as a Ring.
+func (r *ChordRing) Snapshot() Ring { return r.Clone() }
+
+// Algorithm identifies the backend.
+func (r *ChordRing) Algorithm() string { return AlgorithmChord }
+
 // Len returns the number of member nodes.
-func (r *Ring) Len() int { return len(r.entries) }
+func (r *ChordRing) Len() int { return len(r.entries) }
 
 // Members returns the node IDs in ring order (ascending position).
-func (r *Ring) Members() []NodeID {
+func (r *ChordRing) Members() []NodeID {
 	out := make([]NodeID, len(r.entries))
 	for i, e := range r.entries {
 		out[i] = e.id
@@ -58,7 +71,7 @@ func (r *Ring) Members() []NodeID {
 }
 
 // Position returns the ring position of id.
-func (r *Ring) Position(id NodeID) (Key, bool) {
+func (r *ChordRing) Position(id NodeID) (Key, bool) {
 	pos, ok := r.byID[id]
 	return pos, ok
 }
@@ -66,7 +79,7 @@ func (r *Ring) Position(id NodeID) (Key, bool) {
 // Add inserts a node at an explicit ring position. It returns an error if
 // the node is already a member or the position is taken: positions must be
 // unique for arcs to be well defined.
-func (r *Ring) Add(id NodeID, pos Key) error {
+func (r *ChordRing) Add(id NodeID, pos Key) error {
 	if _, ok := r.byID[id]; ok {
 		return errors.New("hashing: node " + string(id) + " already on ring")
 	}
@@ -82,14 +95,14 @@ func (r *Ring) Add(id NodeID, pos Key) error {
 }
 
 // AddNode inserts a node at the position derived from its ID.
-func (r *Ring) AddNode(id NodeID) error {
+func (r *ChordRing) AddNode(id NodeID) error {
 	return r.Add(id, KeyOfString(string(id)))
 }
 
 // Remove deletes a node from the ring. Its arc is absorbed by its
 // successor, which is how the DHT file system hands a failed server's key
 // range to the take-over node.
-func (r *Ring) Remove(id NodeID) bool {
+func (r *ChordRing) Remove(id NodeID) bool {
 	pos, ok := r.byID[id]
 	if !ok {
 		return false
@@ -102,7 +115,7 @@ func (r *Ring) Remove(id NodeID) bool {
 
 // successorIndex returns the index of the first entry with position >= k,
 // wrapping to 0 past the end.
-func (r *Ring) successorIndex(k Key) int {
+func (r *ChordRing) successorIndex(k Key) int {
 	i := sort.Search(len(r.entries), func(i int) bool { return r.entries[i].pos >= k })
 	if i == len(r.entries) {
 		return 0
@@ -112,7 +125,7 @@ func (r *Ring) successorIndex(k Key) int {
 
 // Owner returns the node that owns key k: the first node at or clockwise
 // after k.
-func (r *Ring) Owner(k Key) (NodeID, error) {
+func (r *ChordRing) Owner(k Key) (NodeID, error) {
 	if len(r.entries) == 0 {
 		return "", ErrEmptyRing
 	}
@@ -120,7 +133,7 @@ func (r *Ring) Owner(k Key) (NodeID, error) {
 }
 
 // Successor returns the node immediately clockwise of id.
-func (r *Ring) Successor(id NodeID) (NodeID, error) {
+func (r *ChordRing) Successor(id NodeID) (NodeID, error) {
 	i, err := r.indexOf(id)
 	if err != nil {
 		return "", err
@@ -129,7 +142,7 @@ func (r *Ring) Successor(id NodeID) (NodeID, error) {
 }
 
 // Predecessor returns the node immediately counter-clockwise of id.
-func (r *Ring) Predecessor(id NodeID) (NodeID, error) {
+func (r *ChordRing) Predecessor(id NodeID) (NodeID, error) {
 	i, err := r.indexOf(id)
 	if err != nil {
 		return "", err
@@ -137,7 +150,7 @@ func (r *Ring) Predecessor(id NodeID) (NodeID, error) {
 	return r.entries[(i-1+len(r.entries))%len(r.entries)].id, nil
 }
 
-func (r *Ring) indexOf(id NodeID) (int, error) {
+func (r *ChordRing) indexOf(id NodeID) (int, error) {
 	pos, ok := r.byID[id]
 	if !ok {
 		return 0, errors.New("hashing: node " + string(id) + " not on ring")
@@ -152,7 +165,7 @@ func (r *Ring) indexOf(id NodeID) (int, error) {
 // of replicating file blocks and metadata "in predecessors and
 // successors". If the ring has fewer than n members every member is
 // returned.
-func (r *Ring) ReplicaSet(k Key, n int) ([]NodeID, error) {
+func (r *ChordRing) ReplicaSet(k Key, n int) ([]NodeID, error) {
 	if len(r.entries) == 0 {
 		return nil, ErrEmptyRing
 	}
@@ -174,7 +187,7 @@ func (r *Ring) ReplicaSet(k Key, n int) ([]NodeID, error) {
 // RangeOf returns the arc (pred, pos] owned by id, expressed as the
 // half-open range (start, end] with start = predecessor position and end =
 // the node's own position.
-func (r *Ring) RangeOf(id NodeID) (start, end Key, err error) {
+func (r *ChordRing) RangeOf(id NodeID) (start, end Key, err error) {
 	i, err := r.indexOf(id)
 	if err != nil {
 		return 0, 0, err
@@ -184,7 +197,7 @@ func (r *Ring) RangeOf(id NodeID) (start, end Key, err error) {
 }
 
 // Owns reports whether id owns key k.
-func (r *Ring) Owns(id NodeID, k Key) bool {
+func (r *ChordRing) Owns(id NodeID, k Key) bool {
 	start, end, err := r.RangeOf(id)
 	if err != nil {
 		return false
@@ -193,4 +206,10 @@ func (r *Ring) Owns(id NodeID, k Key) bool {
 		return true
 	}
 	return Between(k, start, end)
+}
+
+// RangeTable returns the scheduler's initial hash-key table aligned with
+// this ring's arcs, so DHT placement and task locality agree at startup.
+func (r *ChordRing) RangeTable() (*RangeTable, error) {
+	return AlignedRangeTable(r)
 }

@@ -10,9 +10,9 @@ import (
 
 // paperRing reproduces the six-server ring from Figure 1 of the paper,
 // scaled to our 64-bit space by using the raw positions directly.
-func paperRing(t *testing.T) *Ring {
+func paperRing(t *testing.T) *ChordRing {
 	t.Helper()
-	r := NewRing()
+	r := NewChordRing()
 	for _, n := range []struct {
 		id  NodeID
 		pos Key
@@ -52,7 +52,7 @@ func TestRingOwnerMatchesPaperFigure1(t *testing.T) {
 }
 
 func TestRingEmpty(t *testing.T) {
-	r := NewRing()
+	r := NewChordRing()
 	if _, err := r.Owner(1); err != ErrEmptyRing {
 		t.Fatalf("Owner on empty ring: err = %v, want ErrEmptyRing", err)
 	}
@@ -65,7 +65,7 @@ func TestRingEmpty(t *testing.T) {
 }
 
 func TestRingDuplicateAddRejected(t *testing.T) {
-	r := NewRing()
+	r := NewChordRing()
 	if err := r.Add("A", 10); err != nil {
 		t.Fatal(err)
 	}
@@ -113,7 +113,7 @@ func TestRingReplicaSetPredAndSucc(t *testing.T) {
 }
 
 func TestRingReplicaSetSmallRing(t *testing.T) {
-	r := NewRing()
+	r := NewChordRing()
 	if err := r.Add("A", 10); err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func TestRingRangeOfAndOwns(t *testing.T) {
 }
 
 func TestRingMembersSorted(t *testing.T) {
-	r := NewRing()
+	r := NewChordRing()
 	rng := rand.New(rand.NewSource(42))
 	for i := 0; i < 50; i++ {
 		if err := r.Add(NodeID(fmt.Sprintf("n%02d", i)), Key(rng.Uint64())); err != nil {
@@ -201,7 +201,7 @@ func TestRingClone(t *testing.T) {
 
 // Property: every key has exactly one owner, and the owner actually Owns it.
 func TestRingOwnershipConsistent(t *testing.T) {
-	r := NewRing()
+	r := NewChordRing()
 	rng := rand.New(rand.NewSource(7))
 	for i := 0; i < 20; i++ {
 		if err := r.Add(NodeID(fmt.Sprintf("n%02d", i)), Key(rng.Uint64())); err != nil {
@@ -233,7 +233,7 @@ func TestRingOwnershipConsistent(t *testing.T) {
 // keys keep their owner (the minimal-disruption guarantee of consistent
 // hashing).
 func TestRingConsistentHashingMinimalDisruption(t *testing.T) {
-	r := NewRing()
+	r := NewChordRing()
 	rng := rand.New(rand.NewSource(11))
 	for i := 0; i < 20; i++ {
 		if err := r.Add(NodeID(fmt.Sprintf("n%02d", i)), Key(rng.Uint64())); err != nil {
@@ -262,7 +262,7 @@ func TestRingConsistentHashingMinimalDisruption(t *testing.T) {
 }
 
 func TestAddNodeUsesDerivedPosition(t *testing.T) {
-	r := NewRing()
+	r := NewChordRing()
 	if err := r.AddNode("worker-1"); err != nil {
 		t.Fatal(err)
 	}

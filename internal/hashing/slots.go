@@ -1,0 +1,110 @@
+package hashing
+
+import "errors"
+
+// slotRing is the shared membership core of the O(1) bucket-indexed
+// backends (jump, power). Both algorithms map a key to a bucket index in
+// [0, n); slotRing supplies the index-to-node table and the membership
+// maintenance rules that make the mapping consistent:
+//
+//   - Join appends to the slot list, so a growing ring only moves keys
+//     whose bucket index becomes the new last slot (strict monotonicity,
+//     guaranteed by the bucket functions themselves).
+//   - Leave swap-removes: the last slot fills the departed hole and the
+//     list shrinks by one. At most two slots change meaning, so churn is
+//     bounded by ~2/n of the key space instead of a full reshuffle.
+//
+// The slot order is part of the ring's identity: two rings built by the
+// same operation sequence have the same slot order and therefore agree on
+// every owner, which is what the conformance determinism check pins.
+type slotRing struct {
+	slots []NodeID
+	index map[NodeID]int
+}
+
+func newSlotRing() slotRing {
+	return slotRing{index: make(map[NodeID]int)}
+}
+
+func (s *slotRing) clone() slotRing {
+	c := slotRing{
+		slots: append([]NodeID(nil), s.slots...),
+		index: make(map[NodeID]int, len(s.index)),
+	}
+	for id, i := range s.index {
+		c.index[id] = i
+	}
+	return c
+}
+
+// AddNode appends id as the highest bucket.
+func (s *slotRing) AddNode(id NodeID) error {
+	if _, ok := s.index[id]; ok {
+		return errors.New("hashing: node " + string(id) + " already on ring")
+	}
+	s.index[id] = len(s.slots)
+	s.slots = append(s.slots, id)
+	return nil
+}
+
+// Remove swap-removes id: the last slot takes its bucket.
+func (s *slotRing) Remove(id NodeID) bool {
+	i, ok := s.index[id]
+	if !ok {
+		return false
+	}
+	last := len(s.slots) - 1
+	moved := s.slots[last]
+	s.slots[i] = moved
+	s.index[moved] = i
+	s.slots = s.slots[:last]
+	delete(s.index, id)
+	return true
+}
+
+// Len returns the member count.
+func (s *slotRing) Len() int { return len(s.slots) }
+
+// Members returns the nodes in slot (bucket) order.
+func (s *slotRing) Members() []NodeID {
+	return append([]NodeID(nil), s.slots...)
+}
+
+// Successor returns the node in the next bucket, wrapping.
+func (s *slotRing) Successor(id NodeID) (NodeID, error) {
+	i, ok := s.index[id]
+	if !ok {
+		return "", errors.New("hashing: node " + string(id) + " not on ring")
+	}
+	return s.slots[(i+1)%len(s.slots)], nil
+}
+
+// Predecessor returns the node in the previous bucket, wrapping.
+func (s *slotRing) Predecessor(id NodeID) (NodeID, error) {
+	i, ok := s.index[id]
+	if !ok {
+		return "", errors.New("hashing: node " + string(id) + " not on ring")
+	}
+	return s.slots[(i-1+len(s.slots))%len(s.slots)], nil
+}
+
+// RangeTable cuts the key space uniformly over the slot order. Bucket
+// indices are not key-space positions, so equal cuts are the right
+// locality hint: the scheduler's KDE re-partitioning takes over from
+// there.
+func (s *slotRing) RangeTable() (*RangeTable, error) {
+	return UniformRangeTable(s.Members())
+}
+
+// replicaSet returns n distinct nodes for key k: the owner's bucket, then
+// successive buckets clockwise. ownerIdx is the bucket of k's owner.
+func (s *slotRing) replicaSet(ownerIdx, n int) []NodeID {
+	if n > len(s.slots) {
+		n = len(s.slots)
+	}
+	out := make([]NodeID, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, s.slots[(ownerIdx+i)%len(s.slots)])
+	}
+	return out
+}

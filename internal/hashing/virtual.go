@@ -1,7 +1,9 @@
 package hashing
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 )
 
@@ -13,7 +15,7 @@ import (
 // deployments that need tighter block balance, and the ablation benchmark
 // quantifies the difference.
 type VirtualRing struct {
-	ring   *Ring
+	ring   *ChordRing
 	vnodes int
 	// owner maps each virtual identity back to its physical node.
 	owner map[NodeID]NodeID
@@ -21,13 +23,15 @@ type VirtualRing struct {
 	members map[NodeID]bool
 }
 
+var _ Ring = (*VirtualRing)(nil)
+
 // NewVirtualRing creates an empty ring with the given tokens per node.
 func NewVirtualRing(vnodes int) (*VirtualRing, error) {
 	if vnodes < 1 {
 		return nil, fmt.Errorf("hashing: vnodes must be >= 1, got %d", vnodes)
 	}
 	return &VirtualRing{
-		ring:    NewRing(),
+		ring:    NewChordRing(),
 		vnodes:  vnodes,
 		owner:   make(map[NodeID]NodeID),
 		members: make(map[NodeID]bool),
@@ -118,13 +122,84 @@ func (r *VirtualRing) ReplicaSet(k Key, n int) ([]NodeID, error) {
 	return out, nil
 }
 
-// Members returns the physical node set (unordered).
+// Members returns the physical nodes in sorted ID order.
 func (r *VirtualRing) Members() []NodeID {
 	out := make([]NodeID, 0, len(r.members))
 	for id := range r.members {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// Successor returns the next physical node in the ring's cyclic order.
+func (r *VirtualRing) Successor(id NodeID) (NodeID, error) {
+	return r.neighbor(id, 1)
+}
+
+// Predecessor returns the previous physical node in the ring's cyclic
+// order.
+func (r *VirtualRing) Predecessor(id NodeID) (NodeID, error) {
+	return r.neighbor(id, -1)
+}
+
+// neighbor steps through the cyclic order of physical nodes. Walking the
+// raw tokens would not give a consistent order — successor-of-token and
+// predecessor-of-token need not invert each other across interleaved
+// token runs — so nodes are ordered by their minimum token position, a
+// total cyclic order on which the two directions are true inverses.
+func (r *VirtualRing) neighbor(id NodeID, dir int) (NodeID, error) {
+	if !r.members[id] {
+		return "", errors.New("hashing: node " + string(id) + " not on ring")
+	}
+	minPos := make(map[NodeID]Key, len(r.members))
+	for _, vid := range r.ring.Members() { // ascending token position
+		phys := r.owner[vid]
+		if _, ok := minPos[phys]; !ok {
+			pos, _ := r.ring.Position(vid)
+			minPos[phys] = pos
+		}
+	}
+	ordered := make([]NodeID, 0, len(minPos))
+	for phys := range minPos {
+		ordered = append(ordered, phys)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return minPos[ordered[i]] < minPos[ordered[j]] })
+	for i, phys := range ordered {
+		if phys == id {
+			return ordered[(i+dir+len(ordered))%len(ordered)], nil
+		}
+	}
+	return id, nil // unreachable: id is a member
+}
+
+// RangeTable cuts the key space uniformly over sorted member order. Token
+// arcs are too fragmented to serve as per-node ranges, so equal cuts seed
+// the scheduler and KDE re-partitioning refines them.
+func (r *VirtualRing) RangeTable() (*RangeTable, error) {
+	return UniformRangeTable(r.Members())
+}
+
+// Snapshot returns an independent deep copy.
+func (r *VirtualRing) Snapshot() Ring {
+	c := &VirtualRing{
+		ring:    r.ring.Clone(),
+		vnodes:  r.vnodes,
+		owner:   make(map[NodeID]NodeID, len(r.owner)),
+		members: make(map[NodeID]bool, len(r.members)),
+	}
+	for vid, id := range r.owner {
+		c.owner[vid] = id
+	}
+	for id := range r.members {
+		c.members[id] = true
+	}
+	return c
+}
+
+// Algorithm identifies the backend, including the token count.
+func (r *VirtualRing) Algorithm() string {
+	return AlgorithmChord + ":" + strconv.Itoa(r.vnodes)
 }
 
 // LoadShare returns each physical node's fraction of the key space, the

@@ -38,7 +38,7 @@ type Driver struct {
 	net   transport.Network
 	fs    *dhtfs.Service
 	sched scheduler.Scheduler
-	ring  func() *hashing.Ring
+	ring  func() hashing.Ring
 	// reduceSlots bounds concurrent reduce tasks per node.
 	reduceSlots int
 	start       time.Time
@@ -79,7 +79,7 @@ type activeJob struct {
 	completed map[string]bool
 	// only, when non-empty, restricts the tasks' shuffle output to the
 	// listed reduce partitions (partition recovery re-executions).
-	only      []int
+	only []int
 	// jw, when non-nil, journals task completions (nil for recovery
 	// re-executions, whose tasks are already journaled as done).
 	jw        *journalWriter
@@ -93,7 +93,7 @@ type activeJob struct {
 // nodes and their map slots; reduceSlots bounds reducer concurrency per
 // node (the paper configures 8 map and 8 reduce slots per server).
 func NewDriver(self hashing.NodeID, net transport.Network, fs *dhtfs.Service,
-	sched scheduler.Scheduler, ring func() *hashing.Ring, reduceSlots int) (*Driver, error) {
+	sched scheduler.Scheduler, ring func() hashing.Ring, reduceSlots int) (*Driver, error) {
 	if fs == nil || sched == nil || ring == nil {
 		return nil, errors.New("mapreduce: driver requires fs, scheduler and ring")
 	}
@@ -272,7 +272,7 @@ func (d *Driver) run(ctx context.Context, spec JobSpec, prior *journal) (Result,
 		}
 	}
 	if prior == nil && !reused {
-		table, err := hashing.AlignedRangeTable(d.ring())
+		table, err := d.ring().RangeTable()
 		if err != nil {
 			return Result{}, err
 		}

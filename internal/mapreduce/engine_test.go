@@ -80,7 +80,7 @@ func init() {
 // workers, a scheduling policy and a driver.
 type engineCluster struct {
 	mu      sync.Mutex
-	ring    *hashing.Ring
+	ring    *hashing.ChordRing
 	net     *transport.Local
 	fs      map[hashing.NodeID]*dhtfs.Service
 	workers map[hashing.NodeID]*Worker
@@ -112,12 +112,12 @@ func newEngineCluster(t *testing.T, o engineOpts) *engineCluster {
 		o.replicas = 2
 	}
 	ec := &engineCluster{
-		ring:    hashing.NewRing(),
+		ring:    hashing.NewChordRing(),
 		net:     transport.NewLocal(),
 		fs:      make(map[hashing.NodeID]*dhtfs.Service),
 		workers: make(map[hashing.NodeID]*Worker),
 	}
-	ringFn := func() *hashing.Ring {
+	ringFn := func() hashing.Ring {
 		ec.mu.Lock()
 		defer ec.mu.Unlock()
 		return ec.ring.Clone()

@@ -392,7 +392,7 @@ func TestAttemptStrideSupersedesInterruptedGeneration(t *testing.T) {
 func TestOnlyPartitionsFiltersShuffle(t *testing.T) {
 	ec := newEngineCluster(t, engineOpts{nodes: 3})
 	text, _ := wideCorpus(100, 2)
-	ec.upload(t, "only.txt", text, 1 << 20)
+	ec.upload(t, "only.txt", text, 1<<20)
 	meta, err := ec.fs[ec.ids[0]].Lookup(context.Background(), "only.txt", "tester")
 	if err != nil {
 		t.Fatal(err)

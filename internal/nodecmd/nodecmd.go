@@ -54,7 +54,7 @@ func ReadHosts(path string) (map[hashing.NodeID]string, error) {
 
 // WaitForPeers pings every host until all respond (or the deadline
 // lapses), then returns the bootstrap ring containing every node.
-func WaitForPeers(net transport.Network, hosts map[hashing.NodeID]string, self hashing.NodeID, timeout time.Duration) (*hashing.Ring, error) {
+func WaitForPeers(net transport.Network, hosts map[hashing.NodeID]string, self hashing.NodeID, timeout time.Duration) (*hashing.ChordRing, error) {
 	deadline := time.Now().Add(timeout)
 	pending := make(map[hashing.NodeID]bool, len(hosts))
 	for id := range hosts {
@@ -80,7 +80,7 @@ func WaitForPeers(net transport.Network, hosts map[hashing.NodeID]string, self h
 		}
 		time.Sleep(200 * time.Millisecond)
 	}
-	ring := hashing.NewRing()
+	ring := hashing.NewChordRing()
 	for id := range hosts {
 		if err := ring.AddNode(id); err != nil {
 			return nil, err

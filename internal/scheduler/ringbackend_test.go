@@ -1,0 +1,71 @@
+package scheduler
+
+import (
+	"fmt"
+	"testing"
+
+	"eclipsemr/internal/hashing"
+)
+
+// algRing builds a populated ring of the named algorithm.
+func algRing(t *testing.T, alg string, n int) (hashing.Ring, []hashing.NodeID) {
+	t.Helper()
+	r, err := hashing.NewAlgorithmRing(alg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]hashing.NodeID, n)
+	for i := range ids {
+		ids[i] = hashing.NodeID(fmt.Sprintf("w%02d", i))
+		if err := r.AddNode(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r, ids
+}
+
+// TestSchedulersAcceptNonChordRings is the regression test for the
+// schedulers' chord assumption: partition tables used to be cut with
+// AlignedRangeTable, which only a chord ring can produce. Every scheduler
+// must now build from any Ring backend via RangeTable(), producing a
+// table that covers all members and dispatches locality-matched work.
+func TestSchedulersAcceptNonChordRings(t *testing.T) {
+	algs := []string{hashing.AlgorithmJump, hashing.AlgorithmPower, hashing.AlgorithmRendezvous, "chord:8"}
+	for _, alg := range algs {
+		alg := alg
+		t.Run(alg, func(t *testing.T) {
+			ring, ids := algRing(t, alg, 5)
+			s := newLAF(t, ring, ids, 2, DefaultLAFConfig())
+			table := s.RangeTable()
+			if table.Len() != len(ids) {
+				t.Fatalf("table has %d ranges for %d members", table.Len(), len(ids))
+			}
+			seen := make(map[hashing.NodeID]bool)
+			for _, id := range table.Servers() {
+				seen[id] = true
+			}
+			for _, id := range ids {
+				if !seen[id] {
+					t.Fatalf("member %s missing from partition table", id)
+				}
+			}
+			// Dispatch honors the table: a task keyed into a range goes to
+			// that range's owner, marked local.
+			k := hashing.KeyOfString("some-block")
+			want := table.Lookup(k)
+			s.Submit(Task{Job: "j", ID: "t0", HashKey: k}, 0)
+			as := s.Dispatch(0)
+			if len(as) != 1 || as[0].Node != want || !as[0].Local {
+				t.Fatalf("assignments = %+v, want one local task on %s", as, want)
+			}
+
+			// Fair and Delay build from the same interface.
+			if _, err := NewFair(ring); err != nil {
+				t.Fatalf("NewFair(%s): %v", alg, err)
+			}
+			if _, err := NewDelay(DelayConfig{}, ring); err != nil {
+				t.Fatalf("NewDelay(%s): %v", alg, err)
+			}
+		})
+	}
+}

@@ -12,9 +12,9 @@ import (
 )
 
 // testRing builds a ring of n workers named w00..w(n-1).
-func testRing(t testing.TB, n int) (*hashing.Ring, []hashing.NodeID) {
+func testRing(t testing.TB, n int) (hashing.Ring, []hashing.NodeID) {
 	t.Helper()
-	r := hashing.NewRing()
+	r := hashing.NewChordRing()
 	ids := make([]hashing.NodeID, n)
 	for i := 0; i < n; i++ {
 		ids[i] = hashing.NodeID(fmt.Sprintf("w%02d", i))
@@ -25,7 +25,7 @@ func testRing(t testing.TB, n int) (*hashing.Ring, []hashing.NodeID) {
 	return r, ids
 }
 
-func newLAF(t testing.TB, ring *hashing.Ring, ids []hashing.NodeID, slots int, cfg LAFConfig) *LAF {
+func newLAF(t testing.TB, ring hashing.Ring, ids []hashing.NodeID, slots int, cfg LAFConfig) *LAF {
 	t.Helper()
 	s, err := NewLAF(cfg, ring)
 	if err != nil {
@@ -156,7 +156,7 @@ func TestLAFReleaseUnknownNodeIgnored(t *testing.T) {
 	}
 }
 
-func newDelay(t testing.TB, ring *hashing.Ring, ids []hashing.NodeID, slots int, wait time.Duration) *Delay {
+func newDelay(t testing.TB, ring hashing.Ring, ids []hashing.NodeID, slots int, wait time.Duration) *Delay {
 	t.Helper()
 	s, err := NewDelay(DelayConfig{Wait: wait}, ring)
 	if err != nil {
@@ -386,7 +386,7 @@ func TestSchedulerInterfaceCompliance(t *testing.T) {
 }
 
 func TestNewSchedulersRejectEmptyRing(t *testing.T) {
-	empty := hashing.NewRing()
+	empty := hashing.NewChordRing()
 	if _, err := NewLAF(DefaultLAFConfig(), empty); err == nil {
 		t.Fatal("NewLAF accepted empty ring")
 	}

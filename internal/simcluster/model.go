@@ -50,7 +50,7 @@ type Model struct {
 	kind Framework
 
 	sched    scheduler.Scheduler
-	ring     *hashing.Ring
+	ring     hashing.Ring
 	ids      []hashing.NodeID
 	idx      map[hashing.NodeID]int
 	table    *hashing.RangeTable // static partition table (reduce placement, FS ownership)
@@ -98,19 +98,36 @@ func NewModel(p Params, kind Framework, pol Policy) (*Model, error) {
 	default:
 		return nil, fmt.Errorf("simcluster: unknown framework %q", kind)
 	}
-	m.ring = hashing.NewRing()
-	// Nodes sit at near-even ring positions (even spacing plus a mild
-	// deterministic jitter). A production consistent-hashing deployment
-	// achieves the same with virtual nodes; without it, single-token arc
-	// skew (up to ln N × the mean) would dominate every experiment and
-	// mask the framework effects under study.
+	// The default chord ring sits nodes at near-even ring positions (even
+	// spacing plus a mild deterministic jitter). A production
+	// consistent-hashing deployment achieves the same with virtual nodes;
+	// without it, single-token arc skew (up to ln N × the mean) would
+	// dominate every experiment and mask the framework effects under
+	// study. The alternate -ring algorithms (jump, power, rendezvous) are
+	// balanced by construction and take their members by ID.
+	chordDefault := p.Ring == "" || p.Ring == hashing.AlgorithmChord
+	var chordRing *hashing.ChordRing
+	if chordDefault {
+		chordRing = hashing.NewChordRing()
+		m.ring = chordRing
+	} else {
+		r, err := hashing.NewAlgorithmRing(p.Ring)
+		if err != nil {
+			return nil, err
+		}
+		m.ring = r
+	}
 	posRng := rand.New(rand.NewSource(7))
 	step := float64(1<<63) * 2 / float64(p.Nodes)
 	for i := 0; i < p.Nodes; i++ {
 		id := hashing.NodeID(fmt.Sprintf("node-%02d", i))
-		jitter := (posRng.Float64() - 0.5) * 0.8
-		pos := hashing.Key((float64(i) + 0.5 + jitter) * step)
-		if err := m.ring.Add(id, pos); err != nil {
+		if chordDefault {
+			jitter := (posRng.Float64() - 0.5) * 0.8
+			pos := hashing.Key((float64(i) + 0.5 + jitter) * step)
+			if err := chordRing.Add(id, pos); err != nil {
+				return nil, err
+			}
+		} else if err := m.ring.AddNode(id); err != nil {
 			return nil, err
 		}
 		m.ids = append(m.ids, id)
@@ -129,7 +146,7 @@ func NewModel(p Params, kind Framework, pol Policy) (*Model, error) {
 		m.net.AddResource(nicIn(i), p.NICBandwidth)
 	}
 	m.net.AddResource("uplink", p.UplinkBandwidth)
-	table, err := hashing.AlignedRangeTable(m.ring)
+	table, err := m.ring.RangeTable()
 	if err != nil {
 		return nil, err
 	}

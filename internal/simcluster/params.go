@@ -45,6 +45,11 @@ type Params struct {
 	BlockSize int64
 	// Replicas is the file system replication factor.
 	Replicas int
+	// Ring selects the consistent-hashing algorithm for placement and the
+	// initial range table: "chord" (default, the paper's jittered
+	// even-spaced ring), "chord:<vnodes>", "jump", "power" or
+	// "rendezvous" (see hashing.Algorithms).
+	Ring string
 }
 
 // DefaultParams returns the paper's testbed.
