@@ -1,0 +1,81 @@
+// Command benchcheck validates a BENCH_wordcount.json (or kmeans) report
+// produced by the MapReduce benchmark harness: well-formed JSON, a
+// positive wall time with one timing per job, and the shuffle pipeline
+// headline fields populated — intermediate bytes actually moved, at
+// least one coalesced batch RPC, never more batches than spills, and a
+// recorded send p99. CI runs it against the bench-smoke artifact so a
+// report that silently lost its shuffle accounting fails the build
+// instead of shipping as a perf point.
+//
+// Usage: benchcheck BENCH_wordcount.json [more.json...]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+
+	"eclipsemr/internal/benchrun"
+)
+
+func validate(rep benchrun.Report) error {
+	switch rep.Name {
+	case "wordcount", "kmeans":
+	default:
+		return fmt.Errorf("name = %q, want \"wordcount\" or \"kmeans\"", rep.Name)
+	}
+	if rep.WallMS <= 0 {
+		return fmt.Errorf("wall_ms = %v", rep.WallMS)
+	}
+	if rep.Name == "wordcount" && len(rep.JobMS) != rep.Config.Jobs {
+		return fmt.Errorf("job_ms has %d entries for %d jobs", len(rep.JobMS), rep.Config.Jobs)
+	}
+	if len(rep.JobMS) == 0 {
+		return fmt.Errorf("job_ms is empty")
+	}
+	for i, ms := range rep.JobMS {
+		if ms <= 0 {
+			return fmt.Errorf("job_ms[%d] = %v", i, ms)
+		}
+	}
+	if rep.BytesShuffled <= 0 {
+		return fmt.Errorf("bytes_shuffled = %d, want > 0", rep.BytesShuffled)
+	}
+	if rep.ShuffleBatches <= 0 {
+		return fmt.Errorf("shuffle_batches = %d, want >= 1", rep.ShuffleBatches)
+	}
+	spills := rep.Counters["mr.shuffle.spills"]
+	if spills <= 0 {
+		return fmt.Errorf("counters[mr.shuffle.spills] = %d, want > 0", spills)
+	}
+	if rep.ShuffleBatches > spills {
+		return fmt.Errorf("shuffle_batches = %d exceeds spills = %d", rep.ShuffleBatches, spills)
+	}
+	if rep.ShuffleSendP99MS <= 0 {
+		return fmt.Errorf("shuffle_send_p99_ms = %v, want > 0", rep.ShuffleSendP99MS)
+	}
+	return nil
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchcheck <BENCH_wordcount.json> [more.json...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("benchcheck: %v", err)
+		}
+		var rep benchrun.Report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			log.Fatalf("benchcheck: %s: %v", path, err)
+		}
+		if err := validate(rep); err != nil {
+			log.Fatalf("benchcheck: %s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (%d batches for %d spills, %d bytes shuffled)\n",
+			path, rep.ShuffleBatches, rep.Counters["mr.shuffle.spills"], rep.BytesShuffled)
+	}
+}

@@ -65,14 +65,21 @@ type Stage struct {
 
 // Report is the BENCH_*.json payload.
 type Report struct {
-	Name          string           `json:"name"`
-	GoVersion     string           `json:"go_version"`
-	Config        Config           `json:"config"`
-	WallMS        float64          `json:"wall_ms"`
-	JobMS         []float64        `json:"job_ms"`
-	CacheHitRatio float64          `json:"cache_hit_ratio"`
-	Counters      map[string]int64 `json:"counters"`
-	Stages        map[string]Stage `json:"stages"`
+	Name          string    `json:"name"`
+	GoVersion     string    `json:"go_version"`
+	Config        Config    `json:"config"`
+	WallMS        float64   `json:"wall_ms"`
+	JobMS         []float64 `json:"job_ms"`
+	CacheHitRatio float64   `json:"cache_hit_ratio"`
+	// Shuffle pipeline headline numbers, lifted out of Counters/Stages
+	// so report validators and PR diffs can read them without knowing
+	// metric names: total intermediate bytes pushed, coalesced batch
+	// RPCs issued, and the p99 of one batch push.
+	BytesShuffled    int64            `json:"bytes_shuffled"`
+	ShuffleBatches   int64            `json:"shuffle_batches"`
+	ShuffleSendP99MS float64          `json:"shuffle_send_p99_ms"`
+	Counters         map[string]int64 `json:"counters"`
+	Stages           map[string]Stage `json:"stages"`
 	// TraceSpans is how many spans the run recorded (0 untraced) and
 	// TraceDropped how many were overwritten before collection.
 	TraceSpans   int   `json:"trace_spans,omitempty"`
@@ -227,6 +234,9 @@ func fillStages(c *cluster.Cluster, rep *Report) {
 			MeanMS: ms(time.Duration(int64(h.Mean()))),
 		}
 	}
+	rep.BytesShuffled = rep.Counters["mr.shuffle.bytes"]
+	rep.ShuffleBatches = rep.Counters["mr.shuffle.batches"]
+	rep.ShuffleSendP99MS = rep.Stages["mr.shuffle.send_ns"].P99MS
 }
 
 func ms(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }

@@ -63,6 +63,37 @@ type (
 	readTaggedSegResp struct {
 		Segments []TaggedSegment
 	}
+	// segBatchHdr heads a raw-frame batch append: the entries describe how
+	// the frame payload splits into per-spill byte ranges (see
+	// transport.EncodeFrame), so one RPC carries spills for many
+	// partitions without gob touching the bulk bytes.
+	segBatchHdr struct {
+		Job     string
+		TTL     time.Duration
+		Entries []segBatchPart
+	}
+	segBatchPart struct {
+		Partition string
+		Task      string
+		Attempt   int
+		Seq       int
+		Len       int
+	}
+	// rawSegsHdr heads a raw-frame untagged read reply: Lens splits the
+	// payload back into segments.
+	rawSegsHdr struct {
+		Lens []int
+	}
+	// rawTaggedHdr heads a raw-frame tagged read reply.
+	rawTaggedHdr struct {
+		Tags []rawTaggedPart
+	}
+	rawTaggedPart struct {
+		Task    string
+		Attempt int
+		Seq     int
+		Len     int
+	}
 	dropSegReq struct {
 		Job string
 	}
@@ -83,19 +114,26 @@ type (
 
 // Method names mounted by the cluster node dispatcher.
 const (
-	MethodPutBlock    = "fs.putBlock"
-	MethodGetBlock    = "fs.getBlock"
-	MethodHasBlock    = "fs.hasBlock"
-	MethodPutMeta     = "fs.putMeta"
-	MethodGetMeta     = "fs.getMeta"
-	MethodAppendSeg   = "fs.appendSegment"
-	MethodReadSeg     = "fs.readSegments"
-	MethodReadSegTag  = "fs.readTaggedSegments"
-	MethodDropSeg     = "fs.dropJobSegments"
-	MethodDeleteBlock = "fs.deleteBlock"
-	MethodDeleteMeta  = "fs.deleteMeta"
-	MethodHasMeta     = "fs.hasMeta"
-	MethodListMeta    = "fs.listMeta"
+	MethodPutBlock   = "fs.putBlock"
+	MethodGetBlock   = "fs.getBlock"
+	MethodHasBlock   = "fs.hasBlock"
+	MethodPutMeta    = "fs.putMeta"
+	MethodGetMeta    = "fs.getMeta"
+	MethodAppendSeg  = "fs.appendSegment"
+	MethodReadSeg    = "fs.readSegments"
+	MethodReadSegTag = "fs.readTaggedSegments"
+	// The *Batch/*Raw methods are the shuffle fast path: raw-frame bodies
+	// (length-prefixed KV bytes behind a small gob header) instead of gob
+	// all the way down. The gob methods above stay mounted for
+	// compatibility with older callers.
+	MethodAppendSegBatch = "fs.appendSegmentBatch"
+	MethodReadSegRaw     = "fs.readSegmentsRaw"
+	MethodReadSegTagRaw  = "fs.readTaggedSegmentsRaw"
+	MethodDropSeg        = "fs.dropJobSegments"
+	MethodDeleteBlock    = "fs.deleteBlock"
+	MethodDeleteMeta     = "fs.deleteMeta"
+	MethodHasMeta        = "fs.hasMeta"
+	MethodListMeta       = "fs.listMeta"
 )
 
 // Service is one node's DHT file system endpoint: it serves the fs.*
@@ -243,12 +281,61 @@ func (s *Service) Handle(ctx context.Context, method string, body []byte) ([]byt
 		s.store.AppendTaskSegment(req.Job, req.Partition, req.Task, req.Attempt, req.Seq, req.Data, req.TTL)
 		out, err := transport.Encode(empty{})
 		return out, true, err
+	case MethodAppendSegBatch:
+		var hdr segBatchHdr
+		payload, err := transport.DecodeFrame(body, &hdr)
+		if err != nil {
+			return nil, true, err
+		}
+		off := 0
+		for i, e := range hdr.Entries {
+			if e.Len < 0 || e.Len > len(payload)-off {
+				return nil, true, fmt.Errorf("dhtfs: batch entry %d overruns payload (%d bytes at offset %d of %d)",
+					i, e.Len, off, len(payload))
+			}
+			data := payload[off : off+e.Len]
+			off += e.Len
+			s.reg.Counter("fs.segments.appended").Inc()
+			s.reg.Counter("fs.segments.bytes").Add(int64(len(data)))
+			// AppendTaskSegment copies, so handing it a payload sub-slice
+			// is safe.
+			s.store.AppendTaskSegment(hdr.Job, e.Partition, e.Task, e.Attempt, e.Seq, data, hdr.TTL)
+		}
+		s.reg.Counter("fs.segments.batches").Inc()
+		out, err := transport.Encode(empty{})
+		return out, true, err
 	case MethodReadSeg:
 		var req readSegReq
 		if err := transport.Decode(body, &req); err != nil {
 			return nil, true, err
 		}
 		out, err := transport.Encode(readSegResp{Segments: s.store.ReadSegments(req.Job, req.Partition)})
+		return out, true, err
+	case MethodReadSegRaw:
+		var req readSegReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		segs := s.store.ReadSegments(req.Job, req.Partition)
+		hdr := rawSegsHdr{Lens: make([]int, len(segs))}
+		for i, seg := range segs {
+			hdr.Lens[i] = len(seg)
+		}
+		out, err := transport.EncodeFrame(hdr, segs...)
+		return out, true, err
+	case MethodReadSegTagRaw:
+		var req readSegReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, true, err
+		}
+		tagged := s.store.ReadTaggedSegments(req.Job, req.Partition)
+		hdr := rawTaggedHdr{Tags: make([]rawTaggedPart, len(tagged))}
+		payload := make([][]byte, len(tagged))
+		for i, seg := range tagged {
+			hdr.Tags[i] = rawTaggedPart{Task: seg.Task, Attempt: seg.Attempt, Seq: seg.Seq, Len: len(seg.Data)}
+			payload[i] = seg.Data
+		}
+		out, err := transport.EncodeFrame(hdr, payload...)
 		return out, true, err
 	case MethodReadSegTag:
 		var req readSegReq
@@ -329,6 +416,27 @@ func (s *Service) call(ctx context.Context, to hashing.NodeID, method string, re
 		return nil
 	}
 	return transport.Decode(out, resp)
+}
+
+// callRaw invokes an fs.* method whose request body is already encoded
+// (gob or raw frame), short-circuiting to the local handler when the
+// destination is this node. When resp is non-nil the reply bytes are
+// returned through it undecoded, for the caller to frame-decode.
+func (s *Service) callRaw(ctx context.Context, to hashing.NodeID, method string, body []byte, resp *[]byte) error {
+	var out []byte
+	var err error
+	if to == s.self {
+		out, _, err = s.Handle(ctx, method, body)
+	} else {
+		out, err = s.net.Call(ctx, to, method, body)
+	}
+	if err != nil {
+		return err
+	}
+	if resp != nil {
+		*resp = out
+	}
+	return nil
 }
 
 // replicaSet returns the nodes that should hold key k under the current
@@ -570,24 +678,101 @@ func (s *Service) PushTaggedSegment(ctx context.Context, to hashing.NodeID, job,
 	}, nil)
 }
 
+// SegBatchEntry is one spill in a coalesced batch push: the partition it
+// lands in, its task attribution, and the encoded KV bytes.
+type SegBatchEntry struct {
+	Partition string
+	Tag       SegTag
+	Data      []byte
+}
+
+// PushTaggedSegmentBatch delivers many spills — possibly for different
+// partitions — to one node in a single raw-frame RPC. Each entry lands
+// with exactly the semantics of PushTaggedSegment (idempotent per
+// (task, attempt, seq)), so a retried batch is safe.
+func (s *Service) PushTaggedSegmentBatch(ctx context.Context, to hashing.NodeID, job string, entries []SegBatchEntry, ttl time.Duration) error {
+	hdr := segBatchHdr{Job: job, TTL: ttl, Entries: make([]segBatchPart, len(entries))}
+	payload := make([][]byte, len(entries))
+	for i, e := range entries {
+		hdr.Entries[i] = segBatchPart{
+			Partition: e.Partition,
+			Task:      e.Tag.Task, Attempt: e.Tag.Attempt, Seq: e.Tag.Seq,
+			Len: len(e.Data),
+		}
+		payload[i] = e.Data
+	}
+	body, err := transport.EncodeFrame(hdr, payload...)
+	if err != nil {
+		return err
+	}
+	return s.callRaw(ctx, to, MethodAppendSegBatch, body, nil)
+}
+
+// splitPayload cuts a raw-frame payload into per-segment slices by
+// length, validating each untrusted length against the remaining bytes.
+func splitPayload(payload []byte, lens []int) ([][]byte, error) {
+	out := make([][]byte, len(lens))
+	off := 0
+	for i, n := range lens {
+		if n < 0 || n > len(payload)-off {
+			return nil, fmt.Errorf("dhtfs: segment %d overruns reply payload (%d bytes at offset %d of %d)",
+				i, n, off, len(payload))
+		}
+		out[i] = payload[off : off+n : off+n]
+		off += n
+	}
+	return out, nil
+}
+
 // FetchSegments reads all intermediate-result spills for a job partition
-// from the given node.
+// from the given node, over the raw-frame fast path.
 func (s *Service) FetchSegments(ctx context.Context, from hashing.NodeID, job, partition string) ([][]byte, error) {
-	var resp readSegResp
-	if err := s.call(ctx, from, MethodReadSeg, readSegReq{Job: job, Partition: partition}, &resp); err != nil {
+	req, err := transport.Encode(readSegReq{Job: job, Partition: partition})
+	if err != nil {
 		return nil, err
 	}
-	return resp.Segments, nil
+	var body []byte
+	if err := s.callRaw(ctx, from, MethodReadSegRaw, req, &body); err != nil {
+		return nil, err
+	}
+	var hdr rawSegsHdr
+	payload, err := transport.DecodeFrame(body, &hdr)
+	if err != nil {
+		return nil, err
+	}
+	return splitPayload(payload, hdr.Lens)
 }
 
 // FetchTaggedSegments reads all spills with task attribution from the
-// given node (the replica union-merge read path).
+// given node (the replica union-merge read path), over the raw-frame fast
+// path.
 func (s *Service) FetchTaggedSegments(ctx context.Context, from hashing.NodeID, job, partition string) ([]TaggedSegment, error) {
-	var resp readTaggedSegResp
-	if err := s.call(ctx, from, MethodReadSegTag, readSegReq{Job: job, Partition: partition}, &resp); err != nil {
+	req, err := transport.Encode(readSegReq{Job: job, Partition: partition})
+	if err != nil {
 		return nil, err
 	}
-	return resp.Segments, nil
+	var body []byte
+	if err := s.callRaw(ctx, from, MethodReadSegTagRaw, req, &body); err != nil {
+		return nil, err
+	}
+	var hdr rawTaggedHdr
+	payload, err := transport.DecodeFrame(body, &hdr)
+	if err != nil {
+		return nil, err
+	}
+	lens := make([]int, len(hdr.Tags))
+	for i, tag := range hdr.Tags {
+		lens[i] = tag.Len
+	}
+	segs, err := splitPayload(payload, lens)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]TaggedSegment, len(hdr.Tags))
+	for i, tag := range hdr.Tags {
+		out[i] = TaggedSegment{Task: tag.Task, Attempt: tag.Attempt, Seq: tag.Seq, Data: segs[i]}
+	}
+	return out, nil
 }
 
 // ListPrefix returns the names of all metadata entries with the given

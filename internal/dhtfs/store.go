@@ -500,19 +500,43 @@ func (s *Store) DropJobSegments(job string) {
 	}
 }
 
-// Bytes returns the total payload bytes held (blocks + segments).
-func (s *Store) Bytes() int64 {
-	s.mu.RLock()
-	segBytes := s.segBytes
-	s.mu.RUnlock()
-	return s.backend.bytes() + segBytes
+// sweepExpiredLocked drops every TTL-lapsed segment and its accounting.
+// Reads do this lazily per stream they touch; the accounting entry points
+// call it so Bytes and Counts never report data a reader could no longer
+// observe. Caller holds s.mu.
+func (s *Store) sweepExpiredLocked() {
+	now := s.now()
+	for k, segs := range s.segments {
+		live := segs[:0]
+		for _, seg := range segs {
+			if !seg.expires.IsZero() && now.After(seg.expires) {
+				s.segBytes -= int64(len(seg.data))
+				continue
+			}
+			live = append(live, seg)
+		}
+		if len(live) == 0 {
+			delete(s.segments, k)
+		} else {
+			s.segments[k] = live
+		}
+	}
 }
 
-// Counts returns the number of blocks, metadata entries and segment
-// streams held.
+// Bytes returns the total payload bytes held (blocks + live segments).
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepExpiredLocked()
+	return s.backend.bytes() + s.segBytes
+}
+
+// Counts returns the number of blocks, metadata entries and live segment
+// streams held. All three are sampled under one critical section, so the
+// triple is a consistent snapshot.
 func (s *Store) Counts() (blocks, metas, segments int) {
-	blocks = len(s.backend.keys())
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return blocks, len(s.metas), len(s.segments)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sweepExpiredLocked()
+	return len(s.backend.keys()), len(s.metas), len(s.segments)
 }

@@ -195,6 +195,11 @@ type runState struct {
 	// attemptBase is this driver generation's first attempt number
 	// (resumed runs start a fresh stride above every prior generation).
 	attemptBase int
+	// reduceEpoch keys the workers' merged-intermediate cache entries for
+	// this run. It starts at attemptBase (unique per generation) and is
+	// bumped on every partition-recovery round, so merged blobs cached
+	// before superseding attempts were pushed are never served again.
+	reduceEpoch int
 	// mapTasks lists every contributing map task, for partition-recovery
 	// re-execution (nil when the map phase was reused via tag and the
 	// intermediates are shared).
@@ -304,6 +309,7 @@ func (d *Driver) run(ctx context.Context, spec JobSpec, prior *journal) (Result,
 		}
 		st.attemptBase = (prior.Generation + 1) * attemptStride
 	}
+	st.reduceEpoch = st.attemptBase
 	if !spec.DisableJournal {
 		st.jw = d.newJournalWriter(ctx, spec, &mk, prior)
 		// The final flush on every exit path leaves even an aborted run
@@ -934,6 +940,7 @@ func (d *Driver) runReduceTask(ctx context.Context, st *runState, t reduceTask) 
 		OutputFile:         outFile,
 		CacheIntermediates: st.spec.CacheIntermediates,
 		CacheOutputs:       st.spec.CacheOutputs,
+		Epoch:              st.reduceEpoch,
 		TTL:                st.spec.IntermediateTTL,
 		User:               st.spec.User,
 	}
@@ -1045,6 +1052,10 @@ func (d *Driver) recoverPartitions(ctx context.Context, st *runState, lost []los
 		retry = append(retry, reduceTask{part: l.t.part, owner: newOwner, replica: newReplica})
 	}
 	d.emitEvent(st.spec.ID, "recovery")
+	// The recovery maps push strictly higher attempts: invalidate every
+	// merged-intermediate cache entry by moving the reduces to a new
+	// epoch key.
+	st.reduceEpoch++
 	// Record the re-homing durably before re-shuffling, so a resume after
 	// a further failure reduces at the adopted owners.
 	if st.jw != nil {

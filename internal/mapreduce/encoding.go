@@ -46,29 +46,46 @@ func EncodeKVs(kvs []KV) []byte {
 	return buf
 }
 
-// DecodeKVs parses a stream back into pairs.
-func DecodeKVs(data []byte) ([]KV, error) {
+// DecodeKVs parses a stream back into pairs. Values are copied out of
+// data, so the result outlives the input buffer.
+func DecodeKVs(data []byte) ([]KV, error) { return decodeKVs(data, true) }
+
+// decodeKVsView is DecodeKVs without the value copies: Values alias data,
+// so the result is only valid while data is. The spill sender uses it to
+// feed the combiner without duplicating a whole buffered spill.
+func decodeKVsView(data []byte) ([]KV, error) { return decodeKVs(data, false) }
+
+func decodeKVs(data []byte, copyValues bool) ([]KV, error) {
 	var out []KV
 	for off := 0; off < len(data); {
 		if off+4 > len(data) {
 			return nil, fmt.Errorf("mapreduce: truncated key length at offset %d", off)
 		}
-		klen := int(binary.BigEndian.Uint32(data[off:]))
+		// The wire lengths are untrusted u32s: bound them against the
+		// remaining bytes in uint64 space *before* converting to int, so a
+		// corrupt stream with a length >= 2^31 errors out instead of going
+		// negative and panicking on 32-bit platforms.
+		klen64 := uint64(binary.BigEndian.Uint32(data[off:]))
 		off += 4
-		if off+klen > len(data) {
+		if klen64 > uint64(len(data)-off) {
 			return nil, fmt.Errorf("mapreduce: truncated key at offset %d", off)
 		}
+		klen := int(klen64)
 		key := string(data[off : off+klen])
 		off += klen
 		if off+4 > len(data) {
 			return nil, fmt.Errorf("mapreduce: truncated value length at offset %d", off)
 		}
-		vlen := int(binary.BigEndian.Uint32(data[off:]))
+		vlen64 := uint64(binary.BigEndian.Uint32(data[off:]))
 		off += 4
-		if off+vlen > len(data) {
+		if vlen64 > uint64(len(data)-off) {
 			return nil, fmt.Errorf("mapreduce: truncated value at offset %d", off)
 		}
-		value := append([]byte(nil), data[off:off+vlen]...)
+		vlen := int(vlen64)
+		value := data[off : off+vlen : off+vlen]
+		if copyValues {
+			value = append([]byte(nil), value...)
+		}
 		off += vlen
 		out = append(out, KV{Key: key, Value: value})
 	}

@@ -19,6 +19,10 @@ func FuzzDecodeKVs(f *testing.F) {
 	}))
 	f.Add([]byte{0, 0, 0, 1, 'k'})             // truncated value length
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 'x'}) // absurd key length
+	// Lengths at exactly 2^31: int(uint32) wraps negative on 32-bit
+	// platforms if converted before validation (the overflow regression).
+	f.Add([]byte{0x80, 0x00, 0x00, 0x00, 'x'})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x01, 'k', 0x80, 0x00, 0x00, 0x00, 'v'})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		kvs, err := DecodeKVs(data)
 		if err != nil {

@@ -420,3 +420,103 @@ func TestOnlyPartitionsFiltersShuffle(t *testing.T) {
 		}
 	}
 }
+
+// TestReduceEpochInvalidatesMergedCache is the regression test for the
+// stale merged-intermediate cache: a reduce that cached its merged
+// partition input must not serve that blob to a later reduce running
+// after superseding map attempts landed. The driver expresses "after the
+// supersede" by bumping Epoch, which re-keys the oCache entry.
+func TestReduceEpochInvalidatesMergedCache(t *testing.T) {
+	ec := newEngineCluster(t, engineOpts{nodes: 3})
+	ns := "job:epoch-1"
+	owner := ec.ids[1]
+	store := ec.fs[owner].Store()
+
+	store.AppendTaskSegment(ns, partitionName(0), "m0", 0, 0,
+		EncodeKVs([]KV{{Key: "alpha", Value: []byte("1")}, {Key: "beta", Value: []byte("1")}}), 0)
+	req := RunReduceReq{
+		Job: "epoch-1", Namespace: ns, App: "test-wordcount",
+		Partition: 0, SegmentOwner: owner, OutputFile: "epoch-out-a",
+		CacheIntermediates: true, Epoch: 0, User: "tester",
+	}
+	resp, err := ec.workers[owner].runReduce(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Keys != 2 || resp.InputCached {
+		t.Fatalf("first reduce: keys=%d cached=%v, want 2/false", resp.Keys, resp.InputCached)
+	}
+
+	// A recovery round re-executes the map with a higher attempt and more
+	// data; the old attempt's spills are superseded in the store, but the
+	// merged blob cached above still describes them.
+	store.AppendTaskSegment(ns, partitionName(0), "m0", 1, 0,
+		EncodeKVs([]KV{{Key: "alpha", Value: []byte("1")}, {Key: "beta", Value: []byte("1")},
+			{Key: "gamma", Value: []byte("1")}}), 0)
+
+	// Same epoch = same cache key: this is the pre-fix behavior, kept so
+	// unchanged re-reduces (e.g. ReuseTag across jobs) still hit.
+	req.OutputFile = "epoch-out-b"
+	resp, err = ec.workers[owner].runReduce(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.InputCached {
+		t.Fatal("same-epoch re-reduce missed the cache")
+	}
+
+	// Bumped epoch: the stale blob must be invisible and the reduce must
+	// see the superseding attempt's data.
+	req.Epoch, req.OutputFile = 1, "epoch-out-c"
+	resp, err = ec.workers[owner].runReduce(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.InputCached {
+		t.Fatal("bumped epoch still served the stale merged blob")
+	}
+	if resp.Keys != 3 {
+		t.Fatalf("post-supersede reduce keys = %d, want 3", resp.Keys)
+	}
+}
+
+// TestLostPartitionRecoveryCachedIntermediates runs the lost-partition
+// e2e path with CacheIntermediates on: recovery re-homes partitions onto
+// survivors whose oCache may hold merged blobs from before the crash, and
+// the epoch bump must keep those from polluting the recovered reduces.
+// Output must stay exact.
+func TestLostPartitionRecoveryCachedIntermediates(t *testing.T) {
+	ec := newEngineCluster(t, engineOpts{nodes: 5, cacheSize: 8 << 20})
+	text, want := wideCorpus(200, 8)
+	ec.upload(t, "healcache.txt", text, 512)
+
+	victim := ec.ids[1]
+	var once sync.Once
+	ec.driver.SetEventListener(func(job, event string) {
+		if event != "map_done" {
+			return
+		}
+		once.Do(func() {
+			ec.net.Unlisten(victim)
+			ec.mu.Lock()
+			ec.ring.Remove(victim)
+			ec.mu.Unlock()
+			ec.sched.RemoveNode(victim)
+		})
+	})
+	res, err := ec.driver.Run(JobSpec{
+		ID: "healcache-1", App: "test-wordcount", Inputs: []string{"healcache.txt"},
+		User: "tester", CacheIntermediates: true,
+	})
+	if err != nil {
+		t.Fatalf("job did not self-heal with cached intermediates: %v", err)
+	}
+	if res.RecoveredPartitions < 1 {
+		t.Fatalf("RecoveredPartitions = %d, want >= 1", res.RecoveredPartitions)
+	}
+	kvs, err := ec.driver.Collect(context.Background(), res, "tester")
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkCounts(t, countsFromKVs(t, kvs), want)
+}

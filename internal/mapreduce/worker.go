@@ -2,7 +2,6 @@ package mapreduce
 
 import (
 	"context"
-	"errors"
 	"fmt"
 	"time"
 
@@ -74,8 +73,14 @@ type (
 		OutputBlockSize    int
 		CacheIntermediates bool
 		CacheOutputs       bool
-		TTL                time.Duration
-		User               string
+		// Epoch keys the merged-intermediate oCache entry. The driver
+		// bumps it whenever partition recovery or a resumed generation
+		// re-executes maps with higher attempts, so a re-homed or retried
+		// reduce can never serve a stale merged blob cached before the
+		// supersede.
+		Epoch int
+		TTL   time.Duration
+		User  string
 	}
 	// RunReduceResp summarizes a reduce task.
 	RunReduceResp struct {
@@ -222,34 +227,24 @@ func (w *Worker) runMap(ctx context.Context, req RunMapReq) (RunMapResp, error) 
 		threshold = DefaultSpillThreshold
 	}
 	nParts := len(req.ReduceServers)
-	resp := RunMapResp{PartBytes: make([]int64, nParts), CacheHit: cacheHit, RemoteRead: remote}
-	buffers := make([][]KV, nParts)
-	bufBytes := make([]int, nParts)
-	seq := make([]int, nParts)
+	resp := RunMapResp{CacheHit: cacheHit, RemoteRead: remote}
+	// Emit appends encoded pairs straight into pooled per-partition
+	// buffers (no per-KV value clone) and hands full buffers to the async
+	// sender, so pushes overlap the rest of the map compute. All error
+	// state lives in locally-scoped variables: the sender goroutine never
+	// touches this function's err.
+	sender := w.newSpillSender(ctx, req, app.Combine)
+	buffers := make([]*[]byte, nParts)
+	seqs := make([]int, nParts)
 
-	spill := func(part int) error {
-		if len(buffers[part]) == 0 {
-			return nil
+	flush := func(part int) {
+		buf := buffers[part]
+		if buf == nil || len(*buf) == 0 {
+			return
 		}
-		kvs := buffers[part]
-		if app.Combine != nil {
-			kvs, err = combine(app.Combine, req.Params, kvs)
-			if err != nil {
-				return err
-			}
-		}
-		data := EncodeKVs(kvs)
-		partition := partitionName(part)
-		if err := w.pushSpill(ctx, req, part, partition, seq[part], data); err != nil {
-			return err
-		}
-		seq[part]++
-		resp.PartBytes[part] += int64(len(data))
-		w.reg.Counter("mr.shuffle.spills").Inc()
-		w.reg.Counter("mr.shuffle.bytes").Add(int64(len(data)))
 		buffers[part] = nil
-		bufBytes[part] = 0
-		return nil
+		sender.enqueue(part, seqs[part], buf)
+		seqs[part]++
 	}
 
 	var wanted map[int]bool
@@ -265,103 +260,61 @@ func (w *Worker) runMap(ctx context.Context, req RunMapReq) (RunMapResp, error) 
 		if wanted != nil && !wanted[part] {
 			return nil
 		}
-		buffers[part] = append(buffers[part], KV{Key: key, Value: append([]byte(nil), value...)})
-		bufBytes[part] += 8 + len(key) + len(value)
-		// Proactive shuffle: push the buffer the moment it crosses the
-		// spill threshold, while the map is still running.
-		if bufBytes[part] >= threshold {
-			return spill(part)
+		buf := buffers[part]
+		if buf == nil {
+			buf = getSpillBuf()
+			buffers[part] = buf
+		}
+		*buf = AppendKV(*buf, KV{Key: key, Value: value})
+		// Proactive shuffle: hand the buffer off the moment it crosses
+		// the spill threshold, while the map is still running.
+		if len(*buf) >= threshold {
+			flush(part)
 		}
 		return nil
 	}
 
-	// Compute time covers the user map function and combiner; inline
-	// spill pushes are timed separately as mr.shuffle.send_ns (their spans
-	// parent under task.map, not map.compute, since the final flush runs
-	// after the user function returns).
+	// Compute time covers the user map function; the combiner and the
+	// batch pushes run on the sender goroutine and are timed as
+	// mr.shuffle.send_ns (their spans parent under task.map, not
+	// map.compute).
 	computeTimer := w.reg.Histogram("mr.map.compute_ns").Start()
 	_, comp := w.tracer.StartSpan(ctx, "map.compute")
-	if err := app.Map(req.Params, input, emit); err != nil {
-		comp.End()
-		return RunMapResp{}, fmt.Errorf("mapreduce: map %s on block %s: %w", req.App, req.BlockKey, err)
-	}
-	for part := range buffers {
-		if err := spill(part); err != nil {
-			comp.End()
-			return RunMapResp{}, err
+	mapErr := app.Map(req.Params, input, emit)
+	if mapErr == nil {
+		for part := range buffers {
+			flush(part)
 		}
 	}
 	comp.End()
+	// The task is not done until every queued push is acknowledged;
+	// errors from background pushes fail the attempt exactly like the old
+	// inline path did.
+	partBytes, sendErr := sender.finish()
 	computeTimer.Stop()
+	for _, b := range buffers {
+		putSpillBuf(b) // unflushed buffers of a failed map
+	}
+	if mapErr != nil {
+		return RunMapResp{}, fmt.Errorf("mapreduce: map %s on block %s: %w", req.App, req.BlockKey, mapErr)
+	}
+	if sendErr != nil {
+		return RunMapResp{}, sendErr
+	}
+	resp.PartBytes = partBytes
 	return resp, nil
-}
-
-// pushSpill delivers one spill to the partition owner and, when the job
-// replicates intermediates, the owner's replica. Unreachable targets are
-// skipped — the reduce side unions the surviving copies — but at least one
-// target must accept the spill, and any non-structural failure (a retry
-// budget exhausted by message loss, an application error) fails the map
-// attempt so the driver can re-dispatch it.
-func (w *Worker) pushSpill(ctx context.Context, req RunMapReq, part int, partition string, seq int, data []byte) error {
-	defer w.reg.Histogram("mr.shuffle.send_ns").Start().Stop()
-	ctx, sp := w.tracer.StartSpan(ctx, "shuffle.send")
-	defer sp.End()
-	sp.Annotate("partition", partition)
-	targets := []hashing.NodeID{req.ReduceServers[part]}
-	if len(req.ReduceReplicas) == len(req.ReduceServers) {
-		if r := req.ReduceReplicas[part]; r != "" && r != targets[0] {
-			targets = append(targets, r)
-		}
-	}
-	stored := 0
-	var lastErr error
-	for i, t := range targets {
-		var err error
-		if req.Task != "" {
-			tag := dhtfs.SegTag{Task: req.Task, Attempt: req.Attempt, Seq: seq}
-			err = w.fs.PushTaggedSegment(ctx, t, req.Namespace, partition, tag, data, req.TTL)
-		} else {
-			err = w.fs.PushSegment(ctx, t, req.Namespace, partition, data, req.TTL)
-		}
-		if err == nil {
-			stored++
-			if i > 0 {
-				w.reg.Counter("mr.shuffle.replica_spills").Inc()
-			}
-			continue
-		}
-		if errors.Is(err, transport.ErrUnreachable) {
-			lastErr = err
-			continue
-		}
-		return fmt.Errorf("mapreduce: spill partition %d to %s: %w", part, t, err)
-	}
-	if stored == 0 {
-		return fmt.Errorf("mapreduce: spill partition %d: no reachable target: %w", part, lastErr)
-	}
-	return nil
-}
-
-// combine applies the map-side combiner to a buffered spill.
-func combine(fn ReduceFunc, params Params, kvs []KV) ([]KV, error) {
-	var out []KV
-	emit := func(key string, value []byte) error {
-		out = append(out, KV{Key: key, Value: append([]byte(nil), value...)})
-		return nil
-	}
-	for _, g := range GroupByKey(kvs) {
-		if err := fn(params, g.Key, g.Values, emit); err != nil {
-			return nil, fmt.Errorf("mapreduce: combine key %q: %w", g.Key, err)
-		}
-	}
-	return out, nil
 }
 
 // partitionName is the segment-store partition label for index part.
 func partitionName(part int) string { return fmt.Sprintf("p%04d", part) }
 
 // mergedTag is the oCache data ID of a partition's merged reduce input.
-func mergedTag(part int) string { return "merged:" + partitionName(part) }
+// The epoch is part of the key: entries cached before a recovery round or
+// a resumed generation (which push superseding attempts) are simply never
+// looked up again.
+func mergedTag(part, epoch int) string {
+	return fmt.Sprintf("merged:%s@e%d", partitionName(part), epoch)
+}
 
 // gatherReplicatedSegments unions the attempt-tagged spills of a partition
 // from every reachable replica. Each spill reached at least one member of
@@ -409,7 +362,7 @@ func (w *Worker) runReduce(ctx context.Context, req RunReduceReq) (RunReduceResp
 	}
 	var resp RunReduceResp
 	var merged []byte
-	if data, ok := w.cache.GetTagged(req.Namespace, mergedTag(req.Partition)); ok {
+	if data, ok := w.cache.GetTagged(req.Namespace, mergedTag(req.Partition, req.Epoch)); ok {
 		merged = data
 		resp.InputCached = true
 		task.Annotate("cache", "hit")
@@ -440,8 +393,9 @@ func (w *Worker) runReduce(ctx context.Context, req RunReduceReq) (RunReduceResp
 		recv.End()
 		recvTimer.Stop()
 		if req.CacheIntermediates && len(merged) > 0 {
-			w.cache.PutTagged(req.Namespace, mergedTag(req.Partition),
-				hashing.KeyOfString(req.Namespace+mergedTag(req.Partition)), merged, req.TTL)
+			tag := mergedTag(req.Partition, req.Epoch)
+			w.cache.PutTagged(req.Namespace, tag,
+				hashing.KeyOfString(req.Namespace+tag), merged, req.TTL)
 		}
 	}
 	if len(merged) == 0 {
