@@ -1,27 +1,35 @@
 // Command eclipse-lint runs the project's static-analysis suite (package
 // internal/lint) over the module: ring-comparison safety, no RPCs under
-// node mutexes, constant single-kind metric names, simulator determinism
-// and checked I/O-boundary errors.
+// node mutexes, an acyclic lock-order graph, constant single-kind metric
+// names, simulator determinism, checked I/O-boundary errors, ended spans,
+// terminating goroutines and inherited contexts.
 //
 // Usage:
 //
-//	eclipse-lint [-only name,name] [pattern ...]
+//	eclipse-lint [-only name,name] [-diff ref] [pattern ...]
 //
 // Patterns are package directories or dir/... recursive patterns,
-// relative to the module root; the default is ./... . Findings print as
+// relative to the module root; the default is ./... . With -diff, the
+// patterns are replaced by the packages holding files changed since the
+// given git ref (as PR builds do, keeping the gate fast); module-wide
+// analyzers still see whole packages, and main/nightly builds run the
+// full tree. Findings print as
 //
 //	file:line: analyzer: message
 //
 // and the exit status is 1 when there are findings, 2 on load errors.
 // Suppress an individual finding with a trailing or preceding comment:
 //
-//	//lint:ignore <analyzer> <reason>
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"eclipsemr/internal/lint"
@@ -34,9 +42,10 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("eclipse-lint", flag.ContinueOnError)
 	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	diff := fs.String("diff", "", "lint only packages with files changed since this git ref")
 	list := fs.Bool("list", false, "list analyzers and exit")
 	fs.Usage = func() {
-		fmt.Fprintf(fs.Output(), "usage: eclipse-lint [-only name,name] [pattern ...]\n\nanalyzers:\n")
+		fmt.Fprintf(fs.Output(), "usage: eclipse-lint [-only name,name] [-diff ref] [pattern ...]\n\nanalyzers:\n")
 		for _, a := range lint.Analyzers() {
 			fmt.Fprintf(fs.Output(), "  %-11s %s\n", a.Name, a.Doc)
 		}
@@ -78,7 +87,23 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "eclipse-lint:", err)
 		return 2
 	}
-	unit, err := loader.Load(fs.Args()...)
+	patterns := fs.Args()
+	if *diff != "" {
+		if len(patterns) > 0 {
+			fmt.Fprintln(os.Stderr, "eclipse-lint: -diff replaces the pattern arguments; pass one or the other")
+			return 2
+		}
+		patterns, err = changedPackages(loader.Root, *diff)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "eclipse-lint:", err)
+			return 2
+		}
+		if len(patterns) == 0 {
+			fmt.Fprintf(os.Stderr, "eclipse-lint: no Go packages changed since %s\n", *diff)
+			return 0
+		}
+	}
+	unit, err := loader.Load(patterns...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "eclipse-lint:", err)
 		return 2
@@ -92,4 +117,41 @@ func run(args []string) int {
 		return 1
 	}
 	return 0
+}
+
+// changedPackages lists the module-relative package directories holding
+// .go files changed since ref, per git diff. Deleted files still name
+// their directory — the remaining files must keep passing — but a
+// directory whose package vanished entirely is dropped, as is testdata
+// (golden inputs violate analyzers on purpose).
+func changedPackages(root, ref string) ([]string, error) {
+	cmd := exec.Command("git", "diff", "--name-only", ref, "--", "*.go")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		if ee, ok := err.(*exec.ExitError); ok && len(ee.Stderr) > 0 {
+			return nil, fmt.Errorf("git diff %s: %s", ref, strings.TrimSpace(string(ee.Stderr)))
+		}
+		return nil, fmt.Errorf("git diff %s: %w", ref, err)
+	}
+	dirs := make(map[string]bool)
+	for _, file := range strings.Split(strings.TrimSpace(string(out)), "\n") {
+		if file == "" || strings.Contains(file, "testdata"+string(filepath.Separator)) ||
+			strings.Contains(file, "/testdata/") {
+			continue
+		}
+		dir := filepath.Dir(file)
+		// The package must still exist with at least one .go file.
+		matches, _ := filepath.Glob(filepath.Join(root, dir, "*.go"))
+		if len(matches) == 0 {
+			continue
+		}
+		dirs[dir] = true
+	}
+	var pkgs []string
+	for d := range dirs {
+		pkgs = append(pkgs, d)
+	}
+	sort.Strings(pkgs)
+	return pkgs, nil
 }

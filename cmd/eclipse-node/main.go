@@ -153,6 +153,7 @@ func main() {
 	log.Printf("eclipse-node %s listening on %s (%d peers)", *id, hosts[hashing.NodeID(*id)], len(hosts))
 
 	if *bootstrap {
+		//lint:ignore goroleak one-shot bootstrap: returns after WaitForPeers resolves or log.Fatalf kills the process
 		go func() {
 			ring, err := nodecmd.WaitForPeers(net, hosts, hashing.NodeID(*id), 2*time.Minute)
 			if err != nil {

@@ -307,40 +307,70 @@ func (c *Cluster) anyNode() (*Node, error) {
 	return nil, fmt.Errorf("cluster: no live nodes")
 }
 
+// rootContext is the one place the facade mints a fresh root context.
+// Cluster's ctx-less convenience methods sit at the top of their call
+// trees (tests, examples, REPL-style drivers) where no caller context
+// exists to thread; everything below them takes the returned ctx as a
+// parameter, and every I/O-heavy method has a *Context variant for
+// callers that do hold one.
+//
+//lint:ignore ctxflow the facade's ctx-less entry points root their call trees here; use the *Context variants to pass a real context
+func rootContext() context.Context { return context.Background() }
+
 // Upload stores a file in the DHT file system.
 func (c *Cluster) Upload(name, owner string, perm dhtfs.Perm, data []byte) (dhtfs.Metadata, error) {
+	return c.UploadContext(rootContext(), name, owner, perm, data)
+}
+
+// UploadContext is Upload with caller-controlled cancellation.
+func (c *Cluster) UploadContext(ctx context.Context, name, owner string, perm dhtfs.Perm, data []byte) (dhtfs.Metadata, error) {
 	n, err := c.anyNode()
 	if err != nil {
 		return dhtfs.Metadata{}, err
 	}
-	return n.fs.Upload(context.Background(), name, owner, perm, data, c.opts.BlockSize)
+	return n.fs.Upload(ctx, name, owner, perm, data, c.opts.BlockSize)
 }
 
 // UploadRecords stores a line-oriented file with record-aligned blocks.
 func (c *Cluster) UploadRecords(name, owner string, perm dhtfs.Perm, data []byte, delim byte) (dhtfs.Metadata, error) {
+	return c.UploadRecordsContext(rootContext(), name, owner, perm, data, delim)
+}
+
+// UploadRecordsContext is UploadRecords with caller-controlled cancellation.
+func (c *Cluster) UploadRecordsContext(ctx context.Context, name, owner string, perm dhtfs.Perm, data []byte, delim byte) (dhtfs.Metadata, error) {
 	n, err := c.anyNode()
 	if err != nil {
 		return dhtfs.Metadata{}, err
 	}
-	return n.fs.UploadRecords(context.Background(), name, owner, perm, data, c.opts.BlockSize, delim)
+	return n.fs.UploadRecords(ctx, name, owner, perm, data, c.opts.BlockSize, delim)
 }
 
 // ReadFile fetches a file from the DHT file system.
 func (c *Cluster) ReadFile(name, user string) ([]byte, error) {
+	return c.ReadFileContext(rootContext(), name, user)
+}
+
+// ReadFileContext is ReadFile with caller-controlled cancellation.
+func (c *Cluster) ReadFileContext(ctx context.Context, name, user string) ([]byte, error) {
 	n, err := c.anyNode()
 	if err != nil {
 		return nil, err
 	}
-	return n.fs.ReadFile(context.Background(), name, user)
+	return n.fs.ReadFile(ctx, name, user)
 }
 
 // DeleteFile removes a file (owner only) from the DHT file system.
 func (c *Cluster) DeleteFile(name, user string) error {
+	return c.DeleteFileContext(rootContext(), name, user)
+}
+
+// DeleteFileContext is DeleteFile with caller-controlled cancellation.
+func (c *Cluster) DeleteFileContext(ctx context.Context, name, user string) error {
 	n, err := c.anyNode()
 	if err != nil {
 		return err
 	}
-	return n.fs.Delete(context.Background(), name, user)
+	return n.fs.Delete(ctx, name, user)
 }
 
 // Run executes a MapReduce job to completion.
@@ -381,21 +411,26 @@ func (c *Cluster) OrphanJobs() ([]string, error) {
 	if n == nil {
 		return nil, fmt.Errorf("cluster: no resource manager is live")
 	}
-	return c.driver.Orphans(context.Background())
+	return c.driver.Orphans(rootContext())
 }
 
 // Collect fetches and decodes a completed job's output pairs.
 func (c *Cluster) Collect(res mapreduce.Result, user string) ([]mapreduce.KV, error) {
+	return c.CollectContext(rootContext(), res, user)
+}
+
+// CollectContext is Collect with caller-controlled cancellation.
+func (c *Cluster) CollectContext(ctx context.Context, res mapreduce.Result, user string) ([]mapreduce.KV, error) {
 	if err := c.rebindDriver(); err != nil {
 		return nil, err
 	}
-	return c.driver.Collect(context.Background(), res, user)
+	return c.driver.Collect(ctx, res, user)
 }
 
 // DropIntermediates deletes a job's shuffle data cluster-wide.
 func (c *Cluster) DropIntermediates(spec mapreduce.JobSpec) {
 	if err := c.rebindDriver(); err == nil {
-		c.driver.DropIntermediates(context.Background(), spec)
+		c.driver.DropIntermediates(rootContext(), spec)
 	}
 }
 
@@ -413,6 +448,11 @@ func (c *Cluster) SetTracing(on bool) {
 // spans nodes dropped before collection. Unreachable nodes are skipped —
 // a trace survives node failures with a hole, not an error.
 func (c *Cluster) TraceSpans(jobID string) ([]trace.Span, int64, error) {
+	return c.TraceSpansContext(rootContext(), jobID)
+}
+
+// TraceSpansContext is TraceSpans with caller-controlled cancellation.
+func (c *Cluster) TraceSpansContext(ctx context.Context, jobID string) ([]trace.Span, int64, error) {
 	body, err := transport.Encode(SpansReq{Trace: jobID})
 	if err != nil {
 		return nil, 0, err
@@ -420,7 +460,7 @@ func (c *Cluster) TraceSpans(jobID string) ([]trace.Span, int64, error) {
 	var all []trace.Span
 	var dropped int64
 	for _, id := range c.Nodes() {
-		out, err := c.net.Call(context.Background(), id, MethodSpans, body)
+		out, err := c.net.Call(ctx, id, MethodSpans, body)
 		if err != nil {
 			continue
 		}
@@ -496,7 +536,7 @@ func (c *Cluster) MigrateMisplacedCaches() (int, error) {
 		if err != nil {
 			return total, err
 		}
-		out, err := c.net.Call(context.Background(), id, mapreduce.MethodAdoptRange, body)
+		out, err := c.net.Call(rootContext(), id, mapreduce.MethodAdoptRange, body)
 		if err != nil {
 			return total, err
 		}

@@ -131,6 +131,7 @@ func (m *Manager) verifyPing(suspect hashing.NodeID) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore ctxflow liveness probe on the manager's own clock; it belongs to no job or request, so there is no caller ctx to thread
 	out, err := m.verify.Call(context.Background(), suspect, methodPing, body)
 	if err != nil {
 		return err
@@ -184,6 +185,7 @@ func (m *Manager) directRecovery() {
 	v := m.view()
 	for id := range v.Members {
 		if id == m.node.ID {
+			//lint:ignore ctxflow membership-change recovery runs on the manager's own authority; no request context exists
 			_, _ = m.node.fs.ReReplicate(context.Background())
 			continue
 		}

@@ -438,6 +438,7 @@ func (n *Node) handle(ctx context.Context, method string, body []byte) ([]byte, 
 		// Bully election: a higher-ID node answers "alive" and launches
 		// its own election, suppressing the lower candidate.
 		if n.ID > msg.Candidate {
+			//lint:ignore goroleak bully election is a bounded round of RPCs; runElection returns once a coordinator is settled
 			go n.runElection()
 			return transport.Encode(electionResp{Alive: true})
 		}
@@ -481,6 +482,7 @@ func (n *Node) call(to hashing.NodeID, method string, req, resp any) error {
 	if err != nil {
 		return err
 	}
+	//lint:ignore ctxflow control-plane RPCs (election, recovery) belong to no job; see the function comment
 	out, err := n.net.Call(context.Background(), to, method, body)
 	if err != nil {
 		return err

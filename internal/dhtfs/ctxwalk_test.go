@@ -1,0 +1,40 @@
+package dhtfs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestReplicaWalkStopsOnCancel pins the replica-walk early exit: a read
+// whose caller has cancelled must return the context error instead of
+// racing down the replica list, where every further probe costs a full
+// retry-with-backoff round nobody is waiting for.
+func TestReplicaWalkStopsOnCancel(t *testing.T) {
+	tc := newTestCluster(t, 4, 3)
+	svc := tc.services[tc.ids[0]]
+	data := bytes.Repeat([]byte("walk"), 16)
+	meta, err := svc.Upload(context.Background(), "walk.dat", "alice", PermPublic, data, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := svc.ReadBlock(cctx, meta.BlockKeys[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadBlock under cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := svc.ReadBlockVerified(cctx, meta.BlockKeys[0], meta.BlockSums[0]); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ReadBlockVerified under cancelled ctx = %v, want context.Canceled", err)
+	}
+	if _, err := svc.Lookup(cctx, "walk.dat", "alice"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Lookup under cancelled ctx = %v, want context.Canceled", err)
+	}
+
+	// A live context still reads normally after the guard.
+	got, err := svc.ReadFile(context.Background(), "walk.dat", "alice")
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("ReadFile = %q, %v", got, err)
+	}
+}

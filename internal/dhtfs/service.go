@@ -543,6 +543,11 @@ func (s *Service) Lookup(ctx context.Context, name, user string) (Metadata, erro
 	}
 	var lastErr error
 	for _, t := range targets {
+		// A cancelled caller must not keep racing down the replica list;
+		// each further probe is a full retry-with-backoff round.
+		if ctx.Err() != nil {
+			return Metadata{}, fmt.Errorf("dhtfs: lookup %q: %w", name, ctx.Err())
+		}
 		var resp getMetaResp
 		err := s.call(ctx, t, MethodGetMeta, getMetaReq{Name: name, User: user}, &resp)
 		if err == nil {
@@ -578,6 +583,12 @@ func (s *Service) ReadBlock(ctx context.Context, k hashing.Key) ([]byte, error) 
 	}
 	var lastErr error
 	for i, t := range targets {
+		// Stop the replica walk as soon as the caller cancels: the
+		// remaining probes would each burn a retry-with-backoff round
+		// against servers whose answer nobody is waiting for.
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("dhtfs: read block %s: %w", k, ctx.Err())
+		}
 		var resp getBlockResp
 		if err := s.call(ctx, t, MethodGetBlock, getBlockReq{Key: k}, &resp); err == nil {
 			if i > 0 {
@@ -606,6 +617,9 @@ func (s *Service) ReadBlockVerified(ctx context.Context, k hashing.Key, sum [sha
 	sawCorrupt := false
 	var lastErr error
 	for i, t := range targets {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("dhtfs: read block %s: %w", k, ctx.Err())
+		}
 		var resp getBlockResp
 		if err := s.call(ctx, t, MethodGetBlock, getBlockReq{Key: k}, &resp); err != nil {
 			lastErr = err

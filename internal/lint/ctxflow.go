@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow reports code that breaks the module's context-propagation
+// discipline. Every transport RPC, dhtfs operation and retry loop takes a
+// context; the invariant that makes cancellation, deadlines and tracing
+// actually work is that those contexts are inherited from the caller all
+// the way up to an entry point, never minted mid-stack:
+//
+//  1. context.Background()/context.TODO() may only be called in entry
+//     point packages (cmd/..., examples/..., internal/nodecmd). Anywhere
+//     else a fresh root context severs cancellation from the request
+//     that caused the work.
+//  2. context.Context must not be stored in struct fields. A stored ctx
+//     outlives the call that supplied it, so cancellation and deadline
+//     no longer describe the work actually in flight (the Go context
+//     rule: pass ctx as the first parameter, per call).
+//  3. A function that takes a context.Context must not call time.Sleep:
+//     a bare sleep ignores cancellation for its whole duration. Use a
+//     timer and select on ctx.Done().
+//
+// The check is syntactic and per-call; a legitimate fresh root (a
+// server-side handler boundary, a detached control-plane probe) carries a
+// //lint:ignore ctxflow <reason> stating why the break is deliberate.
+func CtxFlow() *Analyzer {
+	return &Analyzer{
+		Name: "ctxflow",
+		Doc:  "contexts must be inherited, never stored or minted mid-stack",
+		Run:  runCtxFlow,
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// entryPointPkg reports whether an import path is an entry-point package
+// where minting a root context is the job: command mains, examples, and
+// the shared node-command scaffolding.
+func entryPointPkg(path string) bool {
+	for _, seg := range strings.Split(path, "/") {
+		if seg == "cmd" || seg == "examples" {
+			return true
+		}
+	}
+	return strings.HasSuffix(path, "internal/nodecmd")
+}
+
+func runCtxFlow(u *Unit) []Finding {
+	var findings []Finding
+	for _, p := range u.Pkgs {
+		entry := entryPointPkg(p.Path)
+		for _, f := range p.Files {
+			findings = append(findings, ctxFlowFile(u, p, f, entry)...)
+		}
+	}
+	return findings
+}
+
+func ctxFlowFile(u *Unit, p *Package, f *ast.File, entry bool) []Finding {
+	var findings []Finding
+
+	// Rule 2: no context.Context struct fields.
+	ast.Inspect(f, func(n ast.Node) bool {
+		st, ok := n.(*ast.StructType)
+		if !ok {
+			return true
+		}
+		for _, field := range st.Fields.List {
+			tv, ok := p.Info.Types[field.Type]
+			if !ok || !isContextType(tv.Type) {
+				continue
+			}
+			name := "embedded"
+			if len(field.Names) > 0 {
+				name = field.Names[0].Name
+			}
+			findings = append(findings, Finding{
+				Pos:      u.Fset.Position(field.Pos()),
+				Analyzer: "ctxflow",
+				Message: fmt.Sprintf(
+					"context.Context stored in struct field %s; contexts are per-call — pass ctx as a parameter",
+					name),
+			})
+		}
+		return true
+	})
+
+	// Rule 1: Background/TODO below entry points.
+	if !entry {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "context" {
+				return true
+			}
+			if fn.Name() == "Background" || fn.Name() == "TODO" {
+				findings = append(findings, Finding{
+					Pos:      u.Fset.Position(call.Pos()),
+					Analyzer: "ctxflow",
+					Message: fmt.Sprintf(
+						"context.%s() below an entry point severs cancellation; accept and thread the caller's ctx",
+						fn.Name()),
+				})
+			}
+			return true
+		})
+	}
+
+	// Rule 3: time.Sleep inside context-aware functions.
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		if !hasCtxParam(p.Info, fd.Type) {
+			// The function itself is not ctx-aware, but nested literals
+			// may be; they are found by the literal walk below.
+			findings = append(findings, ctxSleepInLits(u, p, fd.Body)...)
+			continue
+		}
+		findings = append(findings, ctxSleepScan(u, p, fd.Body)...)
+	}
+	return findings
+}
+
+// hasCtxParam reports whether a function type declares a context.Context
+// parameter.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxSleepScan reports time.Sleep calls in a ctx-aware body. Nested
+// function literals are scanned too — they capture the enclosing scope
+// where the ctx is available — except literals that declare their own
+// ctx parameter, which are ctx-aware in their own right and scanned the
+// same way.
+func ctxSleepScan(u *Unit, p *Package, body ast.Node) []Finding {
+	var findings []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if fn := calleeFunc(p.Info, call); fn != nil &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Sleep" {
+				findings = append(findings, Finding{
+					Pos:      u.Fset.Position(call.Pos()),
+					Analyzer: "ctxflow",
+					Message:  "time.Sleep in a context-aware function ignores cancellation; use a timer and select on ctx.Done()",
+				})
+			}
+		}
+		return true
+	})
+	return findings
+}
+
+// ctxSleepInLits descends a non-ctx-aware body looking for function
+// literals that do declare a ctx parameter, and scans those.
+func ctxSleepInLits(u *Unit, p *Package, body ast.Node) []Finding {
+	var findings []Finding
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		if hasCtxParam(p.Info, lit.Type) {
+			findings = append(findings, ctxSleepScan(u, p, lit.Body)...)
+			return false
+		}
+		return true
+	})
+	return findings
+}

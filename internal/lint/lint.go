@@ -4,7 +4,7 @@
 // PR 2's metrics layer only catch at runtime.
 //
 // The suite loads every package under a module (go/parser + go/types with
-// the source importer; no golang.org/x/tools dependency) and runs six
+// the source importer; no golang.org/x/tools dependency) and runs nine
 // analyzers:
 //
 //   - ringcmp:    raw <, <=, >, >= between hashing.Key values outside
@@ -13,6 +13,9 @@
 //   - lockedrpc:  transport RPCs issued while a sync.Mutex/RWMutex
 //     acquired in the same function is still held — deadlock and
 //     tail-latency risk in stabilization, replication, heartbeats.
+//   - lockorder:  the module-wide mutex-acquisition graph, built through
+//     the call graph, must stay acyclic; a cycle is a potential
+//     deadlock. DESIGN.md holds the canonical lock-rank table.
 //   - metricname: metric registrations must use statically known names,
 //     and a name must keep one kind (counter/gauge/histogram)
 //     across the whole module, or cluster-wide Merge corrupts.
@@ -24,14 +27,23 @@
 //   - spanend:    trace.Start* spans that can never be ended — result
 //     discarded, bound to the blank identifier, or a span
 //     variable with neither an End call nor an escape.
+//   - goroleak:   every go statement must show a termination path — a
+//     caller-supplied context, a channel receive or range, a
+//     select, or a WaitGroup join; plus loop-variable capture
+//     when the module predates go 1.22 semantics.
+//   - ctxflow:    contexts must flow down from entry points: no
+//     context.Background()/TODO() below cmd/, examples/ and
+//     internal/nodecmd, no context stored in struct fields,
+//     and no bare time.Sleep in context-aware functions.
 //
 // Findings print as "file:line: analyzer: message". A finding is
 // suppressed by a comment on the same line or the line above:
 //
-//	//lint:ignore <analyzer> <reason>
+//	//lint:ignore <analyzer>[,<analyzer>...] <reason>
 //
-// The reason is mandatory; an ignore directive without one is itself
-// reported.
+// The reason is mandatory, and only the named analyzers are suppressed;
+// an ignore directive without a reason, naming an unknown analyzer, or
+// naming one that suppresses nothing in the run is itself reported.
 package lint
 
 import (
@@ -87,6 +99,26 @@ type Package struct {
 type Unit struct {
 	Fset *token.FileSet
 	Pkgs []*Package
+	// All holds every module package the loader checked — the target
+	// Pkgs plus their module-local dependencies. Analyzers report
+	// findings only for Pkgs, but evidence lookups (a callee's body, a
+	// function's lock summary) should consult All so a partial run
+	// (eclipse-lint -diff) reaches the same verdicts as a full one.
+	// Empty in hand-built units; see Context().
+	All []*Package
+	// GoVersion is the module's go directive ("1.22"), empty when the
+	// go.mod carries none. goroleak keys its loop-variable-capture check
+	// off it: per-iteration semantics arrived in go 1.22.
+	GoVersion string
+}
+
+// Context returns the packages cross-package lookups should scan: every
+// checked module package when the loader recorded them, else the targets.
+func (u *Unit) Context() []*Package {
+	if len(u.All) > 0 {
+		return u.All
+	}
+	return u.Pkgs
 }
 
 // An Analyzer checks one invariant over a Unit.
@@ -101,10 +133,13 @@ func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		RingCmp(),
 		LockedRPC(),
+		LockOrder(),
 		MetricName(),
 		TimeSource(),
 		DroppedErr(),
 		SpanEnd(),
+		GoroLeak(),
+		CtxFlow(),
 	}
 }
 
@@ -117,11 +152,27 @@ func AnalyzerNames() []string {
 	return names
 }
 
-// IgnoreDirective is one parsed //lint:ignore comment.
+// IgnoreDirective is one parsed //lint:ignore comment. A directive names
+// one or more analyzers (comma-separated, no spaces inside the list);
+// only the named analyzers are suppressed at the covered lines.
 type IgnoreDirective struct {
-	Pos      token.Position
-	Analyzer string
-	Reason   string
+	Pos       token.Position
+	Analyzers []string
+	Reason    string
+
+	// used records, per named analyzer, whether the directive actually
+	// suppressed a finding during the run. Names that ran but suppressed
+	// nothing are reported as badignore findings: a stale suppression
+	// silently masks the next real violation on that line.
+	used map[string]bool
+}
+
+// ignoreSet indexes the unit's parsed directives by the (file, line)
+// pairs they cover. Both covered lines of one comment share the same
+// *IgnoreDirective so use on either line marks the directive used.
+type ignoreSet struct {
+	byLine map[string]map[int][]*IgnoreDirective
+	all    []*IgnoreDirective // in parse order, for deterministic reports
 }
 
 const ignorePrefix = "//lint:ignore"
@@ -131,20 +182,21 @@ const ignorePrefix = "//lint:ignore"
 // line and the line below it (so both same-line trailing comments and
 // whole-line comments above a statement work).
 //
-// Malformed directives (missing analyzer or reason) are returned as
-// findings so they fail the run instead of silently ignoring nothing.
-func parseIgnores(u *Unit) (map[string]map[int][]IgnoreDirective, []Finding) {
+// Malformed directives (missing analyzer list or reason, empty list
+// elements) and unknown analyzer names are returned as findings so they
+// fail the run instead of silently ignoring nothing.
+func parseIgnores(u *Unit) (*ignoreSet, []Finding) {
 	known := make(map[string]bool)
 	for _, name := range AnalyzerNames() {
 		known[name] = true
 	}
-	ignores := make(map[string]map[int][]IgnoreDirective)
+	ign := &ignoreSet{byLine: make(map[string]map[int][]*IgnoreDirective)}
 	var bad []Finding
-	add := func(file string, line int, d IgnoreDirective) {
-		if ignores[file] == nil {
-			ignores[file] = make(map[int][]IgnoreDirective)
+	add := func(file string, line int, d *IgnoreDirective) {
+		if ign.byLine[file] == nil {
+			ign.byLine[file] = make(map[int][]*IgnoreDirective)
 		}
-		ignores[file][line] = append(ignores[file][line], d)
+		ign.byLine[file][line] = append(ign.byLine[file][line], d)
 	}
 	for _, p := range u.Pkgs {
 		for _, f := range p.Files {
@@ -160,21 +212,43 @@ func parseIgnores(u *Unit) (map[string]map[int][]IgnoreDirective, []Finding) {
 						bad = append(bad, Finding{
 							Pos:      pos,
 							Analyzer: "badignore",
-							Message:  "malformed directive: want //lint:ignore <analyzer> <reason>",
+							Message:  "malformed directive: want //lint:ignore <analyzer>[,<analyzer>...] <reason>",
 						})
 						continue
 					}
-					name := fields[0]
-					if !known[name] {
-						bad = append(bad, Finding{
-							Pos:      pos,
-							Analyzer: "badignore",
-							Message: fmt.Sprintf("unknown analyzer %q (have %s)",
-								name, strings.Join(AnalyzerNames(), ", ")),
-						})
+					var names []string
+					ok := true
+					for _, name := range strings.Split(fields[0], ",") {
+						if name == "" {
+							bad = append(bad, Finding{
+								Pos:      pos,
+								Analyzer: "badignore",
+								Message:  "malformed directive: empty analyzer name in list",
+							})
+							ok = false
+							break
+						}
+						if !known[name] {
+							bad = append(bad, Finding{
+								Pos:      pos,
+								Analyzer: "badignore",
+								Message: fmt.Sprintf("unknown analyzer %q (have %s)",
+									name, strings.Join(AnalyzerNames(), ", ")),
+							})
+							continue
+						}
+						names = append(names, name)
+					}
+					if !ok || len(names) == 0 {
 						continue
 					}
-					d := IgnoreDirective{Pos: pos, Analyzer: name, Reason: strings.Join(fields[1:], " ")}
+					d := &IgnoreDirective{
+						Pos:       pos,
+						Analyzers: names,
+						Reason:    strings.Join(fields[1:], " "),
+						used:      make(map[string]bool),
+					}
+					ign.all = append(ign.all, d)
 					// Covers the directive's own line (trailing comment)
 					// and the next line (comment above the statement).
 					add(pos.Filename, pos.Line, d)
@@ -183,22 +257,62 @@ func parseIgnores(u *Unit) (map[string]map[int][]IgnoreDirective, []Finding) {
 			}
 		}
 	}
-	return ignores, bad
+	return ign, bad
+}
+
+// suppress reports whether some directive covers the finding, marking the
+// matching analyzer name used on that directive.
+func (ign *ignoreSet) suppress(f Finding) bool {
+	hit := false
+	for _, d := range ign.byLine[f.Pos.Filename][f.Pos.Line] {
+		for _, name := range d.Analyzers {
+			if name == f.Analyzer {
+				d.used[name] = true
+				hit = true
+			}
+		}
+	}
+	return hit
+}
+
+// unused reports badignore findings for directive names that named an
+// analyzer that ran but suppressed nothing. Names of analyzers outside
+// the run set are exempt: a -only or -diff run must not invalidate
+// directives aimed at the full suite.
+func (ign *ignoreSet) unused(ran map[string]bool) []Finding {
+	var findings []Finding
+	for _, d := range ign.all {
+		for _, name := range d.Analyzers {
+			if ran[name] && !d.used[name] {
+				findings = append(findings, Finding{
+					Pos:      d.Pos,
+					Analyzer: "badignore",
+					Message:  fmt.Sprintf("ignore for %q suppressed nothing; delete the name or the directive", name),
+				})
+			}
+		}
+	}
+	return findings
 }
 
 // Run executes the given analyzers over the unit, applies //lint:ignore
 // suppression, and returns the surviving findings sorted by position.
+// Directives that name an analyzer in the run set but suppress none of
+// its findings are reported as badignore.
 func Run(u *Unit, analyzers []*Analyzer) []Finding {
-	ignores, bad := parseIgnores(u)
+	ign, bad := parseIgnores(u)
 	findings := append([]Finding(nil), bad...)
+	ran := make(map[string]bool)
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		for _, f := range a.Run(u) {
-			if suppressed(ignores, f) {
+			if ign.suppress(f) {
 				continue
 			}
 			findings = append(findings, f)
 		}
 	}
+	findings = append(findings, ign.unused(ran)...)
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -210,15 +324,6 @@ func Run(u *Unit, analyzers []*Analyzer) []Finding {
 		return a.Analyzer < b.Analyzer
 	})
 	return findings
-}
-
-func suppressed(ignores map[string]map[int][]IgnoreDirective, f Finding) bool {
-	for _, d := range ignores[f.Pos.Filename][f.Pos.Line] {
-		if d.Analyzer == f.Analyzer {
-			return true
-		}
-	}
-	return false
 }
 
 // ---- shared type helpers used by the analyzers ----

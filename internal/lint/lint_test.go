@@ -122,8 +122,84 @@ func TestBadIgnoreDirective(t *testing.T) {
 			t.Errorf("unexpected finding: %s", f)
 		}
 	}
-	if badCount != 2 {
-		t.Errorf("got %d badignore findings, want 2 (malformed + unknown analyzer)", badCount)
+	if badCount != 3 {
+		t.Errorf("got %d badignore findings, want 3 (malformed + unknown analyzer + unused name in a comma list)", badCount)
+	}
+	var unused int
+	for _, f := range findings {
+		if strings.Contains(f.Message, "suppressed nothing") {
+			unused++
+			if !strings.Contains(f.Message, `"droppederr"`) {
+				t.Errorf("unused-name finding should name droppederr: %s", f)
+			}
+		}
+	}
+	if unused != 1 {
+		t.Errorf("got %d unused-name findings, want 1", unused)
+	}
+}
+
+// TestAnalyzerInteraction runs lockedrpc and lockorder together over one
+// package where a single function violates both: the findings must not
+// mask or duplicate each other.
+func TestAnalyzerInteraction(t *testing.T) {
+	unit := loadTestdata(t, "interaction")
+	findings := Run(unit, []*Analyzer{analyzerByName(t, "lockedrpc"), analyzerByName(t, "lockorder")})
+
+	type site struct {
+		line     int
+		analyzer string
+	}
+	got := make(map[site]bool)
+	for _, f := range findings {
+		got[site{f.Pos.Line, f.Analyzer}] = true
+	}
+	want := map[site]bool{
+		{27, "lockorder"}: true, // p.wal.Lock() in lockedFanout: cycle edge mu -> wal
+		{28, "lockedrpc"}: true, // p.net.Call under both mutexes
+		{36, "lockorder"}: true, // p.mu.Lock() in reverse: cycle edge wal -> mu
+	}
+	for s := range want {
+		if !got[s] {
+			t.Errorf("missing finding: line %d analyzer %s", s.line, s.analyzer)
+		}
+	}
+	for s := range got {
+		if !want[s] {
+			t.Errorf("unexpected finding: line %d analyzer %s", s.line, s.analyzer)
+		}
+	}
+}
+
+// TestGoroLeakLoopCapturePre122 loads the nested go1.21 module: the
+// loop-variable capture check must fire there (and only there — the main
+// module is past 1.22, so TestAnalyzersGolden never sees it).
+func TestGoroLeakLoopCapturePre122(t *testing.T) {
+	unit := loadTestdata(t, "goroleak121")
+	if unit.GoVersion != "1.21" {
+		t.Fatalf("unit.GoVersion = %q, want 1.21 (from the nested go.mod)", unit.GoVersion)
+	}
+	findings := Run(unit, []*Analyzer{analyzerByName(t, "goroleak")})
+
+	pkgDir := unit.Pkgs[0].Dir
+	want := expectations(t, filepath.Join(pkgDir, "trigger.go"))
+	matched := make(map[int]bool)
+	for _, f := range findings {
+		sub, ok := want[f.Pos.Line]
+		if !ok {
+			t.Errorf("finding at unmarked line %d: %s", f.Pos.Line, f)
+			continue
+		}
+		if !strings.Contains(f.Message, sub) {
+			t.Errorf("line %d: message %q does not contain %q", f.Pos.Line, f.Message, sub)
+			continue
+		}
+		matched[f.Pos.Line] = true
+	}
+	for line, sub := range want {
+		if !matched[line] {
+			t.Errorf("trigger.go:%d: expected finding containing %q, got none", line, sub)
+		}
 	}
 }
 
@@ -131,7 +207,7 @@ func TestBadIgnoreDirective(t *testing.T) {
 // these names.
 func TestSuiteNames(t *testing.T) {
 	got := strings.Join(AnalyzerNames(), ",")
-	want := "ringcmp,lockedrpc,metricname,timesource,droppederr,spanend"
+	want := "ringcmp,lockedrpc,lockorder,metricname,timesource,droppederr,spanend,goroleak,ctxflow"
 	if got != want {
 		t.Fatalf("AnalyzerNames() = %s, want %s", got, want)
 	}
@@ -145,6 +221,12 @@ func TestRepoClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checking the full module is slow; covered by make lint in CI")
 	}
+	// The concurrency-invariant analyzers must be part of the enforced
+	// suite, not merely available: a rename or a dropped registration
+	// would silently stop gating the repo.
+	for _, name := range []string{"lockorder", "goroleak", "ctxflow"} {
+		analyzerByName(t, name)
+	}
 	loader, err := NewLoader(".")
 	if err != nil {
 		t.Fatal(err)
@@ -156,5 +238,53 @@ func TestRepoClean(t *testing.T) {
 	findings := Run(unit, Analyzers())
 	for _, f := range findings {
 		t.Errorf("%s", f.Render(loader.Root))
+	}
+}
+
+// TestLoadPartialSetOneIdentityPerPackage pins the loader's one-identity
+// guarantee for partial pattern sets (what eclipse-lint -diff produces).
+// internal/benchrun imports internal/apps, which is outside the set;
+// before the loader checked module-local imports itself, the fallback
+// source importer gave apps its own instances of shared dependencies,
+// and passing a checked *cluster.Cluster to the fallback's apps.Runner
+// failed type-checking with a spurious "does not implement". The load
+// must succeed, the unchosen dependencies must land in Unit.All (where
+// goroleak and lockorder resolve evidence), and only the chosen
+// patterns may be analysis targets.
+func TestLoadPartialSetOneIdentityPerPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a large slice of the module")
+	}
+	loader, err := NewLoader(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	unit, err := loader.Load("internal/benchrun", "internal/cluster", "internal/mapreduce")
+	if err != nil {
+		t.Fatalf("partial-set load: %v", err)
+	}
+	if got := len(unit.Pkgs); got != 3 {
+		t.Fatalf("targets = %d packages, want 3", got)
+	}
+	all := make(map[string]bool)
+	for _, p := range unit.All {
+		all[p.Path] = true
+	}
+	for _, dep := range []string{"eclipsemr/internal/apps", "eclipsemr/internal/trace"} {
+		if !all[dep] {
+			t.Errorf("Unit.All missing module dependency %s; partial-run evidence would diverge from a full run", dep)
+		}
+	}
+	for _, p := range unit.Pkgs {
+		if p.Path == "eclipsemr/internal/apps" {
+			t.Error("dependency leaked into the analysis targets")
+		}
+	}
+	// The module-wide analyzers must reach full-run verdicts on a subset:
+	// the repo is kept clean, so the subset must be clean too — in
+	// particular goroleak must find its termination evidence in callees
+	// that live outside the chosen patterns.
+	for _, f := range Run(unit, Analyzers()) {
+		t.Errorf("partial run not clean: %s", f.Render(loader.Root))
 	}
 }

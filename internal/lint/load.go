@@ -23,10 +23,13 @@ type Loader struct {
 	Root string
 	// Module is the module path from go.mod.
 	Module string
+	// GoVersion is the go directive from go.mod ("1.22"), if any.
+	GoVersion string
 
 	fset     *token.FileSet
 	fallback types.Importer
 	checked  map[string]*Package // by import path
+	checking map[string]bool     // cycle guard across importer re-entry
 	order    []*Package          // in check order
 }
 
@@ -47,39 +50,52 @@ func NewLoader(dir string) (*Loader, error) {
 		}
 		root = parent
 	}
-	module, err := modulePath(filepath.Join(root, "go.mod"))
+	module, goVersion, err := moduleDirectives(filepath.Join(root, "go.mod"))
 	if err != nil {
 		return nil, err
 	}
 	fset := token.NewFileSet()
 	return &Loader{
-		Root:     root,
-		Module:   module,
-		fset:     fset,
-		fallback: importer.ForCompiler(fset, "source", nil),
-		checked:  make(map[string]*Package),
+		Root:      root,
+		Module:    module,
+		GoVersion: goVersion,
+		fset:      fset,
+		fallback:  importer.ForCompiler(fset, "source", nil),
+		checked:   make(map[string]*Package),
+		checking:  make(map[string]bool),
 	}, nil
 }
 
-// modulePath extracts the module path from a go.mod file.
-func modulePath(gomod string) (string, error) {
+// moduleDirectives extracts the module path and go directive from a
+// go.mod file. The go directive is optional and returned as "" when
+// absent.
+func moduleDirectives(gomod string) (module, goVersion string, err error) {
 	data, err := os.ReadFile(gomod)
 	if err != nil {
-		return "", err
+		return "", "", err
 	}
 	for _, line := range strings.Split(string(data), "\n") {
 		line = strings.TrimSpace(line)
 		if rest, ok := strings.CutPrefix(line, "module"); ok {
 			rest = strings.TrimSpace(rest)
-			if p, err := strconv.Unquote(rest); err == nil {
+			if p, uerr := strconv.Unquote(rest); uerr == nil {
 				rest = p
 			}
-			if rest != "" {
-				return rest, nil
+			if rest != "" && module == "" {
+				module = rest
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "go "); ok {
+			if v := strings.TrimSpace(rest); v != "" && goVersion == "" {
+				goVersion = v
 			}
 		}
 	}
-	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+	if module == "" {
+		return "", "", fmt.Errorf("lint: no module directive in %s", gomod)
+	}
+	return module, goVersion, nil
 }
 
 // Load resolves the given patterns (directories, or dir/... recursive
@@ -110,14 +126,22 @@ func (l *Loader) Load(patterns ...string) (*Unit, error) {
 		paths = append(paths, p.path)
 	}
 	sort.Strings(paths)
+	// Snapshot the target set now: checking may lazily parse further
+	// module packages (imports outside the patterns), and those must not
+	// become analysis targets themselves.
+	targets := make(map[string]bool, len(paths))
+	for _, path := range paths {
+		targets[path] = true
+	}
 	for _, path := range paths {
 		if err := l.check(parsed, path, nil); err != nil {
 			return nil, err
 		}
 	}
-	u := &Unit{Fset: l.fset}
+	u := &Unit{Fset: l.fset, GoVersion: l.GoVersion}
+	u.All = append(u.All, l.order...)
 	for _, p := range l.order {
-		if _, isTarget := parsed[p.Path]; isTarget {
+		if targets[p.Path] {
 			u.Pkgs = append(u.Pkgs, p)
 		}
 	}
@@ -249,6 +273,8 @@ func (l *Loader) check(parsed map[string]*parsedPkg, path string, stack []string
 	if !ok {
 		return fmt.Errorf("lint: internal error: %s not parsed", path)
 	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
 	stack = append(stack, path)
 	for _, f := range p.files {
 		for _, imp := range f.Imports {
@@ -280,25 +306,48 @@ func (l *Loader) check(parsed map[string]*parsedPkg, path string, stack []string
 	return nil
 }
 
-// unitImporter serves module-local packages from the loader's checked set
-// and delegates the rest (stdlib and, for packages not selected by the
-// patterns, module packages resolved from source) to the source importer.
+// unitImporter serves every module-local package from the loader's own
+// checked set — parsing and checking it on demand when the patterns did
+// not select it — and delegates only non-module imports (the stdlib) to
+// the source importer. Routing all module packages through one checker is
+// what keeps type identities consistent: if a package outside the pattern
+// set were resolved from source by the fallback, its view of shared
+// dependencies would be distinct *types.Package instances, and values
+// flowing between a checked package and a fallback one would spuriously
+// fail to type-check (e.g. "does not implement" for interfaces whose
+// method signatures mention a shared dependency).
 type unitImporter struct {
 	loader *Loader
 	parsed map[string]*parsedPkg
 }
 
 func (ui *unitImporter) Import(path string) (*types.Package, error) {
-	if p, ok := ui.loader.checked[path]; ok {
+	l := ui.loader
+	if p, ok := l.checked[path]; ok {
 		return p.Types, nil
 	}
-	if _, isLocal := ui.parsed[path]; isLocal {
-		// Should have been checked first by the dependency walk; checking
-		// here would recurse without cycle detection.
-		return nil, fmt.Errorf("lint: internal error: %s imported before checked", path)
+	if path == l.Module || strings.HasPrefix(path, l.Module+"/") {
+		if l.checking[path] {
+			return nil, fmt.Errorf("lint: import cycle through %s", path)
+		}
+		if _, ok := ui.parsed[path]; !ok {
+			dir := filepath.Join(l.Root, filepath.FromSlash(strings.TrimPrefix(strings.TrimPrefix(path, l.Module), "/")))
+			p, err := l.parseDir(dir)
+			if err != nil {
+				return nil, err
+			}
+			if p == nil {
+				return nil, fmt.Errorf("lint: import %s: no Go files in %s", path, dir)
+			}
+			ui.parsed[path] = p
+		}
+		if err := l.check(ui.parsed, path, nil); err != nil {
+			return nil, err
+		}
+		return l.checked[path].Types, nil
 	}
-	if from, ok := ui.loader.fallback.(types.ImporterFrom); ok {
-		return from.ImportFrom(path, ui.loader.Root, 0)
+	if from, ok := l.fallback.(types.ImporterFrom); ok {
+		return from.ImportFrom(path, l.Root, 0)
 	}
-	return ui.loader.fallback.Import(path)
+	return l.fallback.Import(path)
 }

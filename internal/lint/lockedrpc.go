@@ -124,6 +124,33 @@ func shortFuncName(key string) string {
 func runLockedRPC(u *Unit) []Finding {
 	blocking := blockingSet(u)
 	var findings []Finding
+	onCall := func(w *lockWalker, call *ast.CallExpr, fn *types.Func, deferred bool) {
+		if len(w.held) == 0 {
+			return
+		}
+		key := funcKey(fn)
+		chain, isBlocking := blocking[key]
+		if !isBlocking && isTransportCallSeed(fn) {
+			isBlocking, chain = true, ""
+		}
+		if !isBlocking {
+			return
+		}
+		name := shortFuncName(key)
+		via := ""
+		if chain != "" {
+			via = fmt.Sprintf(" (reaches %s)", chain)
+		}
+		for mutex, lk := range w.held {
+			w.findings = append(w.findings, Finding{
+				Pos:      w.u.Fset.Position(call.Pos()),
+				Analyzer: "lockedrpc",
+				Message: fmt.Sprintf(
+					"transport RPC %s%s while holding %s (locked at line %d); release the mutex before network I/O",
+					name, via, mutex, w.u.Fset.Position(lk.pos).Line),
+			})
+		}
+	}
 	for _, p := range u.Pkgs {
 		for _, f := range p.Files {
 			for _, d := range f.Decls {
@@ -131,7 +158,7 @@ func runLockedRPC(u *Unit) []Finding {
 				if !ok || fd.Body == nil {
 					continue
 				}
-				w := &lockWalker{u: u, pkg: p, blocking: blocking, held: make(map[string]token.Pos)}
+				w := newLockWalker(u, p, onCall, nil)
 				w.stmts(fd.Body.List)
 				findings = append(findings, w.findings...)
 			}
@@ -140,24 +167,51 @@ func runLockedRPC(u *Unit) []Finding {
 	return findings
 }
 
+// heldLock is one mutex currently held on the walker's straight-line
+// path: where it was locked, the receiver expression, and (when the
+// receiver resolves to a named type's field, an embedded mutex, or a
+// package-level var) its module-wide lock class for lockorder.
+type heldLock struct {
+	pos   token.Pos
+	expr  string
+	class string
+}
+
 // lockWalker simulates the straight-line lock state of one function body.
 // Branch bodies are analyzed with a copy of the held set (locks acquired
 // or released inside a branch do not leak past it); function literals run
 // in their own empty lock context unless invoked or deferred in place.
+//
+// The walker itself only tracks state; analyzers observe it through two
+// hooks. onCall fires for every resolved non-mutex call (with the current
+// held set on w.held); onAcquire fires just before a Lock/RLock/TryLock
+// is recorded, with the lock being taken and the set held before it.
 type lockWalker struct {
-	u        *Unit
-	pkg      *Package
-	blocking map[string]string
-	held     map[string]token.Pos // mutex expr -> Lock position
-	findings []Finding
+	u         *Unit
+	pkg       *Package
+	held      map[string]heldLock // keyed by mutex expr
+	onCall    func(w *lockWalker, call *ast.CallExpr, fn *types.Func, deferred bool)
+	onAcquire func(w *lockWalker, call *ast.CallExpr, lk heldLock)
+	findings  []Finding
+}
+
+func newLockWalker(u *Unit, p *Package,
+	onCall func(*lockWalker, *ast.CallExpr, *types.Func, bool),
+	onAcquire func(*lockWalker, *ast.CallExpr, heldLock)) *lockWalker {
+	return &lockWalker{
+		u: u, pkg: p,
+		held:      make(map[string]heldLock),
+		onCall:    onCall,
+		onAcquire: onAcquire,
+	}
 }
 
 func (w *lockWalker) clone() *lockWalker {
-	held := make(map[string]token.Pos, len(w.held))
+	c := newLockWalker(w.u, w.pkg, w.onCall, w.onAcquire)
 	for k, v := range w.held {
-		held[k] = v
+		c.held[k] = v
 	}
-	return &lockWalker{u: w.u, pkg: w.pkg, blocking: w.blocking, held: held}
+	return c
 }
 
 // branch analyzes a nested statement in a copied lock context and keeps
@@ -329,12 +383,13 @@ func (w *lockWalker) expr(e ast.Expr) {
 // freshContext analyzes a function literal body in a new, lock-free
 // context (it executes later, not under the current locks).
 func (w *lockWalker) freshContext(lit *ast.FuncLit) {
-	c := &lockWalker{u: w.u, pkg: w.pkg, blocking: w.blocking, held: make(map[string]token.Pos)}
+	c := newLockWalker(w.u, w.pkg, w.onCall, w.onAcquire)
 	c.stmts(lit.Body.List)
 	w.findings = append(w.findings, c.findings...)
 }
 
-// call classifies one call: mutex state change, blocking RPC, or neither.
+// call classifies one call: mutex state change (tracked here) or a
+// regular call (handed to the analyzer's onCall hook).
 func (w *lockWalker) call(call *ast.CallExpr, deferred bool) {
 	for _, a := range call.Args {
 		w.expr(a)
@@ -353,35 +408,72 @@ func (w *lockWalker) call(call *ast.CallExpr, deferred bool) {
 		}
 		mutex := exprString(sel.X)
 		if acquire {
-			w.held[mutex] = call.Pos()
+			lk := heldLock{pos: call.Pos(), expr: mutex, class: lockClass(w.pkg, sel)}
+			if w.onAcquire != nil {
+				w.onAcquire(w, call, lk)
+			}
+			w.held[mutex] = lk
 		} else if !deferred {
 			delete(w.held, mutex)
 		}
 		return
 	}
-	if len(w.held) == 0 {
-		return
+	if w.onCall != nil {
+		w.onCall(w, call, fn, deferred)
 	}
-	key := funcKey(fn)
-	chain, isBlocking := w.blocking[key]
-	if !isBlocking && isTransportCallSeed(fn) {
-		isBlocking, chain = true, ""
+}
+
+// lockClass classifies a mutex receiver expression into a module-wide
+// lock class: a named type's field ("(mapreduce.Driver).mu"), an
+// embedded mutex ("(transport.Server).Mutex"), or a package-level var
+// ("transport.connMu"). Function-local mutexes and unresolvable
+// receivers return "" — they cannot participate in cross-function
+// ordering.
+func lockClass(p *Package, sel *ast.SelectorExpr) string {
+	switch x := ast.Unparen(sel.X).(type) {
+	case *ast.SelectorExpr:
+		// pkg.var.Lock(): a package-level mutex qualified by import.
+		if id, ok := ast.Unparen(x.X).(*ast.Ident); ok {
+			if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
+				return pn.Imported().Name() + "." + x.Sel.Name
+			}
+		}
+		// X.f.Lock(): field f on the named type of X.
+		if tv, ok := p.Info.Types[x.X]; ok {
+			if name := namedTypeName(tv.Type); name != "" {
+				return "(" + name + ")." + x.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if v, ok := p.Info.Uses[x].(*types.Var); ok {
+			if v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+			// s.Lock() on a named type embedding the mutex.
+			if name := namedTypeName(v.Type()); name != "" && !strings.HasPrefix(name, "sync.") {
+				return "(" + name + ").Mutex"
+			}
+		}
 	}
-	if !isBlocking {
-		return
+	return ""
+}
+
+// namedTypeName renders the (pointer-indirected) named type of t as
+// "pkg.Type", or "" when t is not a named type.
+func namedTypeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
 	}
-	name := shortFuncName(key)
-	via := ""
-	if chain != "" {
-		via = fmt.Sprintf(" (reaches %s)", chain)
+	named, ok := t.(*types.Named)
+	if !ok {
+		return ""
 	}
-	for mutex, lockPos := range w.held {
-		w.findings = append(w.findings, Finding{
-			Pos:      w.u.Fset.Position(call.Pos()),
-			Analyzer: "lockedrpc",
-			Message: fmt.Sprintf(
-				"transport RPC %s%s while holding %s (locked at line %d); release the mutex before network I/O",
-				name, via, mutex, w.u.Fset.Position(lockPos).Line),
-		})
+	obj := named.Obj()
+	if obj == nil {
+		return ""
 	}
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
 }

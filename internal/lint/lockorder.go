@@ -1,0 +1,286 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder builds the module-wide mutex-acquisition graph and reports
+// cycles as potential deadlocks.
+//
+// Mutexes are grouped into lock classes — a named type's field
+// ("(mapreduce.Driver).mu"), an embedded mutex, or a package-level var;
+// function-local mutexes have no cross-function ordering and are
+// excluded. An edge A -> B is recorded when class B is acquired while a
+// class-A lock is held, either directly in one function or through a
+// statically resolved call whose callee (transitively, via the same
+// wrapper-following fixpoint lockedrpc uses) acquires B. Two goroutines
+// taking the same pair of locks in opposite orders is the classic ABBA
+// deadlock: each holds what the other wants, forever. Keeping the graph
+// acyclic — a total lock rank, recorded in DESIGN.md — makes that
+// impossible by construction.
+//
+// Same-class edges are skipped (two instances of one type cannot be
+// ordered statically) except for the guaranteed case: re-acquiring the
+// very same mutex expression already held, which self-deadlocks because
+// sync mutexes are not reentrant.
+//
+// Limits: calls through interfaces and stored function values are not
+// followed, and go statements start a new goroutine whose acquisitions
+// do not happen under the spawner's locks (the spawned body is analyzed
+// in its own context).
+func LockOrder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "mutex-acquisition graph must stay acyclic (potential deadlock)",
+		Run:  runLockOrder,
+	}
+}
+
+// lockEdgeSite is one source location establishing an A-before-B edge.
+type lockEdgeSite struct {
+	pos token.Pos
+	via string // callee chain for call-propagated edges, "" for direct
+}
+
+type lockPair struct{ from, to string }
+
+// acquireSummaries computes, per declared function, the set of lock
+// classes the function (transitively) acquires. Acquisitions inside go
+// statements and stored (non-invoked) function literals are excluded:
+// they do not run under the caller's locks. Summaries cover every
+// checked module package (Unit.Context), not just the targets, so a
+// partial run still propagates acquisitions through callees that live
+// in unselected packages.
+func acquireSummaries(u *Unit) map[string]map[string]bool {
+	direct := make(map[string]map[string]bool)
+	callees := make(map[string][]string)
+	for _, p := range u.Context() {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(fn)
+				acq, calls := summarizeBody(p, fd.Body)
+				direct[key] = acq
+				callees[key] = calls
+			}
+		}
+	}
+	// Fixpoint: a function acquires what its (statically resolved,
+	// declared-in-module) callees acquire.
+	trans := make(map[string]map[string]bool, len(direct))
+	for key, acq := range direct {
+		set := make(map[string]bool, len(acq))
+		for c := range acq {
+			set[c] = true
+		}
+		trans[key] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for key, calls := range callees {
+			set := trans[key]
+			for _, ck := range calls {
+				for c := range trans[ck] {
+					if !set[c] {
+						set[c] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return trans
+}
+
+// summarizeBody collects the lock classes directly acquired in one
+// function body and the funcKeys of its statically resolved calls,
+// skipping go-spawned and stored function literals.
+func summarizeBody(p *Package, body *ast.BlockStmt) (map[string]bool, []string) {
+	acq := make(map[string]bool)
+	var calls []string
+	skipLit := make(map[*ast.FuncLit]bool)
+	inlineLit := make(map[*ast.FuncLit]bool)
+	goCall := make(map[*ast.CallExpr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// The spawned call runs on another goroutine, not under the
+			// caller's locks; only its argument expressions count here.
+			goCall[n.Call] = true
+			if lit, ok := n.Call.Fun.(*ast.FuncLit); ok {
+				skipLit[lit] = true
+			}
+		case *ast.CallExpr:
+			if goCall[n] {
+				return true
+			}
+			if lit, ok := n.Fun.(*ast.FuncLit); ok && !skipLit[lit] {
+				inlineLit[lit] = true
+			}
+			fn := calleeFunc(p.Info, n)
+			if fn == nil {
+				return true
+			}
+			if acquire, _ := isSyncLockMethod(fn); acquire {
+				if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+					if class := lockClass(p, sel); class != "" {
+						acq[class] = true
+					}
+				}
+				return true
+			}
+			calls = append(calls, funcKey(fn))
+		case *ast.FuncLit:
+			if !inlineLit[n] {
+				return false
+			}
+		}
+		return true
+	})
+	return acq, calls
+}
+
+func runLockOrder(u *Unit) []Finding {
+	trans := acquireSummaries(u)
+	var findings []Finding
+	edges := make(map[lockPair][]lockEdgeSite)
+	seenSite := make(map[lockPair]map[token.Pos]bool)
+	addEdge := func(from, to string, pos token.Pos, via string) {
+		pair := lockPair{from, to}
+		if seenSite[pair] == nil {
+			seenSite[pair] = make(map[token.Pos]bool)
+		}
+		if seenSite[pair][pos] {
+			return
+		}
+		seenSite[pair][pos] = true
+		edges[pair] = append(edges[pair], lockEdgeSite{pos: pos, via: via})
+	}
+	onAcquire := func(w *lockWalker, call *ast.CallExpr, lk heldLock) {
+		if prev, ok := w.held[lk.expr]; ok {
+			w.findings = append(w.findings, Finding{
+				Pos:      w.u.Fset.Position(call.Pos()),
+				Analyzer: "lockorder",
+				Message: fmt.Sprintf(
+					"mutex %s acquired while already held (locked at line %d); sync mutexes are not reentrant — this self-deadlocks",
+					lk.expr, w.u.Fset.Position(prev.pos).Line),
+			})
+		}
+		if lk.class == "" {
+			return
+		}
+		for _, h := range w.held {
+			if h.class != "" && h.class != lk.class {
+				addEdge(h.class, lk.class, call.Pos(), "")
+			}
+		}
+	}
+	onCall := func(w *lockWalker, call *ast.CallExpr, fn *types.Func, deferred bool) {
+		if len(w.held) == 0 {
+			return
+		}
+		key := funcKey(fn)
+		acq := trans[key]
+		if len(acq) == 0 {
+			return
+		}
+		via := shortFuncName(key)
+		for _, h := range w.held {
+			if h.class == "" {
+				continue
+			}
+			for to := range acq {
+				if to != h.class {
+					addEdge(h.class, to, call.Pos(), via)
+				}
+			}
+		}
+	}
+	for _, p := range u.Pkgs {
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				w := newLockWalker(u, p, onCall, onAcquire)
+				w.stmts(fd.Body.List)
+				findings = append(findings, w.findings...)
+			}
+		}
+	}
+
+	// Cycle detection on the class digraph: every edge whose reverse is
+	// reachable sits on a cycle; report each of its recorded sites so the
+	// fix (or a reasoned ignore) lands where the order is established.
+	adj := make(map[string][]string)
+	for pair := range edges {
+		adj[pair.from] = append(adj[pair.from], pair.to)
+	}
+	var pairs []lockPair
+	for pair := range edges {
+		pairs = append(pairs, pair)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].from != pairs[j].from {
+			return pairs[i].from < pairs[j].from
+		}
+		return pairs[i].to < pairs[j].to
+	})
+	for _, pair := range pairs {
+		if !lockReachable(adj, pair.to, pair.from) {
+			continue
+		}
+		sites := edges[pair]
+		sort.Slice(sites, func(i, j int) bool { return sites[i].pos < sites[j].pos })
+		for _, site := range sites {
+			via := ""
+			if site.via != "" {
+				via = fmt.Sprintf(" (via %s)", site.via)
+			}
+			findings = append(findings, Finding{
+				Pos:      u.Fset.Position(site.pos),
+				Analyzer: "lockorder",
+				Message: fmt.Sprintf(
+					"lock order cycle: %s acquired while holding %s%s, but the reverse order also exists — pick one canonical rank (DESIGN.md, lock ranks)",
+					pair.to, pair.from, via),
+			})
+		}
+	}
+	return findings
+}
+
+// lockReachable reports whether to is reachable from from in the class
+// digraph.
+func lockReachable(adj map[string][]string, from, to string) bool {
+	if from == to {
+		return true
+	}
+	seen := map[string]bool{from: true}
+	stack := []string{from}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, next := range adj[n] {
+			if next == to {
+				return true
+			}
+			if !seen[next] {
+				seen[next] = true
+				stack = append(stack, next)
+			}
+		}
+	}
+	return false
+}

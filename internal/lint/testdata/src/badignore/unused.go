@@ -1,0 +1,10 @@
+package badignore
+
+import "eclipsemr/internal/hashing"
+
+// unusedName lists two analyzers but only ringcmp fires here: the stale
+// droppederr entry must be reported as suppressing nothing.
+func unusedName(k, start, end hashing.Key) bool {
+	//lint:ignore ringcmp,droppederr golden: the ringcmp half is real, the droppederr half is stale
+	return start < k && k <= end
+}

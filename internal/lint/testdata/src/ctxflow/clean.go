@@ -1,0 +1,30 @@
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// threaded passes the caller's ctx down instead of minting one.
+func threaded(ctx context.Context) error {
+	return wait(ctx, time.Millisecond)
+}
+
+// wait is the sanctioned cancellable sleep: a timer raced against
+// ctx.Done.
+func wait(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// plainSleep is not ctx-aware; a bare sleep here has no cancellation to
+// ignore.
+func plainSleep() {
+	time.Sleep(time.Microsecond)
+}

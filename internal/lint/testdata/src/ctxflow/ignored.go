@@ -1,0 +1,10 @@
+package ctxflow
+
+import "context"
+
+// root is this package's deliberate context root; the suppression
+// records why severing is intended here.
+func root() context.Context {
+	//lint:ignore ctxflow golden suppression: a deliberate root at a handler boundary
+	return context.Background()
+}

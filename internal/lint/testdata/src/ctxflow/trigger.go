@@ -1,0 +1,40 @@
+// Package ctxflow is golden input for the ctxflow analyzer: every line
+// marked `want` must produce a diagnostic.
+package ctxflow
+
+import (
+	"context"
+	"time"
+)
+
+// holder stores a context beyond the call that supplied it.
+type holder struct {
+	ctx context.Context // want "stored in struct field"
+	n   int
+}
+
+// mint creates a root context below an entry point.
+func mint() context.Context {
+	return context.Background() // want "severs cancellation"
+}
+
+// todo is the same break spelled TODO.
+func todo() context.Context {
+	return context.TODO() // want "severs cancellation"
+}
+
+// sleepy ignores its caller's cancellation for the whole sleep.
+func sleepy(ctx context.Context) error {
+	time.Sleep(time.Millisecond) // want "ignores cancellation"
+	return ctx.Err()
+}
+
+// litSleepy: a ctx-aware literal inside a plain function is held to the
+// same rule.
+func litSleepy() {
+	f := func(ctx context.Context) {
+		time.Sleep(time.Millisecond) // want "ignores cancellation"
+		_ = ctx
+	}
+	f(context.TODO()) // want "severs cancellation"
+}

@@ -1,0 +1,72 @@
+package goroleak
+
+import (
+	"context"
+	"sync"
+)
+
+// ctxParam: the spawned body waits on a caller-supplied context.
+func ctxParam(ctx context.Context) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(ctx)
+}
+
+// captured: a context captured from the enclosing scope counts the same.
+func captured(ctx context.Context, work func(context.Context)) {
+	go func() {
+		work(ctx)
+	}()
+}
+
+// receive: a channel receive is unblocked by a close.
+func receive(stop chan struct{}, work func()) {
+	go func() {
+		for {
+			work()
+			<-stop
+		}
+	}()
+}
+
+// rangeChan: ranging over a channel ends when the sender closes it.
+func rangeChan(jobs chan int, work func(int)) {
+	go func() {
+		for j := range jobs {
+			work(j)
+		}
+	}()
+}
+
+// joined: a WaitGroup.Done marks a join point the spawner waits on.
+func joined(wg *sync.WaitGroup, work func()) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// runner carries its evidence in the named callee's body.
+func runner(ctx context.Context) {
+	<-ctx.Done()
+}
+
+func namedEvidence(ctx context.Context) {
+	go runner(ctx)
+}
+
+// worker loops until its stop channel closes.
+type worker struct{ stop chan struct{} }
+
+func (w *worker) loop() {
+	<-w.stop
+}
+
+// wrapped shows no evidence in the spawned literal itself; one level of
+// callee expansion finds the receive inside loop.
+func wrapped(w *worker) {
+	go func() {
+		w.loop()
+	}()
+}

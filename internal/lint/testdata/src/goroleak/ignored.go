@@ -1,0 +1,12 @@
+package goroleak
+
+// ignoredSpawn documents why its goroutine's lifetime is bounded even
+// though no evidence is visible to the analyzer.
+func ignoredSpawn(work func()) {
+	//lint:ignore goroleak golden suppression: work panics after one call, bounding the loop
+	go func() {
+		for {
+			work()
+		}
+	}()
+}

@@ -1,0 +1,41 @@
+// Package goroleak is golden input for the goroleak analyzer: every line
+// marked `want` must produce a diagnostic.
+package goroleak
+
+// noEvidence spawns a loop with no ctx, channel, select or WaitGroup in
+// sight — nothing can ever stop it.
+func noEvidence(work func()) {
+	go func() { // want "no visible termination path"
+		for {
+			work()
+		}
+	}()
+}
+
+// spin is a named leak: the callee body is visible and shows nothing.
+func spin() {
+	for {
+	}
+}
+
+func named() {
+	go spin() // want "no visible termination path"
+}
+
+// notVisible spawns a function value: the body cannot be inspected, so
+// nothing is provable about its lifetime.
+func notVisible(f func()) {
+	go f() // want "not statically visible"
+}
+
+// buriedSelect: the select lives in a nested literal the body only
+// registers; it proves nothing about the spawned loop itself.
+func buriedSelect(register func(func())) {
+	go func() { // want "no visible termination path"
+		register(func() {
+			select {}
+		})
+		for {
+		}
+	}()
+}

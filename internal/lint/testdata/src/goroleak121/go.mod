@@ -1,0 +1,3 @@
+module goroleak121
+
+go 1.21

@@ -1,0 +1,26 @@
+// Package goroleak121 pins the pre-go1.22 loop-variable capture check:
+// this nested module declares go 1.21, where all loop iterations share
+// one variable, so a goroutine capturing it observes the last value.
+package goroleak121
+
+func use(int) {}
+
+func spawnAll(items []int, stop chan struct{}) {
+	for _, it := range items {
+		go func() { // want "captures loop variable it"
+			<-stop
+			use(it)
+		}()
+	}
+}
+
+// byValue passes the loop variable as an argument: each goroutine gets
+// its own copy, so no capture is flagged.
+func byValue(items []int, stop chan struct{}) {
+	for _, it := range items {
+		go func(it int) {
+			<-stop
+			use(it)
+		}(it)
+	}
+}

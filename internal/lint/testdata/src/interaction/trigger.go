@@ -1,0 +1,38 @@
+// Package interaction exercises two analyzers on one function: lockedrpc
+// flags the RPC made under a mutex, and lockorder flags the ABBA cycle
+// the same function participates in. Both must fire independently — the
+// custom interaction test asserts the exact (line, analyzer) pairs.
+package interaction
+
+import (
+	"context"
+	"sync"
+
+	"eclipsemr/internal/hashing"
+	"eclipsemr/internal/transport"
+)
+
+type peer struct {
+	mu   sync.Mutex
+	wal  sync.Mutex
+	net  transport.Network
+	succ hashing.NodeID
+}
+
+// lockedFanout holds mu, acquires wal (establishing mu -> wal), and does
+// an RPC while both are held.
+func lockedFanout(p *peer) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.wal.Lock()                                          // lockorder: cycle with reverse below
+	p.net.Call(context.Background(), p.succ, "ping", nil) // lockedrpc: RPC under a mutex
+	p.wal.Unlock()
+}
+
+// reverse acquires wal -> mu, completing the cycle.
+func reverse(p *peer) {
+	p.wal.Lock()
+	defer p.wal.Unlock()
+	p.mu.Lock() // lockorder: cycle with lockedFanout
+	p.mu.Unlock()
+}

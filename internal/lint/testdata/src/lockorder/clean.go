@@ -1,0 +1,41 @@
+package lockorder
+
+import "sync"
+
+type c struct{ mu sync.Mutex }
+type d struct{ mu sync.Mutex }
+
+// cdFirst and cdSecond both take C before D: a consistent rank, no cycle.
+func cdFirst(x *c, y *d) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+func cdSecond(x *c, y *d) {
+	x.mu.Lock()
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Unlock()
+}
+
+// spawned acquisitions run on a new goroutine, not under the spawner's
+// locks: no D -> C edge, so the C -> D order above stays acyclic.
+func spawn(x *c, y *d) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	go func() {
+		x.mu.Lock()
+		x.mu.Unlock()
+	}()
+}
+
+// sequential acquisitions of unordered classes never overlap: releasing
+// before taking the next lock records no edge at all.
+func sequential(x *c, y *d) {
+	y.mu.Lock()
+	y.mu.Unlock()
+	x.mu.Lock()
+	x.mu.Unlock()
+}

@@ -1,0 +1,24 @@
+package lockorder
+
+import "sync"
+
+type e struct{ mu sync.Mutex }
+type f struct{ mu sync.Mutex }
+
+// ef and fe take the two locks in opposite orders, which would be a
+// cycle; the suppressions record the (contrived) argument for it.
+func ef(x *e, y *f) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	//lint:ignore lockorder golden suppression: the opposing order below never runs concurrently with this one
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+func fe(x *e, y *f) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	//lint:ignore lockorder golden suppression: the opposing order above never runs concurrently with this one
+	x.mu.Lock()
+	x.mu.Unlock()
+}

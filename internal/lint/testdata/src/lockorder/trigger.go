@@ -1,0 +1,48 @@
+// Package lockorder is golden input for the lockorder analyzer: every
+// line marked `want` must produce a diagnostic.
+package lockorder
+
+import "sync"
+
+type a struct{ mu sync.Mutex }
+type b struct{ mu sync.Mutex }
+
+// ab acquires A then B.
+func ab(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	y.mu.Lock() // want "lock order cycle"
+	y.mu.Unlock()
+}
+
+// ba acquires B then A — the reverse order; together with ab this is the
+// classic ABBA deadlock.
+func ba(x *a, y *b) {
+	y.mu.Lock()
+	defer y.mu.Unlock()
+	x.mu.Lock() // want "lock order cycle"
+	x.mu.Unlock()
+}
+
+// lockB acquires B on its own; harmless in isolation.
+func lockB(y *b) {
+	y.mu.Lock()
+	y.mu.Unlock()
+}
+
+// abViaHelper establishes the A -> B edge through a call: the summary
+// fixpoint propagates lockB's acquisition to this call site.
+func abViaHelper(x *a, y *b) {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	lockB(y) // want "lockorder.lockB"
+}
+
+// relock re-acquires the very mutex it already holds: sync mutexes are
+// not reentrant, so this deadlocks unconditionally.
+func relock(x *a) {
+	x.mu.Lock()
+	x.mu.Lock() // want "not reentrant"
+	x.mu.Unlock()
+	x.mu.Unlock()
+}

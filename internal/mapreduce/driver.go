@@ -67,6 +67,7 @@ type Driver struct {
 type activeJob struct {
 	// ctx carries the job's root span; dispatcher goroutines parent their
 	// task spans under it.
+	//lint:ignore ctxflow activeJob IS the per-call state of one RunContext invocation — the field scopes the job's ctx to the job, not beyond it
 	ctx      context.Context
 	spec     JobSpec
 	ns       string
@@ -212,6 +213,7 @@ type runState struct {
 // Run executes one job to completion. Run may be called concurrently for
 // different jobs; job IDs must be unique among in-flight jobs.
 func (d *Driver) Run(spec JobSpec) (Result, error) {
+	//lint:ignore ctxflow Run is the ctx-less convenience entry point; RunContext is the threaded form
 	return d.RunContext(context.Background(), spec)
 }
 
@@ -314,7 +316,7 @@ func (d *Driver) run(ctx context.Context, spec JobSpec, prior *journal) (Result,
 		st.jw = d.newJournalWriter(ctx, spec, &mk, prior)
 		// The final flush on every exit path leaves even an aborted run
 		// adoptable at its latest progress.
-		defer st.jw.close()
+		defer st.jw.close(ctx)
 	}
 
 	runMaps := !reused && (prior == nil || prior.Phase == phaseMap)
@@ -586,6 +588,10 @@ func (d *Driver) completeMapLocked(j *activeJob, taskID string, resp RunMapResp)
 		return
 	}
 	j.completed[taskID] = true
+	// The race is decided: abort whichever duplicate attempt is still in
+	// flight (the hedge when the original won, and vice versa) so it
+	// stops consuming the straggling node instead of running to the end.
+	d.cancelInflight(j.spec.ID, taskID)
 	for i, b := range resp.PartBytes {
 		j.mk.PartBytes[i] += b
 	}
@@ -638,10 +644,16 @@ func (d *Driver) runMapTask(j *activeJob, a scheduler.Assignment) {
 	sp.Annotate("task", a.Task.ID)
 	sp.Annotate("node", string(a.Node))
 	sp.Annotate("local", strconv.FormatBool(a.Local))
-	d.trackInflight(j, a.Task, attempt, a.Node)
+	// The attempt runs under its own cancellable context, registered with
+	// the straggler scanner: if a speculative hedge wins the task, it
+	// aborts this RPC through cancelInflight instead of letting it run to
+	// completion against the straggling node.
+	actx, cancel := context.WithCancel(tctx)
+	defer cancel()
+	d.trackInflight(j, a.Task, attempt, a.Node, cancel)
 	var resp RunMapResp
 	rpcTimer := d.reg.Histogram("mr.driver.map_rpc_ns").Start()
-	err := d.call(tctx, a.Node, MethodRunMap, d.mapReq(j, a.Task, attempt), &resp)
+	err := d.call(actx, a.Node, MethodRunMap, d.mapReq(j, a.Task, attempt), &resp)
 	rpcTimer.Stop()
 	d.untrackInflight(a.Task.Job, a.Task.ID)
 	switch {

@@ -73,7 +73,6 @@ func journalFile(jobID string) string { return journalPrefix + jobID }
 // partition.
 type journalWriter struct {
 	d    *Driver
-	ctx  context.Context
 	file string
 	user string
 
@@ -98,7 +97,6 @@ type journalWriter struct {
 func (d *Driver) newJournalWriter(ctx context.Context, spec JobSpec, mk *marker, prior *journal) *journalWriter {
 	w := &journalWriter{
 		d:    d,
-		ctx:  ctx,
 		file: journalFile(spec.ID),
 		user: spec.User,
 		kick: make(chan chan struct{}, 1),
@@ -123,8 +121,8 @@ func (d *Driver) newJournalWriter(ctx context.Context, spec JobSpec, mk *marker,
 	w.dirty = true
 	// The journal must exist before any work it would cover; the flusher
 	// is not running yet, so calling doFlush directly is single-threaded.
-	w.doFlush()
-	go w.loop()
+	w.doFlush(ctx)
+	go w.loop(ctx)
 	return w
 }
 
@@ -197,10 +195,10 @@ func (w *journalWriter) setPhase(phase string, mk *marker) {
 // nothing dirty: the requester's mutation was then already covered by an
 // earlier flush (dirty is cleared under mu only when the snapshot
 // includes it).
-func (w *journalWriter) loop() {
+func (w *journalWriter) loop(ctx context.Context) {
 	defer close(w.idle)
 	for done := range w.kick {
-		w.doFlush()
+		w.doFlush(ctx)
 		if done != nil {
 			close(done)
 		}
@@ -211,8 +209,11 @@ func (w *journalWriter) loop() {
 // goroutine (and the single-threaded open/close paths) call it. Upload
 // errors are counted, not surfaced: losing a journal write only means a
 // resume re-executes a few already-finished tasks (idempotently, thanks
-// to the attempt-tagged store).
-func (w *journalWriter) doFlush() {
+// to the attempt-tagged store). A failed upload re-marks the state dirty
+// so the dropped snapshot is retried by the next flush — in particular by
+// close's final one; without that, mutations between the failed flush and
+// close would silently never reach the journal file.
+func (w *journalWriter) doFlush(ctx context.Context) {
 	w.mu.Lock()
 	if !w.dirty {
 		w.mu.Unlock()
@@ -222,18 +223,24 @@ func (w *journalWriter) doFlush() {
 	data, err := transport.Encode(w.j)
 	w.mu.Unlock()
 	if err == nil {
-		_, err = w.d.fs.Upload(w.ctx, w.file, w.user, dhtfs.PermPublic, data, 1<<20)
+		_, err = w.d.fs.Upload(ctx, w.file, w.user, dhtfs.PermPublic, data, 1<<20)
 	}
 	if err != nil {
 		// Visible discard: journaling is best effort by design (see the
 		// type comment); the counter keeps the loss observable.
 		w.d.reg.Counter("mr.driver.journal_errors").Inc()
+		w.mu.Lock()
+		w.dirty = true
+		w.mu.Unlock()
 	}
 }
 
 // close stops the flusher and persists the final state, so even an
-// aborted run leaves its latest progress adoptable.
-func (w *journalWriter) close() {
+// aborted run leaves its latest progress adoptable. The final flush runs
+// on a context detached from ctx's cancellation: a cancelled job is
+// exactly the case where the last snapshot must still reach the journal
+// for a later Resume to adopt.
+func (w *journalWriter) close(ctx context.Context) {
 	w.sendMu.Lock()
 	if w.closed {
 		w.sendMu.Unlock()
@@ -243,7 +250,8 @@ func (w *journalWriter) close() {
 	w.sendMu.Unlock()
 	close(w.kick)
 	<-w.idle
-	w.doFlush() // single-threaded again: the flusher has exited
+	// Single-threaded again: the flusher has exited.
+	w.doFlush(context.WithoutCancel(ctx))
 }
 
 // copyMarker deep-copies a marker so journal snapshots never alias the
@@ -282,6 +290,7 @@ func (d *Driver) loadJournal(ctx context.Context, jobID string) (*journal, error
 // returns its recorded result without re-running anything. This is how a
 // restarted or newly elected manager adopts in-flight jobs.
 func (d *Driver) Resume(jobID string) (Result, error) {
+	//lint:ignore ctxflow Resume is the ctx-less convenience entry point; ResumeContext is the threaded form
 	return d.ResumeContext(context.Background(), jobID)
 }
 

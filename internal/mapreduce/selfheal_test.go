@@ -370,13 +370,13 @@ func TestAttemptStrideSupersedesInterruptedGeneration(t *testing.T) {
 	if got := w0.attemptBase(); got != 0 {
 		t.Fatalf("generation 0 attempt base = %d, want 0", got)
 	}
-	w0.close()
+	w0.close(context.Background())
 	prior, err := ec.driver.loadJournal(context.Background(), "stride-1")
 	if err != nil {
 		t.Fatal(err)
 	}
 	w1 := ec.driver.newJournalWriter(context.Background(), spec, mk, prior)
-	defer w1.close()
+	defer w1.close(context.Background())
 	if got := w1.attemptBase(); got != attemptStride {
 		t.Fatalf("generation 1 attempt base = %d, want %d", got, attemptStride)
 	}

@@ -1,6 +1,7 @@
 package mapreduce
 
 import (
+	"context"
 	"strconv"
 	"time"
 
@@ -45,19 +46,27 @@ type inflightTask struct {
 	node    hashing.NodeID
 	started time.Time
 	hedged  bool
+	// cancel aborts the original attempt's RPC; hedgeCancel (set under
+	// specMu once a hedge launches) aborts the duplicate. Whichever
+	// attempt completes the task cancels the other through
+	// cancelInflight, so the loser's RPC unblocks immediately instead of
+	// running to completion against a straggling node.
+	cancel      context.CancelFunc
+	hedgeCancel context.CancelFunc
 }
 
 func inflightKey(job, task string) string { return job + "\x00" + task }
 
 // trackInflight registers a dispatched map RPC with the straggler
-// scanner. Only jobs that enable speculation are tracked.
-func (d *Driver) trackInflight(j *activeJob, t scheduler.Task, attempt int, node hashing.NodeID) {
+// scanner. Only jobs that enable speculation are tracked. cancel aborts
+// the attempt's RPC and is invoked when a duplicate attempt wins.
+func (d *Driver) trackInflight(j *activeJob, t scheduler.Task, attempt int, node hashing.NodeID, cancel context.CancelFunc) {
 	if !j.spec.speculative() {
 		return
 	}
 	d.specMu.Lock()
 	d.inflight[inflightKey(t.Job, t.ID)] = &inflightTask{
-		j: j, t: t, attempt: attempt, node: node, started: time.Now(),
+		j: j, t: t, attempt: attempt, node: node, started: time.Now(), cancel: cancel,
 	}
 	d.specMu.Unlock()
 }
@@ -67,6 +76,28 @@ func (d *Driver) untrackInflight(job, task string) {
 	d.specMu.Lock()
 	delete(d.inflight, inflightKey(job, task))
 	d.specMu.Unlock()
+}
+
+// cancelInflight drops a completed task from the straggler scanner and
+// cancels whichever of its attempts is still in flight — the original
+// when a hedge won, the hedge when the original won. Safe to call with
+// d.mu held: the lock order is d.mu before specMu, and context cancel
+// functions take neither.
+func (d *Driver) cancelInflight(job, task string) {
+	key := inflightKey(job, task)
+	d.specMu.Lock()
+	it := d.inflight[key]
+	delete(d.inflight, key)
+	d.specMu.Unlock()
+	if it == nil {
+		return
+	}
+	if it.cancel != nil {
+		it.cancel()
+	}
+	if it.hedgeCancel != nil {
+		it.hedgeCancel()
+	}
 }
 
 // maybeStartSpeculator lazily starts the scanner the first time a
@@ -132,10 +163,10 @@ func (d *Driver) speculatePass(now time.Time) {
 	for _, it := range launch {
 		select {
 		case d.hedgeSem <- struct{}{}:
-			go func(it *inflightTask) {
+			go func(ctx context.Context, it *inflightTask) {
 				defer func() { <-d.hedgeSem }()
-				d.hedgeMapTask(it)
-			}(it)
+				d.hedgeMapTask(ctx, it)
+			}(it.j.ctx, it)
 		default:
 			// Hedge budget exhausted: let the next pass retry this task.
 			d.specMu.Lock()
@@ -146,8 +177,10 @@ func (d *Driver) speculatePass(now time.Time) {
 }
 
 // hedgeMapTask runs one speculative duplicate of a straggling map task on
-// a ring replica of its input block.
-func (d *Driver) hedgeMapTask(it *inflightTask) {
+// a ring replica of its input block. ctx is the job's root context; the
+// hedge RPC runs under its own cancellable child so the original's
+// completion can abort it mid-flight.
+func (d *Driver) hedgeMapTask(ctx context.Context, it *inflightTask) {
 	j := it.j
 	d.mu.Lock()
 	dead := j.failed || j.completed[it.t.ID]
@@ -168,15 +201,25 @@ func (d *Driver) hedgeMapTask(it *inflightTask) {
 		return // no distinct replica to hedge on
 	}
 	d.reg.Counter("mr.driver.speculative_launched").Inc()
-	tctx, sp := d.tracer.StartSpan(j.ctx, "driver.map_task")
+	tctx, sp := d.tracer.StartSpan(ctx, "driver.map_task")
 	sp.Annotate("task", it.t.ID)
 	sp.Annotate("node", string(target))
 	sp.Annotate("speculative", "true")
 	sp.Annotate("attempt", strconv.Itoa(it.attempt))
+	hctx, hcancel := context.WithCancel(tctx)
+	defer hcancel()
+	// Register the hedge's cancel so the original attempt, if it wins,
+	// aborts this RPC. Guarded against the entry having been replaced by
+	// a retry's re-track while the hedge sat behind the semaphore.
+	d.specMu.Lock()
+	if cur := d.inflight[inflightKey(it.t.Job, it.t.ID)]; cur == it {
+		it.hedgeCancel = hcancel
+	}
+	d.specMu.Unlock()
 	var resp RunMapResp
 	// Same attempt as the original on purpose: identical spills are
 	// idempotent retransmits (see the file comment).
-	err := d.call(tctx, target, MethodRunMap, d.mapReq(j, it.t, it.attempt), &resp)
+	err := d.call(hctx, target, MethodRunMap, d.mapReq(j, it.t, it.attempt), &resp)
 	d.mu.Lock()
 	won := err == nil && !j.failed && !j.completed[it.t.ID]
 	if won {

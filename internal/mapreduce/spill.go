@@ -57,7 +57,6 @@ type spillJob struct {
 // each spill must land on at least one of its targets.
 type spillSender struct {
 	w        *Worker
-	ctx      context.Context
 	req      RunMapReq
 	combiner ReduceFunc
 	inflight *metrics.Gauge
@@ -75,7 +74,6 @@ type spillSender struct {
 func (w *Worker) newSpillSender(ctx context.Context, req RunMapReq, combiner ReduceFunc) *spillSender {
 	s := &spillSender{
 		w:         w,
-		ctx:       ctx,
 		req:       req,
 		combiner:  combiner,
 		inflight:  w.reg.Gauge("mr.shuffle.inflight"),
@@ -83,7 +81,7 @@ func (w *Worker) newSpillSender(ctx context.Context, req RunMapReq, combiner Red
 		done:      make(chan struct{}),
 		partBytes: make([]int64, len(req.ReduceServers)),
 	}
-	go s.run()
+	go s.run(ctx)
 	return s
 }
 
@@ -103,7 +101,7 @@ func (s *spillSender) finish() ([]int64, error) {
 	return s.partBytes, errors.Join(s.errs...)
 }
 
-func (s *spillSender) run() {
+func (s *spillSender) run(ctx context.Context) {
 	defer close(s.done)
 	for job := range s.jobs {
 		batch := []spillJob{job}
@@ -122,7 +120,7 @@ func (s *spillSender) run() {
 				break drain
 			}
 		}
-		s.send(batch)
+		s.send(ctx, batch)
 		s.inflight.Add(-int64(len(batch)))
 	}
 }
@@ -136,7 +134,7 @@ func (s *spillSender) fail(err error) {
 
 // send combines and pushes one batch of spills, grouped per destination
 // node, then recycles the batch's buffers.
-func (s *spillSender) send(batch []spillJob) {
+func (s *spillSender) send(ctx context.Context, batch []spillJob) {
 	defer func() {
 		for _, j := range batch {
 			putSpillBuf(j.buf)
@@ -194,7 +192,7 @@ func (s *spillSender) send(batch []spillJob) {
 	var lastErr error
 	for _, node := range order {
 		r := perNode[node]
-		if err := s.push(node, r.entries); err != nil {
+		if err := s.push(ctx, node, r.entries); err != nil {
 			if errors.Is(err, transport.ErrUnreachable) {
 				// Skipped target: the reduce side unions the surviving
 				// copies, as long as each spill landed somewhere.
@@ -240,9 +238,9 @@ func (s *spillSender) targets(part int) []hashing.NodeID {
 // push delivers one coalesced batch to one node. The legacy untracked
 // path (Task "") keeps its one-append-per-spill wire semantics through
 // the same batch method: the store appends unconditionally per entry.
-func (s *spillSender) push(node hashing.NodeID, entries []dhtfs.SegBatchEntry) error {
+func (s *spillSender) push(ctx context.Context, node hashing.NodeID, entries []dhtfs.SegBatchEntry) error {
 	defer s.w.reg.Histogram("mr.shuffle.send_ns").Start().Stop()
-	ctx, sp := s.w.tracer.StartSpan(s.ctx, "shuffle.send")
+	ctx, sp := s.w.tracer.StartSpan(ctx, "shuffle.send")
 	defer sp.End()
 	sp.Annotate("node", string(node))
 	sp.Annotate("spills", fmt.Sprintf("%d", len(entries)))

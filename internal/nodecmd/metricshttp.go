@@ -40,6 +40,7 @@ func ServeMetrics(addr string, snapshot func() metrics.Snapshot) (boundAddr stri
 		return "", nil, err
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	//lint:ignore goroleak Serve returns when the returned closer calls srv.Close; the listener is the termination signal
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), func() { _ = srv.Close() }, nil
 }

@@ -255,6 +255,7 @@ type runningJob struct {
 	done      func(JobStats)
 	// jctx carries the job's root span for task spans to parent under;
 	// context.Background() when the model is untraced.
+	//lint:ignore ctxflow runningJob is the per-submission state of one simulated job; the virtual clock never blocks, so cancellation has nothing to interrupt
 	jctx context.Context
 	root *trace.Span
 }
@@ -285,7 +286,8 @@ func (m *Model) Submit(job JobDesc, at float64, done func(JobStats)) error {
 		blockKeys: keys,
 		stats:     &JobStats{Name: job.Name, Start: at, MapTasks: len(keys) * job.Iterations},
 		done:      done,
-		jctx:      context.Background(),
+		//lint:ignore ctxflow the simulator is its own entry point: jobs are born here, on a virtual clock with no caller ctx
+		jctx: context.Background(),
 	}
 	m.jobs[job.Name] = j
 	m.S.At(at, func() {

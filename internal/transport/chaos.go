@@ -229,9 +229,13 @@ func (c *Chaos) call(ctx context.Context, from, to hashing.NodeID, method string
 
 	lh := linkHash(from, to)
 	uDrop := uniform(cfg.Seed, lh, n, 0)
+	// The RNG draws above happen before the delay, so a cancelling caller
+	// does not perturb the deterministic fault schedule other callers see.
 	if d := latency + time.Duration(float64(jitter)*uniform(cfg.Seed, lh, n, 1)); d > 0 {
 		trace.Annotate(ctx, "chaos.delay", d.String())
-		time.Sleep(d)
+		if err := sleepCtx(ctx, d); err != nil {
+			return nil, fmt.Errorf("transport: %s to %s cancelled in chaos delay: %w", method, to, err)
+		}
 	}
 	if uDrop < drop/2 {
 		c.reg.Counter("chaos.drops").Inc()

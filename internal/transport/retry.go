@@ -168,7 +168,12 @@ func (r *Retry) callOn(ctx context.Context, inner Network, to hashing.NodeID, me
 			trace.Eventf(ctx, "retry attempt=%d method=%s backoff=%v cause=%v",
 				attempt, method, backoff, lastErr)
 			trace.Annotate(ctx, "retry", strconv.Itoa(attempt))
-			time.Sleep(backoff)
+			// A cancelled caller gets out of the backoff immediately; the
+			// context error is non-transient, so no further attempts run.
+			if err := sleepCtx(ctx, backoff); err != nil {
+				return nil, fmt.Errorf("transport: %s to %s abandoned in backoff after %d attempt(s): %w",
+					method, to, attempt, err)
+			}
 		}
 		out, err := inner.Call(ctx, to, method, body)
 		if err == nil {

@@ -148,6 +148,7 @@ func (t *TCP) serveConn(conn net.Conn, h Handler) {
 			return
 		}
 		go func() {
+			//lint:ignore ctxflow server-side root for one inbound request; cancellation does not cross the wire (see handlerContext)
 			ctx := context.Background()
 			if len(hdr) > 0 {
 				// A corrupt header only loses tracing, never the call.
@@ -298,6 +299,7 @@ type tcpReply struct {
 
 func newTCPConn(raw net.Conn) *tcpConn {
 	c := &tcpConn{raw: raw, pending: make(map[uint64]chan tcpReply)}
+	//lint:ignore goroleak readLoop exits when the connection closes: readReply errors out and the loop returns
 	go c.readLoop()
 	return c
 }

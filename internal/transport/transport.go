@@ -49,6 +49,7 @@ type Network interface {
 // distributed semantics (no shared cancellation or values) on every
 // transport.
 func handlerContext(callerCtx context.Context) context.Context {
+	//lint:ignore ctxflow deliberate severing: handlers must not inherit the caller's cancellation, mirroring a real network boundary
 	return trace.WithRemote(context.Background(), trace.Outbound(callerCtx))
 }
 

@@ -1,9 +1,17 @@
 #!/bin/sh
-# Static-analysis gate: the project's eclipse-lint suite (ring-comparison
-# safety, no RPCs under node mutexes, constant single-kind metric names,
-# simulator determinism, checked I/O-boundary errors) plus a gofmt
-# cleanliness check. Findings print as file:line: analyzer: message; see
-# EXPERIMENTS.md for the //lint:ignore suppression syntax.
+# Static-analysis gate: gofmt cleanliness, go vet, and the project's
+# eclipse-lint suite (ring-comparison safety, no RPCs under node mutexes,
+# acyclic lock order, constant single-kind metric names, simulator
+# determinism, checked I/O-boundary errors, ended spans, terminating
+# goroutines, inherited contexts). Findings print as
+# file:line: analyzer: message; see EXPERIMENTS.md for the //lint:ignore
+# suppression syntax.
+#
+# Extra arguments pass straight through to eclipse-lint, so PR builds can
+# gate only the changed packages:
+#
+#   scripts/lint.sh                      # full tree (main, nightly)
+#   scripts/lint.sh -diff origin/main    # packages changed since the ref
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,7 +24,10 @@ if [ -n "$unformatted" ]; then
     exit 1
 fi
 
-echo "== eclipse-lint ./..."
-go run ./cmd/eclipse-lint ./...
+echo "== go vet ./..."
+go vet ./...
+
+echo "== eclipse-lint $*"
+go run ./cmd/eclipse-lint "$@"
 
 echo "lint: OK"

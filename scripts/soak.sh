@@ -32,6 +32,12 @@ SOAK_DIR="$(cd "$out" && pwd)"
 [ "$(cat "$SOAK_DIR/.status" 2>/dev/null || echo 1)" -eq 0 ]
 rm -f "$SOAK_DIR/.status"
 
+# The lint suite itself under the race detector: the lockorder fixpoint,
+# the loader's shared maps and the analyzer drivers are all exercised
+# concurrently by the golden tests, and a data race in the gate would
+# make its verdicts untrustworthy.
+go test -race -count=1 ./internal/lint
+
 # A traced engine run for the artifact, re-validated on disk so the
 # nightly also notices a broken export path.
 BENCH_DIR="$SOAK_DIR" go test -run '^$' -bench 'BenchmarkHarnessTraceOverhead$' -benchtime 1x .
