@@ -16,6 +16,7 @@ import (
 	"eclipsemr"
 	"eclipsemr/internal/apps"
 	"eclipsemr/internal/benchrun"
+	"eclipsemr/internal/bundle"
 	"eclipsemr/internal/chord"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/kde"
@@ -465,6 +466,61 @@ func BenchmarkHarnessTraceOverhead(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Logf("wrote %s and %s", path, tracePath)
+	}
+}
+
+// BenchmarkHarnessChaosBundle runs the seeded kill-a-node recovery
+// scenario with event recording on and captures the resulting debug
+// bundle — the same canonical format the engine's flight recorder
+// writes. When BENCH_DIR is set the bundle lands in bundle.json, which
+// CI re-validates with cmd/bundlecheck so a schema drift in the capture
+// path fails the build, not the person who later opens a real incident
+// bundle. The headline metrics are the recovered wall time and the size
+// of the merged timeline.
+func BenchmarkHarnessChaosBundle(b *testing.B) {
+	var (
+		data    []byte
+		stats   simcluster.JobStats
+		nEvents int
+	)
+	for i := 0; i < b.N; i++ {
+		p := simcluster.DefaultParams()
+		p.Nodes = 8
+		m, err := simcluster.NewModel(p, simcluster.Eclipse, simcluster.LAF(0.001))
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.EnableEvents(99)
+		m.EnableTracing(99)
+		if err := m.KillNodeAtReduceStart(3); err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Submit(simcluster.JobDesc{
+			Name: "chaos-wc", App: simcluster.ProfileWordCount, InputBytes: 2 << 30, Seed: 1,
+		}, 0, func(s simcluster.JobStats) { stats = s }); err != nil {
+			b.Fatal(err)
+		}
+		m.Run()
+		if stats.Finish == 0 {
+			b.Fatal("chaos job never completed")
+		}
+		data, err = m.DebugBundle("", "bench_capture")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := bundle.Validate(data); err != nil {
+			b.Fatalf("captured bundle invalid: %v", err)
+		}
+		nEvents = len(m.Events(""))
+	}
+	b.ReportMetric(stats.Finish, "recovered-wall-s")
+	b.ReportMetric(float64(nEvents), "events")
+	if dir := os.Getenv("BENCH_DIR"); dir != "" {
+		path := filepath.Join(dir, "bundle.json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			b.Fatal(err)
+		}
+		b.Logf("wrote %s", path)
 	}
 }
 

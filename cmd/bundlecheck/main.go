@@ -1,0 +1,39 @@
+// Command bundlecheck validates a debug bundle produced by the flight
+// recorder, `eclipse-cli debug bundle`, or the simulator's capture hook:
+// well-formed JSON, every section present (events, metrics, spans,
+// journal, membership), a known schema version, and the event timeline
+// in canonical merged order. CI runs it against auto-captured bundles so
+// a malformed capture fails the build, not the person who later opens it.
+//
+// Usage: bundlecheck bundle.json [more.json...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"eclipsemr/internal/bundle"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: bundlecheck <bundle.json> [more.json...]")
+		os.Exit(2)
+	}
+	for _, path := range os.Args[1:] {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			log.Fatalf("bundlecheck: %v", err)
+		}
+		if err := bundle.Validate(data); err != nil {
+			log.Fatalf("bundlecheck: %s: %v", path, err)
+		}
+		b, err := bundle.Decode(data)
+		if err != nil {
+			log.Fatalf("bundlecheck: %s: %v", path, err)
+		}
+		fmt.Printf("%s: ok (reason %q, %d events, %d metric nodes, %d spans, %d journal entries, %d members)\n",
+			path, b.Reason, len(b.Events), len(b.Metrics), len(b.Spans), len(b.Journal), len(b.Membership.Members))
+	}
+}

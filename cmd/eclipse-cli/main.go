@@ -11,6 +11,8 @@
 //	eclipse-cli -hosts hosts.txt apps
 //	eclipse-cli -hosts hosts.txt stats -watch
 //	eclipse-cli -hosts hosts.txt trace -o trace.json wordcount-123
+//	eclipse-cli -hosts hosts.txt events -kind task,membership wordcount-123
+//	eclipse-cli -hosts hosts.txt debug bundle -o bundle.json -job wordcount-123
 package main
 
 import (
@@ -24,7 +26,9 @@ import (
 	"time"
 
 	_ "eclipsemr/internal/apps" // same registry as the nodes, for `apps`
+	"eclipsemr/internal/bundle"
 	"eclipsemr/internal/cluster"
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/mapreduce"
 	"eclipsemr/internal/metrics"
@@ -40,7 +44,7 @@ func main() {
 	)
 	flag.Parse()
 	if *hostsPath == "" || flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: eclipse-cli -hosts FILE {upload|cat|ls|run|job|apps|stats|trace} ...")
+		fmt.Fprintln(os.Stderr, "usage: eclipse-cli -hosts FILE {upload|cat|ls|run|job|apps|stats|trace|events|debug} ...")
 		os.Exit(2)
 	}
 	hosts, err := nodecmd.ReadHosts(*hostsPath)
@@ -293,6 +297,111 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %d spans to %s (load in Perfetto or chrome://tracing)\n", len(spans), *out)
 		}
+
+	case "events":
+		evCmd := flag.NewFlagSet("events", flag.ExitOnError)
+		kindsFlag := evCmd.String("kind", "", "comma-separated event kinds to keep (e.g. task,shuffle,membership)")
+		nodeFlag := evCmd.String("node", "", "keep only events emitted by this node")
+		sinceFlag := evCmd.Duration("since", 0, "keep only events from the last DURATION (e.g. 5m)")
+		allFlag := evCmd.Bool("all", false, "every job plus cluster-scoped events (membership, fs repair)")
+		if err := evCmd.Parse(flag.Args()[1:]); err != nil {
+			log.Fatal(err)
+		}
+		var jobID string
+		switch {
+		case *allFlag && evCmd.NArg() == 0:
+			jobID = "" // every job plus cluster-scoped membership events
+		case !*allFlag && evCmd.NArg() == 1:
+			jobID = evCmd.Arg(0)
+		default:
+			log.Fatalf("usage: events [-kind k1,k2] [-node id] [-since 5m] {<job-id> | -all}\nkinds: %s", strings.Join(events.Kinds(), ","))
+		}
+		kinds, err := events.ParseKinds(*kindsFlag)
+		if err != nil {
+			log.Fatalf("eclipse-cli: events: %v", err)
+		}
+
+		// Every node keeps its own event ring; collect them all and merge
+		// into one deterministic timeline.
+		var (
+			evs     []events.Event
+			dropped int64
+			reached int
+		)
+		for _, id := range sortedIDs(hosts) {
+			var resp cluster.EventsResp
+			err := nodecmd.Call(net, id, cluster.MethodEvents, cluster.EventsReq{Job: jobID}, &resp)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "node %s: %v\n", id, err)
+				continue
+			}
+			reached++
+			evs = append(evs, resp.Events...)
+			dropped += resp.Dropped
+		}
+		if reached == 0 {
+			log.Fatal("eclipse-cli: events: no node reachable")
+		}
+		evs = events.Merge(evs)
+		f := events.Filter{Kinds: kinds, Node: *nodeFlag}
+		if *sinceFlag > 0 && len(evs) > 0 {
+			// Node clocks stamp the events, so "the last 5m" is anchored on
+			// the newest collected event, not this machine's clock.
+			f.SinceNS = evs[len(evs)-1].AtNS - sinceFlag.Nanoseconds()
+		}
+		evs = events.Apply(evs, f)
+		if len(evs) == 0 {
+			if jobID == "" {
+				log.Fatal("eclipse-cli: events: nothing matched")
+			}
+			log.Fatalf("eclipse-cli: events: nothing matched for job %q", jobID)
+		}
+		if dropped > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d events overwritten in node rings; the timeline is incomplete\n", dropped)
+		}
+		fmt.Print(events.Render(evs))
+
+	case "debug":
+		if flag.NArg() < 2 || flag.Arg(1) != "bundle" {
+			log.Fatal("usage: debug bundle [-o bundle.json] [-job id] [-reason why]")
+		}
+		dbCmd := flag.NewFlagSet("debug bundle", flag.ExitOnError)
+		out := dbCmd.String("o", "bundle.json", "write the debug bundle to this file")
+		job := dbCmd.String("job", "", "restrict the bundle to one job (default: everything)")
+		reason := dbCmd.String("reason", "manual", "capture reason recorded in the bundle")
+		if err := dbCmd.Parse(flag.Args()[2:]); err != nil {
+			log.Fatal(err)
+		}
+		// Any node can assemble the bundle: it fans the collection RPCs
+		// over its own membership view. Prefer the manager (its ring holds
+		// the driver's job lifecycle events), fall back to any node.
+		target, err := nodecmd.FindManager(net, hosts)
+		if err != nil {
+			for _, id := range sortedIDs(hosts) {
+				var probe cluster.StatsResp
+				if nodecmd.Call(net, id, cluster.MethodStats, struct{}{}, &probe) == nil {
+					target, err = id, nil
+					break
+				}
+			}
+		}
+		if err != nil {
+			log.Fatalf("eclipse-cli: debug bundle: no node reachable: %v", err)
+		}
+		var resp cluster.BundleResp
+		req := cluster.BundleReq{Job: *job, Reason: *reason}
+		if err := nodecmd.Call(net, target, cluster.MethodBundle, req, &resp); err != nil {
+			log.Fatalf("eclipse-cli: debug bundle: %v", err)
+		}
+		b, err := bundle.Decode(resp.Data)
+		if err != nil {
+			log.Fatalf("eclipse-cli: debug bundle: malformed bundle: %v", err)
+		}
+		if err := os.WriteFile(*out, resp.Data, 0o644); err != nil {
+			log.Fatalf("eclipse-cli: debug bundle: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s: %d events, %d spans, %d metric nodes, %d journal entries, %d members (assembled by %s)\n",
+			*out, len(b.Events), len(b.Spans), len(b.Metrics), len(b.Journal), len(b.Membership.Members), target)
 
 	default:
 		log.Fatalf("eclipse-cli: unknown command %q", cmd)

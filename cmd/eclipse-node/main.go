@@ -22,6 +22,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -54,6 +55,7 @@ func main() {
 		metricsAt = flag.String("metrics-addr", "", "serve Prometheus /metrics and /debug/pprof on this address (e.g. :9090; empty = off)")
 		traceOn   = flag.Bool("trace", false, "record per-job spans (collect with eclipse-cli trace <job-id>)")
 		ringAlg   = flag.String("ring", "", "placement ring algorithm: chord (default), chord:<vnodes>, jump, power, rendezvous")
+		bundleDir = flag.String("debug-bundle-on-failure", "", "snapshot a cluster-wide debug bundle into DIR when a job this node drives fails (empty = off)")
 	)
 	flag.Parse()
 	if *id == "" || *hostsPath == "" {
@@ -125,11 +127,21 @@ func main() {
 		}
 		driver, err = mapreduce.NewDriver(node.ID, net, node.FS(), sched, node.Ring, cfg.ReduceSlots)
 		if err == nil {
-			// The manager's driver shares the node tracer so driver-side
-			// spans (dispatch, per-task RPCs) land in the same ring that
-			// eclipse-cli trace collects.
+			// The manager's driver shares the node tracer and event ring so
+			// driver-side spans and lifecycle events land in the same rings
+			// that eclipse-cli trace / events collect.
 			driver.SetTracer(node.Tracer())
+			driver.SetEvents(node.Events())
 			node.AddMetricsSource(driver.Metrics().Snapshot)
+			if dir := *bundleDir; dir != "" {
+				driver.SetFlightRecorder(func(job, reason string) {
+					if path, err := node.WriteBundleFile(context.Background(), dir, job, reason); err != nil {
+						log.Printf("eclipse-node: debug bundle capture (%s, %s): %v", job, reason, err)
+					} else {
+						log.Printf("eclipse-node: captured debug bundle %s", path)
+					}
+				})
+			}
 		}
 		return driver, err
 	}
@@ -139,12 +151,12 @@ func main() {
 	if *metricsAt != "" {
 		addr, stopMetrics, err := nodecmd.ServeMetrics(*metricsAt, func() metrics.Snapshot {
 			return node.MetricsSnapshot()
-		})
+		}, node.Health)
 		if err != nil {
 			log.Fatalf("eclipse-node: metrics endpoint: %v", err)
 		}
 		defer stopMetrics()
-		log.Printf("eclipse-node %s metrics on http://%s/metrics (pprof on /debug/pprof/)", *id, addr)
+		log.Printf("eclipse-node %s metrics on http://%s/metrics (healthz, readyz, pprof on /debug/pprof/)", *id, addr)
 	}
 
 	if err := node.Start(); err != nil {

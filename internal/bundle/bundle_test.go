@@ -1,0 +1,178 @@
+package bundle
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"eclipsemr/internal/events"
+	"eclipsemr/internal/metrics"
+)
+
+func testEvents(t *testing.T) []events.Event {
+	t.Helper()
+	now := int64(0)
+	l := events.New("node-a", events.Options{
+		Clock:    metrics.ClockFunc(func() time.Time { now += 10; return time.Unix(0, now) }),
+		Capacity: 32,
+	})
+	l.Emit(events.KindJob, "job.submit", events.F{Job: "wc"})
+	l.Emit(events.KindMembership, "member.evict", events.F{Detail: "node-b"})
+	l.Emit(events.KindJob, "job.recovery", events.F{Job: "wc"})
+	return l.Events("", 0)
+}
+
+func validBundle(t *testing.T) *Bundle {
+	t.Helper()
+	return &Bundle{
+		Reason:    "test",
+		Node:      "node-a",
+		Job:       "wc",
+		CreatedNS: 42,
+		Events:    testEvents(t),
+		Metrics:   []NodeMetrics{{Node: "node-a", Values: map[string]int64{"events.dropped": 0}}},
+		Journal:   []JournalState{{Job: "wc", Phase: "reduce", MapsDone: 3}},
+		Membership: Membership{
+			Manager: "node-c", Epoch: 7, Members: []string{"node-a", "node-c"},
+		},
+	}
+}
+
+func TestEncodeValidateRoundTrip(t *testing.T) {
+	data, err := Encode(validBundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("valid bundle rejected: %v", err)
+	}
+	b, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Version != Version || b.Reason != "test" || len(b.Events) != 3 ||
+		b.Membership.Manager != "node-c" || b.Journal[0].Phase != "reduce" {
+		t.Fatalf("round trip lost fields: %+v", b)
+	}
+	// Encoding is deterministic.
+	again, err := Encode(validBundle(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Fatal("Encode not deterministic")
+	}
+}
+
+func TestEncodeAlwaysCarriesSections(t *testing.T) {
+	data, err := Encode(&Bundle{
+		Reason:     "minimal",
+		Node:       "n",
+		Events:     testEvents(t),
+		Metrics:    []NodeMetrics{{Node: "n"}},
+		Membership: Membership{Members: []string{"n"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, section := range []string{"events", "metrics", "spans", "journal", "membership"} {
+		if _, ok := raw[section]; !ok {
+			t.Errorf("section %q missing from minimal bundle", section)
+		}
+	}
+	if err := Validate(data); err != nil {
+		t.Fatalf("minimal bundle rejected: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(b *Bundle)
+		errSub string
+	}{
+		{"no reason", func(b *Bundle) { b.Reason = "" }, "empty reason"},
+		{"no events", func(b *Bundle) { b.Events = nil }, "no events"},
+		{"bad kind", func(b *Bundle) { b.Events[0].Kind = 200 }, "unknown kind"},
+		{"empty event name", func(b *Bundle) { b.Events[0].Name = "" }, "empty name"},
+		{"no metrics", func(b *Bundle) { b.Metrics = nil }, "no metrics"},
+		{"anon metrics", func(b *Bundle) { b.Metrics[0].Node = "" }, "empty node"},
+		{"bad phase", func(b *Bundle) { b.Journal[0].Phase = "shuffling" }, "unknown phase"},
+		{"no members", func(b *Bundle) { b.Membership.Members = nil }, "empty membership"},
+		{"foreign manager", func(b *Bundle) { b.Membership.Manager = "ghost" }, "not in membership"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := validBundle(t)
+			tc.mutate(b)
+			data, err := Encode(b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = Validate(data)
+			if err == nil || !strings.Contains(err.Error(), tc.errSub) {
+				t.Fatalf("Validate = %v, want error containing %q", err, tc.errSub)
+			}
+		})
+	}
+	if err := Validate([]byte("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// A hand-built JSON object missing a section must be rejected even
+	// though the struct decode would default it.
+	if err := Validate([]byte(`{"version":1,"reason":"r","node":"n","created_ns":0}`)); err == nil ||
+		!strings.Contains(err.Error(), "missing section") {
+		t.Fatalf("missing sections accepted: %v", err)
+	}
+	// Wrong version.
+	b := validBundle(t)
+	b.Version = 99
+	data, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(data); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("wrong version accepted: %v", err)
+	}
+}
+
+func TestValidateCanonicalOrder(t *testing.T) {
+	b := validBundle(t)
+	data, err := Encode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Swap two events post-encode: the file is no longer in canonical
+	// merge order and must be rejected.
+	var dec Bundle
+	if err := json.Unmarshal(data, &dec); err != nil {
+		t.Fatal(err)
+	}
+	dec.Events[0], dec.Events[1] = dec.Events[1], dec.Events[0]
+	bad, err := json.Marshal(&dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(bad); err == nil || !strings.Contains(err.Error(), "canonical merge order") {
+		t.Fatalf("out-of-order events accepted: %v", err)
+	}
+	// Duplicate an event: replica-tolerant collection dedupes before
+	// encoding, so duplicates in a file mean a broken writer.
+	if err := json.Unmarshal(data, &dec); err != nil {
+		t.Fatal(err)
+	}
+	dec.Events = append(dec.Events, dec.Events[0])
+	bad, err = json.Marshal(&dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(bad); err == nil || !strings.Contains(err.Error(), "duplicates") {
+		t.Fatalf("duplicate events accepted: %v", err)
+	}
+}

@@ -3,11 +3,13 @@ package cluster
 import (
 	"context"
 	"fmt"
+	"os"
 	"sort"
 	"time"
 
 	"eclipsemr/internal/cache"
 	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/mapreduce"
 	"eclipsemr/internal/metrics"
@@ -42,6 +44,11 @@ type Options struct {
 	Retry transport.RetryPolicy
 	// DisableRetry mounts the network bare, without the retry layer.
 	DisableRetry bool
+	// BundleDir, when set, arms the flight recorder: a job failure or a
+	// recovery sweep snapshots a cluster-wide debug bundle into this
+	// directory as bundle-<job>-<reason>.json. Falls back to the
+	// ECLIPSE_BUNDLE_DIR environment variable when empty.
+	BundleDir string
 }
 
 // Cluster is a running EclipseMR deployment plus the job-scheduler role:
@@ -239,8 +246,15 @@ func (c *Cluster) rebindDriver() error {
 		return err
 	}
 	// The driver's spans record on the manager node's tracer, so one
-	// cluster.spans sweep collects driver and worker spans alike.
+	// cluster.spans sweep collects driver and worker spans alike; the
+	// driver's events likewise record on the manager node's ring.
 	driver.SetTracer(mgrNode.tracer)
+	driver.SetEvents(mgrNode.events)
+	if dir := c.bundleDir(); dir != "" {
+		driver.SetFlightRecorder(func(job, reason string) {
+			c.captureBundle(dir, job, reason)
+		})
+	}
 	// The old driver's dispatcher must stop before the new one pumps the
 	// shared scheduler, or the two loops would steal each other's
 	// assignments.
@@ -472,6 +486,83 @@ func (c *Cluster) TraceSpansContext(ctx context.Context, jobID string) ([]trace.
 		dropped += resp.Dropped
 	}
 	return trace.Dedupe(all), dropped, nil
+}
+
+// Events collects the retained structured events of one job (empty
+// selects everything, including cluster-scoped membership events) from
+// every live node over the cluster.events RPC. The union is deduped and
+// merged into one deterministic timeline; the second return is the total
+// number of events nodes overwrote before collection. Unreachable nodes
+// are skipped — like a trace, an event timeline survives node failures
+// with a hole, not an error.
+func (c *Cluster) Events(jobID string) ([]events.Event, int64, error) {
+	return c.EventsContext(rootContext(), jobID)
+}
+
+// EventsContext is Events with caller-controlled cancellation.
+func (c *Cluster) EventsContext(ctx context.Context, jobID string) ([]events.Event, int64, error) {
+	body, err := transport.Encode(EventsReq{Job: jobID})
+	if err != nil {
+		return nil, 0, err
+	}
+	var all []events.Event
+	var dropped int64
+	for _, id := range c.Nodes() {
+		out, err := c.net.Call(ctx, id, MethodEvents, body)
+		if err != nil {
+			continue
+		}
+		var resp EventsResp
+		if err := transport.Decode(out, &resp); err != nil {
+			return nil, dropped, err
+		}
+		all = append(all, resp.Events...)
+		dropped += resp.Dropped
+	}
+	return events.Merge(all), dropped, nil
+}
+
+// DebugBundle assembles a cluster-wide debug bundle for one job ("" =
+// everything) with the stated capture reason, canonically encoded. The
+// capture runs on the manager node (falling back to any live node), the
+// same assembly the cluster.bundle RPC and the flight recorder use.
+func (c *Cluster) DebugBundle(jobID, reason string) ([]byte, error) {
+	return c.DebugBundleContext(rootContext(), jobID, reason)
+}
+
+// DebugBundleContext is DebugBundle with caller-controlled cancellation.
+func (c *Cluster) DebugBundleContext(ctx context.Context, jobID, reason string) ([]byte, error) {
+	n, err := c.anyNode()
+	if err != nil {
+		return nil, err
+	}
+	return n.BuildBundleBytes(ctx, jobID, reason)
+}
+
+// bundleDir resolves the flight-recorder directory: the explicit option
+// wins, then the ECLIPSE_BUNDLE_DIR environment variable; empty disarms
+// the recorder.
+func (c *Cluster) bundleDir() string {
+	if c.opts.BundleDir != "" {
+		return c.opts.BundleDir
+	}
+	return os.Getenv("ECLIPSE_BUNDLE_DIR")
+}
+
+// captureBundle is the armed flight recorder: snapshot the cluster into
+// <dir>/bundle-<job>-<reason>.json via the capturing node. Capture
+// errors are recorded as a metric rather than surfaced, because the
+// recorder fires on paths that are already failing.
+func (c *Cluster) captureBundle(dir, job, reason string) {
+	n, err := c.anyNode()
+	if err != nil {
+		return
+	}
+	if _, err := n.WriteBundleFile(rootContext(), dir, job, reason); err != nil {
+		n.worker.Metrics().Counter("bundle.capture_errors").Inc()
+		return
+	}
+	n.worker.Metrics().Counter("bundle.captured").Inc()
 }
 
 // Kill crashes a node without any cleanup handshake: it simply vanishes

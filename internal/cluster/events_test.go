@@ -1,0 +1,188 @@
+package cluster
+
+import (
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"eclipsemr/internal/bundle"
+	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/events"
+	"eclipsemr/internal/mapreduce"
+)
+
+// eventNames indexes a merged timeline by event name.
+func eventNames(evs []events.Event) map[string]int {
+	names := map[string]int{}
+	for _, e := range evs {
+		names[e.Name]++
+	}
+	return names
+}
+
+// TestClusterEventsEndToEnd is the real-engine acceptance path for the
+// event layer: a WordCount on a live cluster must leave a merged
+// timeline that covers the whole job lifecycle — submit, both phases,
+// every task dispatch and finish, shuffle pushes, and the terminal
+// job.done — already in canonical order, with nothing overwritten.
+func TestClusterEventsEndToEnd(t *testing.T) {
+	c := newTestCluster(t, 4, Options{})
+	text := strings.Repeat("pack my box with five dozen liquor jugs\n", 400)
+	if _, err := c.UploadRecords("ev.txt", "u", dhtfs.PermPublic, []byte(text), '\n'); err != nil {
+		t.Fatal(err)
+	}
+	spec := mapreduce.JobSpec{
+		ID: "ev-wc", App: "cluster-wordcount", Inputs: []string{"ev.txt"}, User: "u",
+	}
+	if _, err := c.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	evs, dropped, err := c.Events("ev-wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) == 0 {
+		t.Fatal("job produced no events")
+	}
+	if dropped != 0 {
+		t.Fatalf("event rings dropped %d events on a small job", dropped)
+	}
+	names := eventNames(evs)
+	for _, want := range []string{
+		"job.submit", "job.phase.map", "sched.admit", "map.dispatch", "map.finish",
+		"shuffle.batch", "job.phase.reduce", "reduce.dispatch", "reduce.finish", "job.done",
+	} {
+		if names[want] == 0 {
+			t.Errorf("no %q event (have %v)", want, names)
+		}
+	}
+	// One dispatch and one finish per map task, one admit per task.
+	if names["map.dispatch"] < names["map.finish"] {
+		t.Errorf("map.dispatch=%d < map.finish=%d", names["map.dispatch"], names["map.finish"])
+	}
+
+	// The merged timeline must already be in canonical order…
+	if !sort.SliceIsSorted(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.AtNS != b.AtNS {
+			return a.AtNS < b.AtNS
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.ID < b.ID
+	}) {
+		t.Error("merged timeline is not in (AtNS, Node, ID) order")
+	}
+	// …start with the submit and end with the terminal event.
+	if evs[0].Name != "job.submit" {
+		t.Errorf("first event = %q, want job.submit", evs[0].Name)
+	}
+	if last := evs[len(evs)-1]; last.Name != "job.done" {
+		t.Errorf("last event = %q, want job.done", last.Name)
+	}
+	if out := events.Render(evs); !strings.Contains(out, "job.done") {
+		t.Errorf("Render lost the terminal event:\n%s", out)
+	}
+}
+
+// TestClusterEventsSurviveNodeFailure pins replica tolerance and the
+// membership event trail: killing a worker must surface member.evict in
+// the cluster-wide timeline, and collection must keep working with the
+// dead node simply missing.
+func TestClusterEventsSurviveNodeFailure(t *testing.T) {
+	c := newTestCluster(t, 4, Options{})
+	text := strings.Repeat("to be or not to be\n", 200)
+	if _, err := c.UploadRecords("evf.txt", "u", dhtfs.PermPublic, []byte(text), '\n'); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Run(mapreduce.JobSpec{
+		ID: "evf-wc", App: "cluster-wordcount", Inputs: []string{"evf.txt"}, User: "u",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.FailNow("worker-00"); err != nil {
+		t.Fatal(err)
+	}
+
+	evs, _, err := c.Events("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := eventNames(evs)
+	if names["member.evict"] == 0 {
+		t.Errorf("no member.evict event after FailNow (have %v)", names)
+	}
+	foundEvict := false
+	for _, e := range evs {
+		if e.Name == "member.evict" && e.Detail == "worker-00" {
+			foundEvict = true
+		}
+		if e.Node == "worker-00" {
+			t.Errorf("collected event from the dead node: %+v", e)
+		}
+	}
+	if !foundEvict {
+		t.Error("member.evict does not name worker-00")
+	}
+
+	// A bundle captured mid-incident must validate and reflect the new view.
+	data, err := c.DebugBundle("", "test_capture")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bundle.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bundle.Validate(data); err != nil {
+		t.Fatalf("bundle invalid: %v", err)
+	}
+	for _, m := range b.Membership.Members {
+		if m == "worker-00" {
+			t.Error("bundle membership still lists the evicted node")
+		}
+	}
+	if len(b.Events) == 0 || len(b.Metrics) == 0 {
+		t.Fatalf("bundle missing sections: %d events, %d metric nodes", len(b.Events), len(b.Metrics))
+	}
+}
+
+// TestFlightRecorderCapturesJobFailure pins the failure-triggered path:
+// with BundleDir armed, a job that fails must leave a validating
+// bundle-<job>-job_failed.json behind without any operator action.
+func TestFlightRecorderCapturesJobFailure(t *testing.T) {
+	dir := t.TempDir()
+	c := newTestCluster(t, 3, Options{BundleDir: dir})
+	if _, err := c.Run(mapreduce.JobSpec{
+		ID: "fr-bad", App: "cluster-wordcount", Inputs: []string{"missing.txt"}, User: "u",
+	}); err == nil {
+		t.Fatal("job over a nonexistent input unexpectedly succeeded")
+	}
+
+	path := filepath.Join(dir, "bundle-fr-bad-job_failed.json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("flight recorder left no bundle: %v", err)
+	}
+	if err := bundle.Validate(data); err != nil {
+		t.Fatalf("captured bundle invalid: %v", err)
+	}
+	b, err := bundle.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Reason != "job_failed" {
+		t.Errorf("bundle reason = %q, want job_failed", b.Reason)
+	}
+	if b.Job != "fr-bad" {
+		t.Errorf("bundle job = %q, want fr-bad", b.Job)
+	}
+	names := eventNames(b.Events)
+	if names["job.failed"] == 0 {
+		t.Errorf("captured bundle has no job.failed event (have %v)", names)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"eclipsemr/internal/chord"
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/transport"
 )
@@ -95,6 +96,7 @@ func (m *Manager) Join(id hashing.NodeID) error {
 	m.epoch++
 	observers := append([]func(joined, failed []hashing.NodeID){}, m.onChange...)
 	m.mu.Unlock()
+	m.node.events.Emit(events.KindMembership, "member.join", events.F{Detail: string(id)})
 	m.broadcastView()
 	m.directRecovery()
 	for _, fn := range observers {
@@ -117,6 +119,7 @@ func (m *Manager) reportSuspect(suspect hashing.NodeID) {
 		return // already removed
 	}
 	m.mu.Unlock()
+	m.node.events.Emit(events.KindMembership, "member.suspect", events.F{Detail: string(suspect)})
 	if err := m.verifyPing(suspect); err == nil {
 		return // false alarm
 	}
@@ -152,6 +155,7 @@ func (m *Manager) Fail(id hashing.NodeID) {
 	m.epoch++
 	observers := append([]func(joined, failed []hashing.NodeID){}, m.onChange...)
 	m.mu.Unlock()
+	m.node.events.Emit(events.KindMembership, "member.evict", events.F{Detail: string(id)})
 	m.broadcastView()
 	m.directRecovery()
 	for _, fn := range observers {

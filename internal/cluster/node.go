@@ -19,6 +19,7 @@ import (
 	"eclipsemr/internal/cache"
 	"eclipsemr/internal/chord"
 	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/mapreduce"
 	"eclipsemr/internal/metrics"
@@ -62,6 +63,10 @@ type Config struct {
 	// sampling). Tracing always starts disabled; enable it through
 	// Node.Tracer().SetEnabled or Cluster.SetTracing.
 	Trace trace.Options
+	// Events configures the node's structured event log (clock, seed,
+	// ring capacity). Unlike tracing the log is always on — it is the
+	// flight recorder consulted after failures.
+	Events events.Options
 }
 
 // withDefaults fills zero fields.
@@ -134,6 +139,11 @@ const (
 	MethodStats = "cluster.stats"
 	// MethodSpans returns the node's retained trace spans for one trace.
 	MethodSpans = "cluster.spans"
+	// MethodEvents returns the node's retained structured events for one
+	// job (plus cluster-scoped events).
+	MethodEvents = "cluster.events"
+	// MethodBundle asks a node to assemble a cluster-wide debug bundle.
+	MethodBundle = "cluster.bundle"
 )
 
 // Span-collection wire messages.
@@ -152,6 +162,34 @@ type (
 	}
 )
 
+// Event-collection wire messages.
+type (
+	// EventsReq asks a node for its retained events. A non-empty Job
+	// keeps that job's events plus cluster-scoped ones (membership, FS
+	// repair); SinceNS, when positive, drops older events.
+	EventsReq struct {
+		Job     string
+		SinceNS int64
+	}
+	// EventsResp carries one node's events plus how many its ring has
+	// overwritten before collection.
+	EventsResp struct {
+		Node    hashing.NodeID
+		Events  []events.Event
+		Dropped int64
+	}
+	// BundleReq asks a node to assemble a cluster-wide debug bundle for
+	// one job ("" = everything) with the stated capture reason.
+	BundleReq struct {
+		Job    string
+		Reason string
+	}
+	// BundleResp carries the serialized bundle.
+	BundleResp struct {
+		Data []byte
+	}
+)
+
 // Node is one EclipseMR worker server.
 type Node struct {
 	ID  hashing.NodeID
@@ -162,6 +200,7 @@ type Node struct {
 	cache  *cache.NodeCache
 	worker *mapreduce.Worker
 	tracer *trace.Tracer
+	events *events.Log
 
 	mu   sync.Mutex
 	view chord.View
@@ -211,11 +250,17 @@ func NewNode(id hashing.NodeID, net transport.Network, cfg Config) (*Node, error
 	n.tracer = trace.New(string(id), cfg.Trace)
 	n.fs.SetTracer(n.tracer)
 	n.worker.SetTracer(n.tracer)
+	n.events = events.New(string(id), cfg.Events)
+	n.fs.SetEvents(n.events)
+	n.worker.SetEvents(n.events)
 	return n, nil
 }
 
 // Tracer exposes the node's span recorder (disabled until SetEnabled).
 func (n *Node) Tracer() *trace.Tracer { return n.tracer }
+
+// Events exposes the node's structured event log (always on).
+func (n *Node) Events() *events.Log { return n.events }
 
 // FS exposes the node's DHT file system service.
 func (n *Node) FS() *dhtfs.Service { return n.fs }
@@ -254,6 +299,11 @@ func (n *Node) MetricsSnapshot() metrics.Snapshot {
 	snap.Values["cache.hit_ratio_bp"] = int64(cs.HitRatio() * 10000)
 	snap.Values["cache.icache.hit_ratio_bp"] = int64(n.cache.ICache.Stats().HitRatio() * 10000)
 	snap.Values["cache.ocache.hit_ratio_bp"] = int64(n.cache.OCache.Stats().HitRatio() * 10000)
+	// Ring-overflow gauges, refreshed at snapshot time like the cache
+	// figures: invisible overflow is how a debugging session discovers too
+	// late that its history was overwritten.
+	snap.Values["trace.dropped"] = n.tracer.Dropped()
+	snap.Values["events.dropped"] = n.events.Dropped()
 	n.mu.Lock()
 	extra := append([]func() metrics.Snapshot(nil), n.extraMetrics...)
 	n.mu.Unlock()
@@ -466,6 +516,24 @@ func (n *Node) handle(ctx context.Context, method string, body []byte) ([]byte, 
 		return transport.Encode(SpansResp{
 			Node: n.ID, Spans: n.tracer.Spans(req.Trace), Dropped: n.tracer.Dropped(),
 		})
+	case MethodEvents:
+		var req EventsReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		return transport.Encode(EventsResp{
+			Node: n.ID, Events: n.events.Events(req.Job, req.SinceNS), Dropped: n.events.Dropped(),
+		})
+	case MethodBundle:
+		var req BundleReq
+		if err := transport.Decode(body, &req); err != nil {
+			return nil, err
+		}
+		data, err := n.BuildBundleBytes(ctx, req.Job, req.Reason)
+		if err != nil {
+			return nil, err
+		}
+		return transport.Encode(BundleResp{Data: data})
 	}
 	if n.extra != nil {
 		if out, ok, err := n.extra(method, body); ok {
@@ -478,12 +546,18 @@ func (n *Node) handle(ctx context.Context, method string, body []byte) ([]byte, 
 // call is the node's typed RPC helper. Control-plane calls are untraced
 // (they belong to no job), so the context is a fresh background one.
 func (n *Node) call(to hashing.NodeID, method string, req, resp any) error {
+	//lint:ignore ctxflow control-plane RPCs (election, recovery) belong to no job; see the function comment
+	return n.callCtx(context.Background(), to, method, req, resp)
+}
+
+// callCtx is call with caller-controlled cancellation (bundle assembly,
+// which fans out on behalf of an RPC that does carry a context).
+func (n *Node) callCtx(ctx context.Context, to hashing.NodeID, method string, req, resp any) error {
 	body, err := transport.Encode(req)
 	if err != nil {
 		return err
 	}
-	//lint:ignore ctxflow control-plane RPCs (election, recovery) belong to no job; see the function comment
-	out, err := n.net.Call(context.Background(), to, method, body)
+	out, err := n.net.Call(ctx, to, method, body)
 	if err != nil {
 		return err
 	}
@@ -618,6 +692,7 @@ func (n *Node) becomeManager() {
 	n.mgr = mgr
 	n.manager = n.ID
 	n.mu.Unlock()
+	n.events.Emit(events.KindMembership, "member.elect", events.F{Detail: string(n.ID)})
 	mgr.broadcastView()
 	mgr.directRecovery()
 	mgr.start()

@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/metrics"
 	"eclipsemr/internal/trace"
@@ -151,6 +152,7 @@ type Service struct {
 	zeroHopOff bool
 	reg        *metrics.Registry
 	tracer     *trace.Tracer // nil or disabled = no spans
+	events     *events.Log   // nil = no events
 }
 
 // NewService builds a Service with an in-memory shard. ring supplies the
@@ -204,6 +206,11 @@ func (s *Service) Metrics() *metrics.Registry {
 // SetTracer attaches the node's tracer so block IO and lookups record
 // spans (nil is fine: spans become no-ops).
 func (s *Service) SetTracer(tr *trace.Tracer) { s.tracer = tr }
+
+// SetEvents attaches the node's structured event log so repair actions
+// (read failover, re-replication) land in the flight recorder (nil is
+// fine: emissions become no-ops).
+func (s *Service) SetEvents(l *events.Log) { s.events = l }
 
 // SetClock overrides the metadata timestamp and segment-TTL time source.
 func (s *Service) SetClock(now func() time.Time) {
@@ -278,7 +285,8 @@ func (s *Service) Handle(ctx context.Context, method string, body []byte) ([]byt
 		}
 		s.reg.Counter("fs.segments.appended").Inc()
 		s.reg.Counter("fs.segments.bytes").Add(int64(len(req.Data)))
-		s.store.AppendTaskSegment(req.Job, req.Partition, req.Task, req.Attempt, req.Seq, req.Data, req.TTL)
+		disp := s.store.AppendTaskSegment(req.Job, req.Partition, req.Task, req.Attempt, req.Seq, req.Data, req.TTL)
+		s.noteSegDisposition(disp, req.Job, req.Task, req.Attempt)
 		out, err := transport.Encode(empty{})
 		return out, true, err
 	case MethodAppendSegBatch:
@@ -299,7 +307,8 @@ func (s *Service) Handle(ctx context.Context, method string, body []byte) ([]byt
 			s.reg.Counter("fs.segments.bytes").Add(int64(len(data)))
 			// AppendTaskSegment copies, so handing it a payload sub-slice
 			// is safe.
-			s.store.AppendTaskSegment(hdr.Job, e.Partition, e.Task, e.Attempt, e.Seq, data, hdr.TTL)
+			disp := s.store.AppendTaskSegment(hdr.Job, e.Partition, e.Task, e.Attempt, e.Seq, data, hdr.TTL)
+			s.noteSegDisposition(disp, hdr.Job, e.Task, e.Attempt)
 		}
 		s.reg.Counter("fs.segments.batches").Inc()
 		out, err := transport.Encode(empty{})
@@ -394,6 +403,19 @@ func (s *Service) Handle(ctx context.Context, method string, body []byte) ([]byt
 		return out, true, err
 	}
 	return nil, false, nil
+}
+
+// noteSegDisposition records non-trivial spill-append outcomes in the
+// flight recorder: a higher attempt evicting a task's earlier spills, or
+// a stale straggler being ignored. Plain appends and idempotent
+// retransmits are the common case and stay silent.
+func (s *Service) noteSegDisposition(disp SegDisposition, job, task string, attempt int) {
+	switch disp {
+	case SegSuperseded:
+		s.events.Emit(events.KindShuffle, "shuffle.supersede", events.F{Job: job, Task: task, Attempt: attempt})
+	case SegStale:
+		s.events.Emit(events.KindShuffle, "shuffle.stale", events.F{Job: job, Task: task, Attempt: attempt})
+	}
 }
 
 // call invokes an fs.* method, short-circuiting to the local store when
@@ -594,6 +616,7 @@ func (s *Service) ReadBlock(ctx context.Context, k hashing.Key) ([]byte, error) 
 			if i > 0 {
 				s.reg.Counter("fs.read.failover").Inc()
 				sp.Annotate("failover", string(t))
+				s.events.Emit(events.KindFS, "fs.read_failover", events.F{Detail: string(t)})
 			}
 			return resp.Data, nil
 		} else {
@@ -631,6 +654,7 @@ func (s *Service) ReadBlockVerified(ctx context.Context, k hashing.Key, sum [sha
 		}
 		if i > 0 {
 			s.reg.Counter("fs.read.failover").Inc()
+			s.events.Emit(events.KindFS, "fs.read_failover", events.F{Detail: string(t)})
 		}
 		return resp.Data, nil
 	}
@@ -863,6 +887,15 @@ func (s *Service) Delete(ctx context.Context, name, user string) error {
 // returns the number of objects pushed. This is how a predecessor or
 // successor "takes over the faulty server" using its replicated data.
 func (s *Service) ReReplicate(ctx context.Context) (pushed int, err error) {
+	defer func() {
+		if pushed > 0 || err != nil {
+			detail := fmt.Sprintf("pushed=%d", pushed)
+			if err != nil {
+				detail += " err=" + err.Error()
+			}
+			s.events.Emit(events.KindFS, "fs.replicate", events.F{Detail: detail})
+		}
+	}()
 	for _, k := range s.store.BlockKeys() {
 		targets, rerr := s.replicaSet(k)
 		if rerr != nil {

@@ -318,6 +318,22 @@ func (s *Store) MetaNames() []string {
 // segKey builds the segment namespace key.
 func segKey(job, partition string) string { return job + "/" + partition }
 
+// SegDisposition reports what AppendTaskSegment did with a spill, so the
+// serving layer can log supersedes and ignored stragglers.
+type SegDisposition int
+
+const (
+	// SegAppended: a new spill was stored.
+	SegAppended SegDisposition = iota
+	// SegRetransmit: an exact duplicate replaced the stored copy.
+	SegRetransmit
+	// SegSuperseded: the spill was stored and evicted every spill of the
+	// task's earlier attempts.
+	SegSuperseded
+	// SegStale: a straggler from an already-superseded attempt; ignored.
+	SegStale
+)
+
 // AppendSegment appends one spill of intermediate results for a job
 // partition (the proactive-shuffle write path: mappers push buffered
 // results here as they are generated). A positive ttl invalidates the
@@ -340,7 +356,7 @@ func (s *Store) AppendSegment(job, partition string, data []byte, ttl time.Durat
 //   - a stale attempt's stragglers (lower attempt) are ignored.
 //
 // task "" skips all tracking and appends unconditionally.
-func (s *Store) AppendTaskSegment(job, partition, task string, attempt, seq int, data []byte, ttl time.Duration) {
+func (s *Store) AppendTaskSegment(job, partition, task string, attempt, seq int, data []byte, ttl time.Duration) SegDisposition {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	seg := segment{data: append([]byte(nil), data...), task: task, attempt: attempt, seq: seq}
@@ -349,6 +365,7 @@ func (s *Store) AppendTaskSegment(job, partition, task string, attempt, seq int,
 	}
 	k := segKey(job, partition)
 	segs := s.segments[k]
+	disp := SegAppended
 	if task != "" {
 		maxAttempt := -1
 		for i := range segs {
@@ -357,7 +374,7 @@ func (s *Store) AppendTaskSegment(job, partition, task string, attempt, seq int,
 			}
 		}
 		if maxAttempt >= 0 && attempt < maxAttempt {
-			return // straggler from a superseded attempt
+			return SegStale // straggler from a superseded attempt
 		}
 		if attempt > maxAttempt && maxAttempt >= 0 {
 			live := segs[:0]
@@ -369,18 +386,20 @@ func (s *Store) AppendTaskSegment(job, partition, task string, attempt, seq int,
 				live = append(live, old)
 			}
 			segs = live
+			disp = SegSuperseded
 		}
 		for i := range segs {
 			if segs[i].task == task && segs[i].attempt == attempt && segs[i].seq == seq {
 				s.segBytes += int64(len(seg.data)) - int64(len(segs[i].data))
 				segs[i] = seg // idempotent retransmit
 				s.segments[k] = segs
-				return
+				return SegRetransmit
 			}
 		}
 	}
 	s.segments[k] = append(segs, seg)
 	s.segBytes += int64(len(data))
+	return disp
 }
 
 // ReadSegments returns every live spill stored for a job partition, in

@@ -1,0 +1,128 @@
+package events
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Merge dedupes and canonically orders events collected from many nodes
+// (and, replica-tolerantly, from overlapping collections of the same
+// node). The order is (AtNS, Node, ID): time first, then node name, then
+// the node's own emission sequence. Because the final two keys are
+// collision-free, the merged order is a pure function of the event set —
+// two collections of the same run order identically no matter how the
+// batches arrived, and skewed node clocks cannot make the merge
+// ambiguous (they can only interleave nodes differently, deterministically).
+func Merge(evs []Event) []Event {
+	type key struct {
+		node string
+		id   uint64
+	}
+	seen := make(map[key]bool, len(evs))
+	out := make([]Event, 0, len(evs))
+	for _, e := range evs {
+		k := key{e.Node, e.ID}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.AtNS != b.AtNS {
+			return a.AtNS < b.AtNS
+		}
+		if a.Node != b.Node {
+			return a.Node < b.Node
+		}
+		return a.ID < b.ID
+	})
+	return out
+}
+
+// Filter selects a subset of a merged timeline.
+type Filter struct {
+	// Kinds keeps only the set kinds; nil keeps all.
+	Kinds map[Kind]bool
+	// Node keeps only one emitting node; empty keeps all.
+	Node string
+	// SinceNS drops events before it when positive.
+	SinceNS int64
+}
+
+// Apply returns the events passing the filter, preserving order.
+func Apply(evs []Event, f Filter) []Event {
+	if f.Kinds == nil && f.Node == "" && f.SinceNS <= 0 {
+		return evs
+	}
+	out := make([]Event, 0, len(evs))
+	for _, e := range evs {
+		if f.Kinds != nil && !f.Kinds[e.Kind] {
+			continue
+		}
+		if f.Node != "" && e.Node != f.Node {
+			continue
+		}
+		if f.SinceNS > 0 && e.AtNS < f.SinceNS {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// ParseKinds parses a comma-separated kind list ("task,shuffle") into a
+// Filter.Kinds set. An empty string returns nil (all kinds).
+func ParseKinds(s string) (map[Kind]bool, error) {
+	if s == "" {
+		return nil, nil
+	}
+	set := make(map[Kind]bool)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		k, ok := KindFromString(part)
+		if !ok {
+			return nil, fmt.Errorf("events: unknown kind %q (known: %s)", part, strings.Join(Kinds(), ","))
+		}
+		set[k] = true
+	}
+	if len(set) == 0 {
+		return nil, nil
+	}
+	return set, nil
+}
+
+// Render formats a merged timeline as text, one event per line, offsets
+// relative to the earliest event. The output is a pure function of the
+// event set (Merge canonicalizes first), so a deterministic run renders
+// byte-identical timelines.
+func Render(evs []Event) string {
+	evs = Merge(evs)
+	if len(evs) == 0 {
+		return ""
+	}
+	epoch := evs[0].AtNS
+	var b strings.Builder
+	for _, e := range evs {
+		fmt.Fprintf(&b, "%12.3fms  %-12s %-10s %-20s", float64(e.AtNS-epoch)/1e6, e.Node, e.Kind, e.Name)
+		if e.Job != "" {
+			fmt.Fprintf(&b, " job=%s", e.Job)
+		}
+		if e.Task != "" {
+			fmt.Fprintf(&b, " task=%s", e.Task)
+		}
+		if e.Attempt != 0 {
+			fmt.Fprintf(&b, " attempt=%d", e.Attempt)
+		}
+		if e.Detail != "" {
+			fmt.Fprintf(&b, " (%s)", e.Detail)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,121 @@
+package events
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestMergeSkewedClocks pins the satellite requirement: the merged order
+// of events collected from nodes with mutually skewed clocks is a pure
+// function of the event set — identical however the batches arrive, with
+// inter-node ties broken by node name then per-node sequence.
+func TestMergeSkewedClocks(t *testing.T) {
+	// Three nodes whose clocks disagree: node-b runs 1s ahead, node-c 1s
+	// behind. Each emits a deterministic sequence.
+	mk := func(node string, startNS int64) []Event {
+		l := New(node, Options{Clock: tickClock(startNS, 7), Capacity: 32})
+		l.Emit(KindJob, "job.submit", F{Job: "wc"})
+		l.Emit(KindTask, "map.dispatch", F{Job: "wc", Task: "m-" + node})
+		l.Emit(KindTask, "map.finish", F{Job: "wc", Task: "m-" + node})
+		return l.Events("", 0)
+	}
+	a := mk("node-a", 5_000_000_000)
+	b := mk("node-b", 6_000_000_000)
+	c := mk("node-c", 4_000_000_000)
+
+	all := append(append(append([]Event(nil), a...), b...), c...)
+	want := Merge(all)
+
+	// Skew interleaves whole nodes: node-c (clock behind) sorts first,
+	// node-b last, and each node's own events keep emission order.
+	order := make([]string, 0, len(want))
+	for _, e := range want {
+		order = append(order, e.Node)
+	}
+	wantOrder := []string{
+		"node-c", "node-c", "node-c",
+		"node-a", "node-a", "node-a",
+		"node-b", "node-b", "node-b",
+	}
+	if !reflect.DeepEqual(order, wantOrder) {
+		t.Fatalf("skewed merge order = %v, want %v", order, wantOrder)
+	}
+
+	// Arrival order must not matter: merge every permutation of the
+	// per-node batches, plus a shuffled flat list, and compare.
+	perms := [][][]Event{
+		{a, b, c}, {c, b, a}, {b, a, c}, {b, c, a}, {c, a, b},
+	}
+	for i, p := range perms {
+		var flat []Event
+		for _, batch := range p {
+			flat = append(flat, batch...)
+		}
+		if got := Merge(flat); !reflect.DeepEqual(got, want) {
+			t.Fatalf("permutation %d merges differently", i)
+		}
+	}
+	rng := rand.New(rand.NewSource(1))
+	shuffled := append([]Event(nil), all...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	if got := Merge(shuffled); !reflect.DeepEqual(got, want) {
+		t.Fatal("shuffled input merges differently")
+	}
+}
+
+// TestMergeReplicaTolerant pins dedupe: collecting the same node twice
+// (the replica-tolerant collection path) must not duplicate events.
+func TestMergeReplicaTolerant(t *testing.T) {
+	l := New("node-a", Options{Clock: tickClock(0, 3), Capacity: 16})
+	l.Emit(KindJob, "job.submit", F{Job: "wc"})
+	l.Emit(KindJob, "job.done", F{Job: "wc"})
+	once := l.Events("", 0)
+	twice := append(append([]Event(nil), once...), once...)
+	if got := Merge(twice); len(got) != 2 {
+		t.Fatalf("double collection merged to %d events, want 2", len(got))
+	}
+}
+
+// TestMergeSameTimestampDistinctNodes pins the tie-break: two nodes
+// emitting at the identical instant order by node name, and a node's own
+// same-instant events order by sequence.
+func TestMergeSameTimestampDistinctNodes(t *testing.T) {
+	la := New("node-a", Options{Clock: tickClock(100, 0), Capacity: 8})
+	lb := New("node-b", Options{Clock: tickClock(100, 0), Capacity: 8})
+	lb.Emit(KindTask, "map.finish", F{Task: "b1"})
+	la.Emit(KindTask, "map.finish", F{Task: "a1"})
+	la.Emit(KindTask, "map.finish", F{Task: "a2"})
+	got := Merge(append(lb.Events("", 0), la.Events("", 0)...))
+	tasks := []string{got[0].Task, got[1].Task, got[2].Task}
+	if !reflect.DeepEqual(tasks, []string{"a1", "a2", "b1"}) {
+		t.Fatalf("tie-break order = %v, want [a1 a2 b1]", tasks)
+	}
+}
+
+func TestApplyFilter(t *testing.T) {
+	l := New("node-a", Options{Clock: tickClock(0, 10), Capacity: 16})
+	l.Emit(KindJob, "job.submit", F{Job: "wc"})
+	l.Emit(KindTask, "map.dispatch", F{Job: "wc", Task: "m0"})
+	l.Emit(KindShuffle, "shuffle.batch", F{Job: "wc"})
+	lb := New("node-b", Options{Clock: tickClock(5, 10), Capacity: 16})
+	lb.Emit(KindTask, "map.finish", F{Job: "wc", Task: "m0"})
+	all := Merge(append(l.Events("", 0), lb.Events("", 0)...))
+
+	kinds, err := ParseKinds("task")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Apply(all, Filter{Kinds: kinds}); len(got) != 2 {
+		t.Fatalf("kind filter kept %d, want 2", len(got))
+	}
+	if got := Apply(all, Filter{Node: "node-b"}); len(got) != 1 || got[0].Node != "node-b" {
+		t.Fatalf("node filter wrong: %+v", got)
+	}
+	if got := Apply(all, Filter{SinceNS: 16}); len(got) != 1 || got[0].Name != "shuffle.batch" {
+		t.Fatalf("since filter wrong: %+v", got)
+	}
+	if got := Apply(all, Filter{}); len(got) != len(all) {
+		t.Fatal("empty filter dropped events")
+	}
+}

@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+)
+
+const eventsPath = "eclipsemr/internal/events"
+
+// EventName enforces statically known event names at every
+// events.Log.Emit site. The event vocabulary is the debugging contract:
+// `eclipse-cli events` filters on it, the deterministic chaos e2e pins
+// exact sequences of it, and debug bundles are diffed across runs by it.
+// A name assembled at runtime fragments that vocabulary silently —
+// grep finds nothing, timelines stop lining up — so the analyzer makes
+// it a build-time error, exactly as metricname does for metric names.
+// Variable data belongs in the event's Job/Task/Detail fields.
+func EventName() *Analyzer {
+	return &Analyzer{
+		Name: "eventname",
+		Doc:  "events.Log.Emit uses constant event names",
+		Run:  runEventName,
+	}
+}
+
+func runEventName(u *Unit) []Finding {
+	var findings []Finding
+	for _, p := range u.Pkgs {
+		if p.Path == eventsPath {
+			continue // the log implementation passes names through parameters
+		}
+		rangeConsts := constRangeVars(p)
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Emit" || len(call.Args) < 2 {
+					return true
+				}
+				fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != eventsPath {
+					return true
+				}
+				recv := fn.Type().(*types.Signature).Recv()
+				if recv == nil || !isNamed(recv.Type(), eventsPath, "Log") {
+					return true
+				}
+				arg := ast.Unparen(call.Args[1])
+				if tv, ok := p.Info.Types[arg]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					return true
+				}
+				if id, ok := arg.(*ast.Ident); ok {
+					if _, ok := rangeConsts[p.Info.Uses[id]]; ok {
+						return true
+					}
+				}
+				findings = append(findings, Finding{
+					Pos:      u.Fset.Position(arg.Pos()),
+					Analyzer: "eventname",
+					Message: "event name passed to Log.Emit is not statically known; " +
+						"use a constant and put variable data in the event fields (Job/Task/Detail)",
+				})
+				return true
+			})
+		}
+	}
+	return findings
+}

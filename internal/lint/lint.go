@@ -4,7 +4,7 @@
 // PR 2's metrics layer only catch at runtime.
 //
 // The suite loads every package under a module (go/parser + go/types with
-// the source importer; no golang.org/x/tools dependency) and runs nine
+// the source importer; no golang.org/x/tools dependency) and runs ten
 // analyzers:
 //
 //   - ringcmp:    raw <, <=, >, >= between hashing.Key values outside
@@ -19,6 +19,9 @@
 //   - metricname: metric registrations must use statically known names,
 //     and a name must keep one kind (counter/gauge/histogram)
 //     across the whole module, or cluster-wide Merge corrupts.
+//   - eventname:  events.Log.Emit must use statically known event names;
+//     the event vocabulary is the debugging contract that CLI
+//     filters, bundles and the deterministic e2e pin.
 //   - timesource: time.Now/time.Sleep and the global math/rand source
 //     inside internal/sim and internal/simcluster, which must
 //     use the injected clock/seed so figure sweeps reproduce.
@@ -135,6 +138,7 @@ func Analyzers() []*Analyzer {
 		LockedRPC(),
 		LockOrder(),
 		MetricName(),
+		EventName(),
 		TimeSource(),
 		DroppedErr(),
 		SpanEnd(),

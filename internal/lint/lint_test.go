@@ -207,7 +207,7 @@ func TestGoroLeakLoopCapturePre122(t *testing.T) {
 // these names.
 func TestSuiteNames(t *testing.T) {
 	got := strings.Join(AnalyzerNames(), ",")
-	want := "ringcmp,lockedrpc,lockorder,metricname,timesource,droppederr,spanend,goroleak,ctxflow"
+	want := "ringcmp,lockedrpc,lockorder,metricname,eventname,timesource,droppederr,spanend,goroleak,ctxflow"
 	if got != want {
 		t.Fatalf("AnalyzerNames() = %s, want %s", got, want)
 	}
@@ -224,7 +224,7 @@ func TestRepoClean(t *testing.T) {
 	// The concurrency-invariant analyzers must be part of the enforced
 	// suite, not merely available: a rename or a dropped registration
 	// would silently stop gating the repo.
-	for _, name := range []string{"lockorder", "goroleak", "ctxflow"} {
+	for _, name := range []string{"lockorder", "goroleak", "ctxflow", "eventname"} {
 		analyzerByName(t, name)
 	}
 	loader, err := NewLoader(".")

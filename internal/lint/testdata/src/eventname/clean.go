@@ -1,0 +1,21 @@
+package eventname
+
+import "eclipsemr/internal/events"
+
+const finishName = "map.finish"
+
+// constants in any constant form are fine; variable data belongs in the
+// event fields.
+func constants(l *events.Log, task string) {
+	l.Emit(events.KindTask, "map.dispatch", events.F{Task: task})
+	l.Emit(events.KindTask, finishName, events.F{Task: task})
+	l.Emit(events.KindShuffle, "shuffle."+"batch", events.F{})
+}
+
+// preCreate mirrors the registries' idiom: a range over a literal of
+// constants is statically known.
+func preCreate(l *events.Log) {
+	for _, name := range []string{"job.submit", "job.done"} {
+		l.Emit(events.KindJob, name, events.F{})
+	}
+}

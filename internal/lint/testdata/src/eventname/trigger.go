@@ -1,0 +1,16 @@
+// Package eventname is golden input for the eventname analyzer.
+package eventname
+
+import "eclipsemr/internal/events"
+
+// dynamic assembles an event name at runtime, which fragments the event
+// vocabulary the CLI filters and the deterministic e2e pin.
+func dynamic(l *events.Log, task string) {
+	l.Emit(events.KindTask, "map."+task, events.F{}) // want "not statically known"
+}
+
+// variable passes a name through a plain variable the analyzer cannot
+// prove constant.
+func variable(l *events.Log, name string) {
+	l.Emit(events.KindJob, name, events.F{Job: "j"}) // want "not statically known"
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/metrics"
 	"eclipsemr/internal/scheduler"
@@ -44,9 +45,13 @@ type Driver struct {
 	start       time.Time
 	reg         *metrics.Registry
 	tracer      *trace.Tracer
+	events      *events.Log
 	// onEvent, when set, observes job lifecycle points (see
 	// SetEventListener).
 	onEvent func(job, event string)
+	// flight, when set, is invoked after a job fails or survives a
+	// recovery round (see SetFlightRecorder).
+	flight func(job, reason string)
 
 	mu   sync.Mutex
 	jobs map[string]*activeJob
@@ -143,6 +148,25 @@ func (d *Driver) Metrics() *metrics.Registry { return d.reg }
 // submitting jobs; a nil tracer (the default) disables driver spans.
 func (d *Driver) SetTracer(tr *trace.Tracer) { d.tracer = tr }
 
+// SetEvents wires the manager node's structured event log into the
+// driver so job, task, speculation and journal transitions land in the
+// flight recorder (nil, the default, disables emission). Call before
+// submitting jobs.
+func (d *Driver) SetEvents(l *events.Log) { d.events = l }
+
+// SetFlightRecorder registers the failure-capture hook: fn runs after a
+// job fails ("job_failed") or survives a recovery round ("recovery"),
+// with no driver locks held. Deployments snapshot a debug bundle here.
+// Call before submitting jobs.
+func (d *Driver) SetFlightRecorder(fn func(job, reason string)) { d.flight = fn }
+
+// recordFlight invokes the failure-capture hook, if any.
+func (d *Driver) recordFlight(job, reason string) {
+	if d.flight != nil {
+		d.flight(job, reason)
+	}
+}
+
 // SetEventListener registers a callback observing job lifecycle points:
 // "map_task_done" (per completed map task), "map_done" (map phase
 // complete), "partition_done" (per completed reduce partition) and
@@ -228,7 +252,7 @@ func (d *Driver) RunContext(ctx context.Context, spec JobSpec) (Result, error) {
 }
 
 // run executes a job, fresh (prior == nil) or adopted from a journal.
-func (d *Driver) run(ctx context.Context, spec JobSpec, prior *journal) (Result, error) {
+func (d *Driver) run(ctx context.Context, spec JobSpec, prior *journal) (_ Result, err error) {
 	began := time.Now()
 	ns := spec.Namespace()
 	res := Result{Job: spec.ID, Resumed: prior != nil}
@@ -238,6 +262,18 @@ func (d *Driver) run(ctx context.Context, spec JobSpec, prior *journal) (Result,
 	ctx, root := d.tracer.StartRoot(ctx, spec.ID, "driver.job")
 	root.Annotate("app", spec.App)
 	defer root.End()
+
+	d.events.Emit(events.KindJob, "job.submit", events.F{Job: spec.ID, Detail: spec.App})
+	// The terminal job event (and the failure capture) covers every exit
+	// path, including the early journaled-done return below.
+	defer func() {
+		if err != nil {
+			d.events.Emit(events.KindJob, "job.failed", events.F{Job: spec.ID, Detail: err.Error()})
+			d.recordFlight(spec.ID, "job_failed")
+		} else {
+			d.events.Emit(events.KindJob, "job.done", events.F{Job: spec.ID})
+		}
+	}()
 
 	if prior != nil {
 		if prior.Phase == phaseDone {
@@ -256,6 +292,7 @@ func (d *Driver) run(ctx context.Context, spec JobSpec, prior *journal) (Result,
 		}
 		root.Annotate("resume", prior.Phase)
 		d.reg.Counter("mr.driver.journal_resumes").Inc()
+		d.events.Emit(events.KindJournal, "journal.resume", events.F{Job: spec.ID, Detail: prior.Phase})
 	}
 
 	// Reuse path: a completed map phase under this namespace lets the job
@@ -360,6 +397,9 @@ func (d *Driver) run(ctx context.Context, spec JobSpec, prior *journal) (Result,
 		}
 		res.MapTasks = len(todo)
 		if len(todo) > 0 {
+			d.events.Emit(events.KindJob, "job.phase.map", events.F{
+				Job: spec.ID, Detail: fmt.Sprintf("tasks=%d", len(todo)),
+			})
 			j := &activeJob{
 				spec:     spec,
 				ns:       ns,
@@ -405,6 +445,7 @@ func (d *Driver) run(ctx context.Context, spec JobSpec, prior *journal) (Result,
 		st.jw.setPhase(phaseReduce, &mk)
 	}
 
+	d.events.Emit(events.KindJob, "job.phase.reduce", events.F{Job: spec.ID})
 	if err := d.runReducePhase(ctx, st); err != nil {
 		return Result{}, err
 	}
@@ -485,6 +526,7 @@ func (d *Driver) runMapPhase(ctx context.Context, j *activeJob, tasks []schedule
 
 	now := d.since()
 	for _, t := range tasks {
+		d.events.Emit(events.KindSched, "sched.admit", events.F{Job: t.Job, Task: t.ID})
 		d.sched.Submit(t, now)
 	}
 	d.signal()
@@ -588,6 +630,9 @@ func (d *Driver) completeMapLocked(j *activeJob, taskID string, resp RunMapResp)
 		return
 	}
 	j.completed[taskID] = true
+	d.events.Emit(events.KindTask, "map.finish", events.F{
+		Job: j.spec.ID, Task: taskID, Attempt: j.attempts[taskID],
+	})
 	// The race is decided: abort whichever duplicate attempt is still in
 	// flight (the hedge when the original won, and vice versa) so it
 	// stops consuming the straggling node instead of running to the end.
@@ -644,6 +689,9 @@ func (d *Driver) runMapTask(j *activeJob, a scheduler.Assignment) {
 	sp.Annotate("task", a.Task.ID)
 	sp.Annotate("node", string(a.Node))
 	sp.Annotate("local", strconv.FormatBool(a.Local))
+	d.events.Emit(events.KindTask, "map.dispatch", events.F{
+		Job: j.spec.ID, Task: a.Task.ID, Attempt: attempt, Detail: string(a.Node),
+	})
 	// The attempt runs under its own cancellable context, registered with
 	// the straggler scanner: if a speculative hedge wins the task, it
 	// aborts this RPC through cancelInflight instead of letting it run to
@@ -697,10 +745,16 @@ func (d *Driver) runMapTask(j *activeJob, a scheduler.Assignment) {
 		// input's hash key — the successor that takes over a faulty
 		// server's range also holds the block's replica.
 		d.reg.Counter("mr.driver.map_failovers").Inc()
+		d.events.Emit(events.KindTask, "map.giveup", events.F{
+			Job: j.spec.ID, Task: a.Task.ID, Attempt: attempt, Detail: err.Error(),
+		})
 		go d.failoverMapTask(j, j.taskByID[a.Task.ID], a.Node, err)
 		return
 	}
 	d.reg.Counter("mr.driver.map_retries").Inc()
+	d.events.Emit(events.KindTask, "map.retry", events.F{
+		Job: j.spec.ID, Task: a.Task.ID, Attempt: attempt, Detail: err.Error(),
+	})
 	d.sched.Submit(j.taskByID[a.Task.ID], d.since())
 }
 
@@ -731,6 +785,9 @@ func (d *Driver) failoverMapTask(j *activeJob, t scheduler.Task, exclude hashing
 		sp.Annotate("node", string(cand))
 		sp.Annotate("failover", "true")
 		sp.Annotate("attempt", strconv.Itoa(attempt))
+		d.events.Emit(events.KindTask, "map.failover", events.F{
+			Job: j.spec.ID, Task: t.ID, Attempt: attempt, Detail: string(cand),
+		})
 		var resp RunMapResp
 		rpcTimer := d.reg.Histogram("mr.driver.map_rpc_ns").Start()
 		err := d.call(tctx, cand, MethodRunMap, d.mapReq(j, t, attempt), &resp)
@@ -970,6 +1027,13 @@ func (d *Driver) runReduceTask(ctx context.Context, st *runState, t reduceTask) 
 			// the recorded replica or further around the ring.
 			d.reg.Counter("mr.driver.reduce_failovers").Inc()
 			sp.Annotate("failover", string(cand))
+			d.events.Emit(events.KindTask, "reduce.failover", events.F{
+				Job: st.spec.ID, Task: partitionName(t.part), Detail: string(cand),
+			})
+		} else {
+			d.events.Emit(events.KindTask, "reduce.dispatch", events.F{
+				Job: st.spec.ID, Task: partitionName(t.part), Detail: string(cand),
+			})
 		}
 		var resp RunReduceResp
 		rpcTimer := d.reg.Histogram("mr.driver.reduce_rpc_ns").Start()
@@ -977,6 +1041,9 @@ func (d *Driver) runReduceTask(ctx context.Context, st *runState, t reduceTask) 
 		rpcTimer.Stop()
 		if err == nil {
 			d.reg.Counter("mr.driver.partition_reduces").Inc()
+			d.events.Emit(events.KindTask, "reduce.finish", events.F{
+				Job: st.spec.ID, Task: partitionName(t.part), Detail: string(cand),
+			})
 			return resp, outFile, nil
 		}
 		if i == 0 && !errors.Is(err, transport.ErrUnreachable) && !transport.IsTransient(err) {
@@ -1052,6 +1119,9 @@ func (d *Driver) recoverPartitions(ctx context.Context, st *runState, lost []los
 		d.reg.Counter("mr.driver.partition_recoveries").Inc()
 		st.res.RecoveredPartitions++
 		sp.Annotate(partitionName(l.t.part), string(newOwner))
+		d.events.Emit(events.KindTask, "partition.rehome", events.F{
+			Job: st.spec.ID, Task: partitionName(l.t.part), Detail: string(newOwner),
+		})
 		st.mk.Servers[l.t.part] = newOwner
 		var newReplica hashing.NodeID
 		if len(st.mk.Replicas) > 0 {
@@ -1064,6 +1134,10 @@ func (d *Driver) recoverPartitions(ctx context.Context, st *runState, lost []los
 		retry = append(retry, reduceTask{part: l.t.part, owner: newOwner, replica: newReplica})
 	}
 	d.emitEvent(st.spec.ID, "recovery")
+	d.events.Emit(events.KindJob, "job.recovery", events.F{
+		Job: st.spec.ID, Detail: fmt.Sprintf("partitions=%d", len(lost)),
+	})
+	d.recordFlight(st.spec.ID, "recovery")
 	// The recovery maps push strictly higher attempts: invalidate every
 	// merged-intermediate cache entry by moving the reduces to a new
 	// epoch key.
@@ -1140,6 +1214,9 @@ func (d *Driver) rehomeDeadPartitions(ctx context.Context, st *runState) ([]int,
 			}
 			st.mk.Replicas[p] = next
 			sp.Annotate(partitionName(p), "promoted "+string(replica))
+			d.events.Emit(events.KindTask, "partition.rehome", events.F{
+				Job: st.spec.ID, Task: partitionName(p), Detail: "promoted " + string(replica),
+			})
 			changed = true
 			continue
 		}
@@ -1166,11 +1243,18 @@ func (d *Driver) rehomeDeadPartitions(ctx context.Context, st *runState) ([]int,
 		}
 		st.mk.PartBytes[p] = 0 // nothing survives; the re-shuffle refills it
 		sp.Annotate(partitionName(p), "re-homed "+string(newOwner))
+		d.events.Emit(events.KindTask, "partition.rehome", events.F{
+			Job: st.spec.ID, Task: partitionName(p), Detail: string(newOwner),
+		})
 		dead = append(dead, p)
 		changed = true
 	}
 	if len(dead) > 0 {
 		d.emitEvent(st.spec.ID, "recovery")
+		d.events.Emit(events.KindJob, "job.recovery", events.F{
+			Job: st.spec.ID, Detail: fmt.Sprintf("partitions=%d", len(dead)),
+		})
+		d.recordFlight(st.spec.ID, "recovery")
 	}
 	// Persist the repaired table before any spill is pushed at it, so a
 	// further failure resumes against the adopted owners.

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/transport"
 )
@@ -221,6 +222,8 @@ func (w *journalWriter) doFlush(ctx context.Context) {
 	}
 	w.dirty = false
 	data, err := transport.Encode(w.j)
+	jobID := w.j.Spec.ID
+	phase := w.j.Phase
 	w.mu.Unlock()
 	if err == nil {
 		_, err = w.d.fs.Upload(ctx, w.file, w.user, dhtfs.PermPublic, data, 1<<20)
@@ -229,10 +232,15 @@ func (w *journalWriter) doFlush(ctx context.Context) {
 		// Visible discard: journaling is best effort by design (see the
 		// type comment); the counter keeps the loss observable.
 		w.d.reg.Counter("mr.driver.journal_errors").Inc()
+		w.d.events.Emit(events.KindJournal, "journal.flush_error", events.F{
+			Job: jobID, Detail: err.Error(),
+		})
 		w.mu.Lock()
 		w.dirty = true
 		w.mu.Unlock()
+		return
 	}
+	w.d.events.Emit(events.KindJournal, "journal.flush", events.F{Job: jobID, Detail: phase})
 }
 
 // close stops the flusher and persists the final state, so even an
@@ -304,6 +312,58 @@ func (d *Driver) ResumeContext(ctx context.Context, jobID string) (Result, error
 		return Result{}, err
 	}
 	return d.run(ctx, prior.Spec, prior)
+}
+
+// JournalSnapshot is the externally visible progress summary of one
+// journaled job, for debug bundles and operator tooling. It deliberately
+// flattens the journal to counts: the full journal carries the job spec
+// (including params), which does not belong in a shareable bundle.
+type JournalSnapshot struct {
+	Job        string
+	Phase      string
+	Generation int
+	// MapsDone / PartsDone count completed map tasks and reduce
+	// partitions; Attempts counts map tasks with at least one recorded
+	// attempt.
+	MapsDone  int
+	PartsDone int
+	Attempts  int
+}
+
+// JournalSnapshots summarizes every journal reachable through fs. A
+// non-empty job restricts the listing to that job. Unreachable or corrupt
+// journals are skipped — bundle capture runs exactly when parts of the
+// cluster are failing. Sorted by job ID.
+func JournalSnapshots(ctx context.Context, fs *dhtfs.Service, job string) ([]JournalSnapshot, error) {
+	names, err := fs.ListPrefix(ctx, journalPrefix)
+	if err != nil {
+		return nil, err
+	}
+	var out []JournalSnapshot
+	for _, name := range names {
+		jobID := strings.TrimPrefix(name, journalPrefix)
+		if job != "" && jobID != job {
+			continue
+		}
+		data, err := fs.ReadFile(ctx, name, "")
+		if err != nil {
+			continue
+		}
+		var j journal
+		if err := transport.Decode(data, &j); err != nil {
+			continue
+		}
+		out = append(out, JournalSnapshot{
+			Job:        jobID,
+			Phase:      j.Phase,
+			Generation: j.Generation,
+			MapsDone:   len(j.MapsDone),
+			PartsDone:  len(j.PartsDone),
+			Attempts:   len(j.Attempts),
+		})
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].Job < out[k].Job })
+	return out, nil
 }
 
 // Orphans lists journaled jobs that have not reached the done phase —

@@ -5,6 +5,7 @@ import (
 	"strconv"
 	"time"
 
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/scheduler"
 )
@@ -201,6 +202,9 @@ func (d *Driver) hedgeMapTask(ctx context.Context, it *inflightTask) {
 		return // no distinct replica to hedge on
 	}
 	d.reg.Counter("mr.driver.speculative_launched").Inc()
+	d.events.Emit(events.KindSpec, "spec.launch", events.F{
+		Job: it.t.Job, Task: it.t.ID, Attempt: it.attempt, Detail: string(target),
+	})
 	tctx, sp := d.tracer.StartSpan(ctx, "driver.map_task")
 	sp.Annotate("task", it.t.ID)
 	sp.Annotate("node", string(target))
@@ -224,9 +228,15 @@ func (d *Driver) hedgeMapTask(ctx context.Context, it *inflightTask) {
 	won := err == nil && !j.failed && !j.completed[it.t.ID]
 	if won {
 		d.reg.Counter("mr.driver.speculative_won").Inc()
+		d.events.Emit(events.KindSpec, "spec.win", events.F{
+			Job: it.t.Job, Task: it.t.ID, Attempt: it.attempt, Detail: string(target),
+		})
 		d.completeMapLocked(j, it.t.ID, resp)
 	} else {
 		d.reg.Counter("mr.driver.speculative_wasted").Inc()
+		d.events.Emit(events.KindSpec, "spec.waste", events.F{
+			Job: it.t.Job, Task: it.t.ID, Attempt: it.attempt, Detail: string(target),
+		})
 	}
 	d.mu.Unlock()
 	if err != nil {

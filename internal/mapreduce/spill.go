@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/metrics"
 	"eclipsemr/internal/transport"
@@ -245,6 +246,10 @@ func (s *spillSender) push(ctx context.Context, node hashing.NodeID, entries []d
 	sp.Annotate("node", string(node))
 	sp.Annotate("spills", fmt.Sprintf("%d", len(entries)))
 	s.w.reg.Counter("mr.shuffle.batches").Inc()
+	s.w.events.Emit(events.KindShuffle, "shuffle.batch", events.F{
+		Job: s.req.Job, Task: s.req.Task, Attempt: s.req.Attempt,
+		Detail: fmt.Sprintf("%s spills=%d", node, len(entries)),
+	})
 	return s.w.fs.PushTaggedSegmentBatch(ctx, node, s.req.Namespace, entries, s.req.TTL)
 }
 

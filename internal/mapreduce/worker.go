@@ -7,6 +7,7 @@ import (
 
 	"eclipsemr/internal/cache"
 	"eclipsemr/internal/dhtfs"
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/metrics"
 	"eclipsemr/internal/trace"
@@ -111,6 +112,7 @@ type Worker struct {
 	net    transport.Network
 	reg    *metrics.Registry
 	tracer *trace.Tracer
+	events *events.Log
 }
 
 // NewWorker builds a Worker bound to the node's file system service and
@@ -128,6 +130,10 @@ func (w *Worker) Metrics() *metrics.Registry { return w.reg }
 // SetTracer wires the node's tracer into the worker. Call before serving
 // tasks; a nil tracer (the default) disables worker spans.
 func (w *Worker) SetTracer(tr *trace.Tracer) { w.tracer = tr }
+
+// SetEvents wires the node's structured event log into the worker so
+// shuffle batches land in the flight recorder (nil disables emission).
+func (w *Worker) SetEvents(l *events.Log) { w.events = l }
 
 // Handle serves one inbound mr.* call; the bool reports method ownership.
 // The context carries the caller's span context, so task spans started

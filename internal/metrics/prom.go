@@ -45,7 +45,7 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 				// latency is seconds.
 				le = fmt.Sprintf("%g", float64(h.Bounds[i])/1e9)
 			}
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, le, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%s} %d\n", pn, promLabelValue(le), cum); err != nil {
 				return err
 			}
 		}
@@ -57,6 +57,32 @@ func WriteProm(w io.Writer, snap Snapshot) error {
 		}
 	}
 	return nil
+}
+
+// promLabelValue quotes a label value per the Prometheus text exposition
+// format: exactly backslash, double-quote and newline are escaped
+// (`\\`, `\"`, `\n`). Go's %q is close but not identical — it would
+// escape tabs and non-ASCII too, which the Prometheus parser rejects as
+// unknown escape sequences — so the escaping is spelled out here and
+// pinned by tests.
+func promLabelValue(v string) string {
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	b.WriteByte('"')
+	for i := 0; i < len(v); i++ {
+		switch c := v[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 // promName maps a dotted metric name onto the Prometheus charset.

@@ -1,0 +1,71 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPromLabelValueEscaping pins the text-exposition escaping rules:
+// exactly backslash, double-quote and newline are escaped, nothing else.
+// Go's %q would also escape tabs and non-ASCII, which the Prometheus
+// parser rejects as unknown escape sequences.
+func TestPromLabelValueEscaping(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"0.001", `"0.001"`},
+		{"+Inf", `"+Inf"`},
+		{`back\slash`, `"back\\slash"`},
+		{`say "hi"`, `"say \"hi\""`},
+		{"line1\nline2", `"line1\nline2"`},
+		{"\\\"\n", `"\\\"\n"`},
+		{"tab\there", "\"tab\there\""}, // tab passes through raw
+		{"héllo", `"héllo"`},           // UTF-8 passes through raw
+		{"", `""`},
+		{`trailing\`, `"trailing\\"`},
+	}
+	for _, tc := range cases {
+		if got := promLabelValue(tc.in); got != tc.want {
+			t.Errorf("promLabelValue(%q) = %s, want %s", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestWritePromBucketLabelsEscaped exercises the only label the
+// exposition emits today end-to-end: every le value must come out as a
+// well-formed quoted string with no raw quotes or newlines inside.
+func TestWritePromBucketLabelsEscaped(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("mr.map_ns").Observe(1500)
+	r.Histogram("mr.map_ns").Observe(3_000_000)
+	var b strings.Builder
+	if err := WriteProm(&b, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `le="+Inf"`) {
+		t.Fatalf("no +Inf bucket in exposition:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		i := strings.Index(line, `le=`)
+		if i < 0 {
+			continue
+		}
+		val := line[i+len(`le=`):]
+		end := strings.Index(val, "}")
+		if end < 0 {
+			t.Fatalf("unterminated label in %q", line)
+		}
+		val = val[:end]
+		if len(val) < 2 || val[0] != '"' || val[len(val)-1] != '"' {
+			t.Errorf("le value not quoted: %q", line)
+		}
+		inner := val[1 : len(val)-1]
+		for j := 0; j < len(inner); j++ {
+			switch inner[j] {
+			case '\\':
+				j++ // escape consumes the next byte
+			case '"', '\n':
+				t.Errorf("raw %q inside label value: %q", inner[j], line)
+			}
+		}
+	}
+}

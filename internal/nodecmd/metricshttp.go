@@ -1,11 +1,13 @@
 package nodecmd
 
 import (
+	"encoding/json"
 	"net"
 	"net/http"
 	"net/http/pprof"
 	"time"
 
+	"eclipsemr/internal/cluster"
 	"eclipsemr/internal/metrics"
 )
 
@@ -13,21 +15,49 @@ import (
 // node's operational state for scraping and profiling:
 //
 //	/metrics        Prometheus text exposition of the snapshot
+//	/healthz        liveness: 200 + the node's health summary as JSON
+//	/readyz         readiness: 200 once the node is in a membership view
 //	/debug/pprof/*  the standard Go profiling endpoints
 //
 // snapshot is called per scrape, so gauges (store sizes, hit ratios) are
-// fresh. The pprof handlers are mounted on this private mux explicitly —
-// the node does not touch http.DefaultServeMux, so importing this package
+// fresh; health is called per probe for the same reason. A nil health
+// source serves liveness only: /healthz answers 200 (the process is up
+// enough to serve HTTP) and /readyz answers 503, so a probe never
+// mistakes a node without membership wiring for a ready one.
+//
+// The pprof handlers are mounted on this private mux explicitly — the
+// node does not touch http.DefaultServeMux, so importing this package
 // never leaks profiling endpoints into other servers.
 //
 // It returns the bound address (useful with ":0") and a shutdown
 // function. Errors binding the listener are returned immediately; serve
 // errors after that are ignored (the endpoint is best-effort telemetry).
-func ServeMetrics(addr string, snapshot func() metrics.Snapshot) (boundAddr string, shutdown func(), err error) {
+func ServeMetrics(addr string, snapshot func() metrics.Snapshot, health func() cluster.Health) (boundAddr string, shutdown func(), err error) {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = metrics.WriteProm(w, snapshot())
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if health == nil {
+			_, _ = w.Write([]byte("{}\n"))
+			return
+		}
+		_ = json.NewEncoder(w).Encode(health())
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if health == nil {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_, _ = w.Write([]byte("{}\n"))
+			return
+		}
+		h := health()
+		if !h.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		_ = json.NewEncoder(w).Encode(h)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,12 +1,14 @@
 package nodecmd
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
 
+	"eclipsemr/internal/cluster"
 	"eclipsemr/internal/metrics"
 )
 
@@ -15,7 +17,14 @@ func TestServeMetrics(t *testing.T) {
 	reg.Counter("mr.map.tasks").Add(3)
 	reg.Histogram("fs.read_block_ns").Observe(int64(2 * time.Millisecond))
 
-	addr, shutdown, err := ServeMetrics("127.0.0.1:0", reg.Snapshot)
+	ready := false
+	health := func() cluster.Health {
+		return cluster.Health{
+			Node: "worker-00", Ready: ready, Manager: "worker-02",
+			Epoch: 7, Members: 3, EventsDropped: 11, SpansDropped: 2,
+		}
+	}
+	addr, shutdown, err := ServeMetrics("127.0.0.1:0", reg.Snapshot, health)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,5 +56,54 @@ func TestServeMetrics(t *testing.T) {
 
 	if code, _ := get("/debug/pprof/cmdline"); code != http.StatusOK {
 		t.Errorf("/debug/pprof/cmdline status = %d", code)
+	}
+
+	// /healthz is liveness: it answers 200 whether or not the node has
+	// joined a view, carrying the full health summary.
+	code, body = get("/healthz")
+	if code != http.StatusOK {
+		t.Fatalf("/healthz status = %d", code)
+	}
+	var h cluster.Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("/healthz body is not JSON: %v\n%s", err, body)
+	}
+	if h.Node != "worker-00" || h.Manager != "worker-02" || h.Epoch != 7 ||
+		h.Members != 3 || h.EventsDropped != 11 || h.SpansDropped != 2 {
+		t.Errorf("/healthz summary mismatch: %+v", h)
+	}
+
+	// /readyz flips with membership: 503 before the node is in a view,
+	// 200 after.
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/readyz status = %d before ready, want 503", code)
+	}
+	ready = true
+	if code, _ := get("/readyz"); code != http.StatusOK {
+		t.Errorf("/readyz status = %d after ready, want 200", code)
+	}
+}
+
+// TestServeMetricsNilHealth pins the degraded wiring: without a health
+// source the process still reports alive but never ready.
+func TestServeMetricsNilHealth(t *testing.T) {
+	reg := metrics.NewRegistry()
+	addr, shutdown, err := ServeMetrics("127.0.0.1:0", reg.Snapshot, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer shutdown()
+	for path, want := range map[string]int{
+		"/healthz": http.StatusOK,
+		"/readyz":  http.StatusServiceUnavailable,
+	} {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s status = %d, want %d", path, resp.StatusCode, want)
+		}
 	}
 }

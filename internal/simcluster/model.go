@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"eclipsemr/internal/cache"
+	"eclipsemr/internal/events"
 	"eclipsemr/internal/hashing"
 	"eclipsemr/internal/scheduler"
 	"eclipsemr/internal/sim"
@@ -72,6 +73,17 @@ type Model struct {
 	// tr is non-nil after EnableTracing: deterministic per-node span
 	// recording on the virtual clock (see tracing.go).
 	tr *modelTrace
+	// ev is non-nil after EnableEvents: deterministic per-node structured
+	// events on the virtual clock (see events.go).
+	ev *modelEvents
+	// Chaos hook: killAtReduce (armed via KillNodeAtReduceStart) crashes
+	// one node at the exact map→reduce boundary of the first job to reach
+	// it; dead marks crashed nodes and epoch counts membership changes,
+	// mirroring the real manager's view epoch.
+	killAtReduce int
+	killed       bool
+	dead         []bool
+	epoch        uint64
 }
 
 // NewModel builds a simulated cluster for one framework and policy.
@@ -79,14 +91,15 @@ func NewModel(p Params, kind Framework, pol Policy) (*Model, error) {
 	p = p.withDefaults()
 	s := sim.New()
 	m := &Model{
-		S:      s,
-		p:      p,
-		kind:   kind,
-		idx:    make(map[hashing.NodeID]int, p.Nodes),
-		net:    sim.NewFlowNet(s),
-		rng:    rand.New(rand.NewSource(42)),
-		pumpAt: -1,
-		jobs:   make(map[string]*runningJob),
+		S:            s,
+		p:            p,
+		kind:         kind,
+		idx:          make(map[hashing.NodeID]int, p.Nodes),
+		net:          sim.NewFlowNet(s),
+		rng:          rand.New(rand.NewSource(42)),
+		pumpAt:       -1,
+		killAtReduce: -1,
+		jobs:         make(map[string]*runningJob),
 	}
 	switch kind {
 	case Eclipse:
@@ -294,6 +307,7 @@ func (m *Model) Submit(job JobDesc, at float64, done func(JobStats)) error {
 		m.running++
 		j.jctx, j.root = m.tr.startRoot(j.jctx, job.Name, "driver.job")
 		j.root.Annotate("framework", string(m.kind))
+		m.ev.emitDriver(events.KindJob, "job.submit", events.F{Job: job.Name, Detail: string(m.kind)})
 		m.S.After(m.fw.JobOverhead, func() { m.startIteration(j) })
 	})
 	return nil
@@ -305,6 +319,9 @@ func (m *Model) Run() float64 { return m.S.Run() }
 // startIteration submits one iteration's map tasks to the scheduler.
 func (m *Model) startIteration(j *runningJob) {
 	j.mapsLeft = len(j.blockKeys)
+	m.ev.emitDriver(events.KindJob, "job.phase.map", events.F{
+		Job: j.desc.Name, Detail: fmt.Sprintf("tasks=%d", len(j.blockKeys)),
+	})
 	now := sim.Duration(m.S.Now())
 	for i, k := range j.blockKeys {
 		m.sched.Submit(scheduler.Task{
@@ -454,6 +471,7 @@ func (m *Model) startMapTask(a scheduler.Assignment) {
 
 	finish := func() {
 		task.End()
+		m.ev.emit(n, events.KindTask, "map.finish", events.F{Job: j.desc.Name, Task: a.Task.ID})
 		m.sched.Release(a.Node)
 		j.mapsLeft--
 		if j.mapsLeft == 0 {
@@ -472,6 +490,7 @@ func (m *Model) startMapTask(a scheduler.Assignment) {
 	begin(func() {
 		tctx, task = m.tr.startSpan(n, j.jctx, "task.map")
 		task.Annotate("task", a.Task.ID)
+		m.ev.emit(n, events.KindTask, "map.dispatch", events.F{Job: j.desc.Name, Task: a.Task.ID})
 		acquire(func(fromCache bool) {
 			compute := baseCompute
 			if !fromCache {
@@ -537,9 +556,67 @@ func (m *Model) startMapTask(a scheduler.Assignment) {
 	})
 }
 
+// KillNodeAtReduceStart arms the chaos hook: the given node crashes at
+// the exact map→reduce boundary of the first job (or iteration) to
+// reach it. Detection is modeled as immediate — the boundary is the
+// deterministic instant — and recovery follows the real engine's shape:
+// the victim leaves the membership (member.suspect, member.evict, epoch
+// bump), its reduce partition re-homes to its ring successor
+// (partition.rehome, job.recovery), and the new owner pulls the
+// partition's proactively delivered segments from the surviving
+// replica over the network instead of reading its own disk.
+func (m *Model) KillNodeAtReduceStart(node int) error {
+	if node < 0 || node >= m.p.Nodes {
+		return fmt.Errorf("simcluster: kill node %d out of range [0,%d)", node, m.p.Nodes)
+	}
+	m.killAtReduce = node
+	return nil
+}
+
+// execKill crashes the armed victim (once) at the map→reduce boundary.
+func (m *Model) execKill() {
+	if m.killAtReduce < 0 || m.killed {
+		return
+	}
+	m.killed = true
+	victim := m.killAtReduce
+	vid := m.ids[victim]
+	m.dead = make([]bool, m.p.Nodes)
+	m.dead[victim] = true
+	m.epoch++
+	m.sched.RemoveNode(vid)
+	// Cluster-scoped (no job): membership changes outlive any one job,
+	// exactly as the real manager emits them.
+	m.ev.emitDriver(events.KindMembership, "member.suspect", events.F{Detail: string(vid)})
+	m.ev.emitDriver(events.KindMembership, "member.evict", events.F{Detail: string(vid)})
+}
+
+// liveSuccessor walks the ring clockwise from i to the first live node.
+func (m *Model) liveSuccessor(i int) int {
+	for d := 1; d < m.p.Nodes; d++ {
+		if k := (i + d) % m.p.Nodes; !m.dead[k] {
+			return k
+		}
+	}
+	return i
+}
+
+// livePredecessor walks the ring counter-clockwise from i to the first
+// live node — the surviving replica of i's partition data.
+func (m *Model) livePredecessor(i int) int {
+	for d := 1; d < m.p.Nodes; d++ {
+		if k := (i - d + m.p.Nodes) % m.p.Nodes; !m.dead[k] {
+			return k
+		}
+	}
+	return i
+}
+
 // startReducePhase runs one reduce task per node (partition), then
-// finishes the iteration.
+// finishes the iteration. Partitions of crashed nodes re-home to their
+// ring successor, which pulls the data from the surviving replica.
 func (m *Model) startReducePhase(j *runningJob) {
+	m.execKill()
 	totalShuffle := float64(j.desc.InputBytes) * j.desc.App.ShuffleRatio
 	outRatio := j.desc.App.OutputRatio
 	isLastIter := j.iteration == j.desc.Iterations-1
@@ -555,22 +632,45 @@ func (m *Model) startReducePhase(j *runningJob) {
 		writeOutput = false
 	}
 
+	m.ev.emitDriver(events.KindJob, "job.phase.reduce", events.F{
+		Job: j.desc.Name, Detail: fmt.Sprintf("parts=%d", m.p.Nodes),
+	})
 	j.reduces = m.p.Nodes
 	part := totalShuffle / float64(m.p.Nodes)
 	outPart := totalOut / float64(m.p.Nodes)
+	rehomed := 0
 	for i := 0; i < m.p.Nodes; i++ {
-		node := i
+		node, pullFrom := i, -1
+		if m.dead != nil && m.dead[i] {
+			node = m.liveSuccessor(i)
+			pullFrom = m.livePredecessor(i)
+			rehomed++
+			m.ev.emitDriver(events.KindTask, "partition.rehome", events.F{
+				Job: j.desc.Name, Task: fmt.Sprintf("part-%02d", i), Detail: string(m.ids[node]),
+			})
+		}
+		m.ev.emitDriver(events.KindTask, "reduce.dispatch", events.F{
+			Job: j.desc.Name, Task: fmt.Sprintf("part-%02d", i), Detail: string(m.ids[node]),
+		})
+		partIdx, node, pull := i, node, pullFrom
 		m.reduce[node].Submit(m.fw.TaskOverhead, func() {
-			m.runReduceTask(j, node, part, outPart, writeOutput)
+			m.runReduceTask(j, partIdx, node, part, outPart, writeOutput, pull)
+		})
+	}
+	if rehomed > 0 {
+		m.ev.emitDriver(events.KindJob, "job.recovery", events.F{
+			Job: j.desc.Name, Detail: fmt.Sprintf("partitions=%d", rehomed),
 		})
 	}
 }
 
-// runReduceTask executes one reduce partition on its node.
-func (m *Model) runReduceTask(j *runningJob, node int, shufflePart, outPart float64, writeOutput bool) {
+// runReduceTask executes one reduce partition on its node. pullFrom >= 0
+// marks a re-homed partition: the data is read from that surviving
+// replica's disk and crosses the network instead of a local read.
+func (m *Model) runReduceTask(j *runningJob, partIdx, node int, shufflePart, outPart float64, writeOutput bool, pullFrom int) {
 	compute := shufflePart * (j.desc.App.ReduceCost*m.fw.ComputeFactor + m.fw.ShuffleByteCost)
 	tctx, task := m.tr.startSpan(node, j.jctx, "task.reduce")
-	task.Annotate("partition", strconv.Itoa(node))
+	task.Annotate("partition", strconv.Itoa(partIdx))
 	// recv covers gathering the partition (local read of proactively
 	// delivered segments, or the pull shuffle) up to compute start.
 	var recv *trace.Span
@@ -607,6 +707,9 @@ func (m *Model) runReduceTask(j *runningJob, node int, shufflePart, outPart floa
 			}
 			write(func() {
 				task.End()
+				m.ev.emit(node, events.KindTask, "reduce.finish", events.F{
+					Job: j.desc.Name, Task: fmt.Sprintf("part-%02d", partIdx),
+				})
 				m.reduceDone(j)
 			})
 		})
@@ -618,6 +721,16 @@ func (m *Model) runReduceTask(j *runningJob, node int, shufflePart, outPart floa
 	}
 	_, recv = m.tr.startSpan(node, tctx, "shuffle.recv")
 	if m.kind == Eclipse && !m.noProactive {
+		if pullFrom >= 0 {
+			// Recovery pull: the re-homed partition's segments live on the
+			// surviving replica, not this node — one remote disk read plus
+			// a network transfer replaces the local read.
+			recv.Annotate("recovered", "true")
+			m.diskRead(pullFrom, shufflePart, func() {
+				m.transfer(shufflePart, pullFrom, node, finish)
+			})
+			return
+		}
 		// Proactive shuffle already delivered the partition locally.
 		m.diskRead(node, shufflePart, finish)
 		return
@@ -663,6 +776,7 @@ func (m *Model) reduceDone(j *runningJob) {
 	j.stats.Finish = m.S.Now()
 	j.root.Annotate("map_tasks", strconv.Itoa(j.stats.MapTasks))
 	j.root.End()
+	m.ev.emitDriver(events.KindJob, "job.done", events.F{Job: j.desc.Name})
 	m.running--
 	if j.done != nil {
 		j.done(*j.stats)

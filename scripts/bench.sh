@@ -15,7 +15,7 @@ mkdir -p "$out"
 BENCH_DIR="$(cd "$out" && pwd)"
 export BENCH_DIR
 
-go test -run '^$' -bench 'BenchmarkHarness(WordCount|KMeans|TraceOverhead|Ring)$' -benchtime 1x .
+go test -run '^$' -bench 'BenchmarkHarness(WordCount|KMeans|TraceOverhead|Ring|ChaosBundle)$' -benchtime 1x .
 
 echo "bench: wrote reports to $BENCH_DIR"
-ls -l "$BENCH_DIR"/BENCH_*.json "$BENCH_DIR"/trace.json
+ls -l "$BENCH_DIR"/BENCH_*.json "$BENCH_DIR"/trace.json "$BENCH_DIR"/bundle.json

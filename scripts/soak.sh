@@ -19,6 +19,16 @@ out="${1:-soak-out}"
 mkdir -p "$out"
 SOAK_DIR="$(cd "$out" && pwd)"
 
+# Arm the flight recorder for every cluster the suites build: a job
+# failure or recovery inside any test auto-captures a debug bundle
+# (events + metrics + spans + journal + membership) into bundles/, so a
+# red night ships the incident state alongside the log. Filenames are
+# deterministic per (job, reason) — re-captures overwrite with the
+# latest incident, they never pile up.
+ECLIPSE_BUNDLE_DIR="$SOAK_DIR/bundles"
+export ECLIPSE_BUNDLE_DIR
+mkdir -p "$ECLIPSE_BUNDLE_DIR"
+
 # Full-size recovery/chaos/churn suites, verbose and race-enabled.
 # -count=1 defeats the test cache: a soak that replays yesterday's
 # cached pass soaks nothing. The status file preserves go test's exit
@@ -37,6 +47,14 @@ rm -f "$SOAK_DIR/.status"
 # concurrently by the golden tests, and a data race in the gate would
 # make its verdicts untrustworthy.
 go test -race -count=1 ./internal/lint
+
+# Every bundle the recorder captured during the soak — recovery
+# captures fire on green nights too — must satisfy the schema
+# cmd/bundlecheck enforces; a malformed capture is a bug in the
+# recorder, not in whoever opens the bundle later.
+if ls "$ECLIPSE_BUNDLE_DIR"/*.json >/dev/null 2>&1; then
+	go run ./cmd/bundlecheck "$ECLIPSE_BUNDLE_DIR"/*.json
+fi
 
 # A traced engine run for the artifact, re-validated on disk so the
 # nightly also notices a broken export path.
